@@ -1,0 +1,47 @@
+// Command bandwidth regenerates Fig. 7 of the paper: perceived VI-mode
+// transfer bandwidth as a function of block size on the simulated
+// Hyades cluster, annotated with the paper's anchor points (56.8 MB/s
+// at 1 KByte, 90% of the 110 MB/s peak at 9 KByte).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"hyades/internal/bench"
+	"hyades/internal/report"
+	"hyades/internal/units"
+)
+
+func main() {
+	plot := flag.Bool("plot", true, "print an ASCII rendition of the curve")
+	flag.Parse()
+
+	pts, err := bench.Fig7Curve(bench.HyadesRunner{PPN: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("Figure 7: transfer bandwidth as a function of block size",
+		"block size", "bandwidth (MB/s)")
+	for _, p := range pts {
+		t.Addf("%v|%.1f", units.Size(p.Bytes), p.Perceived.MBperSec())
+	}
+	t.Note = "paper anchors: ~56.8 MB/s at 1 KiB, >=90% of the 110 MB/s peak at 9 KiB"
+	fmt.Print(t)
+
+	if *plot {
+		fmt.Println()
+		peak := 0.0
+		for _, p := range pts {
+			if bw := p.Perceived.MBperSec(); bw > peak {
+				peak = bw
+			}
+		}
+		for _, p := range pts {
+			bar := int(p.Perceived.MBperSec() / peak * 60)
+			fmt.Printf("%9v |%s %.1f\n", units.Size(p.Bytes), strings.Repeat("#", bar), p.Perceived.MBperSec())
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Command figure9 regenerates the science plates of the paper's
+// Fig. 9: the coupled ocean-atmosphere simulation's ocean currents at
+// ~25 m depth and the atmospheric zonal velocity in the upper
+// troposphere.  Output is written as CSV and PGM files plus an ASCII
+// quick-look; longer runs (-days) give a better-developed circulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"math"
+
+	"hyades/internal/cluster"
+	"hyades/internal/comm"
+	"hyades/internal/gcm"
+	"hyades/internal/gcm/diag"
+	"hyades/internal/gcm/field"
+	"hyades/internal/gcm/grid"
+	"hyades/internal/gcm/physics"
+	"hyades/internal/gcm/tile"
+	"hyades/internal/report"
+)
+
+func main() {
+	days := flag.Float64("days", 10, "model days to integrate")
+	outDir := flag.String("out", "fig9_out", "output directory")
+	flag.Parse()
+
+	d := tile.Decomp{NXg: 128, NYg: 64, Px: 4, Py: 2, PeriodicX: true}
+	cfg := gcm.DefaultCoupledConfig(d)
+	steps := int(*days * 86400 / cfg.Ocean.Kernel.Dt)
+	nWorkers := 2 * d.Tiles()
+
+	cl, err := cluster.New(cluster.DefaultConfig(8, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	lib, err := comm.NewHyades(cl, comm.DefaultHyadesConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	coupled := make([]*gcm.Coupled, nWorkers)
+	fields := map[string]*field.F2{}
+	var oceanDiag *diag.State
+	var buildErr error
+	cl.Start(func(w *cluster.Worker) {
+		c := cfg
+		if w.Rank < d.Tiles() {
+			ph := physics.New(physics.Default())
+			c.Atmos.Forcing = ph
+			c.Physics = ph
+		}
+		cp, err := gcm.NewCoupled(c, lib.Bind(w))
+		if err != nil {
+			buildErr = err
+			return
+		}
+		coupled[w.Rank] = cp
+		cp.Run(steps)
+		// Gather the figure fields on each component's root.
+		m := cp.M
+		if cp.IsOcean {
+			if g := m.Halo.Gather3Level(m.S.U, 1); g != nil {
+				fields["ocean_u_25m"] = g
+			}
+			if g := m.Halo.Gather3Level(m.S.V, 1); g != nil {
+				fields["ocean_v_25m"] = g
+			}
+			if g := m.Halo.Gather3Level(m.S.Theta, 0); g != nil {
+				fields["ocean_sst"] = g
+			}
+			// Gather the full 3-D circulation for diagnostics on the
+			// ocean root.
+			var us, vs, ths []*field.F2
+			for k := 0; k < m.G.NZ; k++ {
+				us = append(us, m.Halo.Gather3Level(m.S.U, k))
+				vs = append(vs, m.Halo.Gather3Level(m.S.V, k))
+				ths = append(ths, m.Halo.Gather3Level(m.S.Theta, k))
+			}
+			if us[0] != nil {
+				gg, err := grid.NewLocal(m.Cfg.Grid, 0, 0, m.Cfg.Grid.NX, m.Cfg.Grid.NY, 1)
+				if err == nil {
+					oceanDiag = &diag.State{G: gg, U: us, V: vs, Theta: ths}
+				}
+			}
+		} else {
+			if g := m.Halo.Gather3Level(m.S.U, 1); g != nil {
+				fields["atmos_u_250mb"] = g
+			}
+			if g := m.Halo.Gather3Level(m.S.Theta, m.G.NZ-1); g != nil {
+				fields["atmos_theta_surface"] = g
+			}
+		}
+	})
+	if err := cl.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if buildErr != nil {
+		log.Fatal(buildErr)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, f := range fields {
+		if err := os.WriteFile(filepath.Join(*outDir, name+".csv"), []byte(report.FieldCSV(f)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, name+".pgm"), []byte(report.FieldPGM(f)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("Figure 9 after %.0f coupled model days (%d steps); files in %s/\n\n", *days, steps, *outDir)
+	if f, ok := fields["atmos_u_250mb"]; ok {
+		fmt.Println("ATMOSPHERE: zonal velocity, upper troposphere (north up):")
+		fmt.Print(report.FieldASCII(f, 96))
+	}
+	if f, ok := fields["ocean_u_25m"]; ok {
+		fmt.Println("\nOCEAN: zonal current at ~25 m (north up; '#' = land):")
+		maskLand(coupled, f)
+		fmt.Print(report.FieldASCII(f, 96))
+	}
+	if oceanDiag != nil && oceanDiag.Validate() == nil {
+		psi := oceanDiag.Overturning()
+		maxPsi, minPsi := 0.0, 0.0
+		for k := 0; k < psi.NY; k++ {
+			for j := 0; j < psi.NX; j++ {
+				v := psi.At(j, k)
+				if v > maxPsi {
+					maxPsi = v
+				}
+				if v < minPsi {
+					minPsi = v
+				}
+			}
+		}
+		ht := oceanDiag.HeatTransport()
+		peak := 0.0
+		for _, v := range ht {
+			if math.Abs(v) > math.Abs(peak) {
+				peak = v
+			}
+		}
+		bt := oceanDiag.BarotropicStreamfunction()
+		os.WriteFile(filepath.Join(*outDir, "ocean_barotropic_psi.csv"), []byte(report.FieldCSV(bt)), 0o644)
+		fmt.Printf("\nOCEAN diagnostics: overturning psi in [%.1f, %.1f] Sv; peak meridional heat transport %.3f PW\n",
+			minPsi, maxPsi, peak)
+	}
+}
+
+// maskLand marks land columns as NaN for the quick-look renderer.
+func maskLand(coupled []*gcm.Coupled, f *field.F2) {
+	// Rebuild the global land mask from any ocean tile's grid config.
+	var oc *gcm.Coupled
+	for _, c := range coupled {
+		if c != nil && c.IsOcean {
+			oc = c
+			break
+		}
+	}
+	if oc == nil {
+		return
+	}
+	depth := oc.M.Cfg.Grid.DepthFrac
+	if depth == nil {
+		return
+	}
+	for j := 0; j < f.NY; j++ {
+		for i := 0; i < f.NX; i++ {
+			x := (float64(i) + 0.5) / float64(f.NX)
+			y := (float64(j) + 0.5) / float64(f.NY)
+			if depth(x, y) == 0 {
+				f.Set(i, j, nan())
+			}
+		}
+	}
+}
+
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,58 @@
+// Command gsum regenerates the global-sum latency measurements of
+// §4.2: N-way butterfly sums for one processor per SMP, the 2xN-way
+// mix-mode variants, and the least-squares fit tgsum = C*log2(N) + b
+// (paper: 4.67*log2(N) - 0.95 us).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hyades/internal/bench"
+	"hyades/internal/report"
+)
+
+func main() {
+	t := report.NewTable("Section 4.2: global-sum latency",
+		"configuration", "measured (us)", "paper (us)")
+	paper1 := map[int]float64{2: 4.0, 4: 8.3, 8: 12.8, 16: 18.2}
+	paper2 := map[int]float64{2: 4.8, 4: 9.1, 8: 13.5, 16: 19.5}
+
+	var xs, ys []float64
+	for _, n := range []int{2, 4, 8, 16} {
+		lat, err := bench.Gsum(bench.HyadesRunner{PPN: 1}, n, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Addf("%d-way|%.2f|%.1f", n, lat.Micros(), paper1[n])
+		xs = append(xs, math.Log2(float64(n)))
+		ys = append(ys, lat.Micros())
+	}
+	for _, n := range []int{2, 4, 8, 16} {
+		lat, err := bench.Gsum(bench.HyadesRunner{PPN: 2}, 2*n, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Addf("2x%d-way|%.2f|%.1f", n, lat.Micros(), paper2[n])
+	}
+	fmt.Print(t)
+
+	c, b := fit(xs, ys)
+	fmt.Printf("\nleast-squares fit: tgsum = %.2f * log2(N) %+.2f us\n", c, b)
+	fmt.Printf("paper fit:         tgsum = 4.67 * log2(N) - 0.95 us\n")
+}
+
+func fit(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	slope = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}

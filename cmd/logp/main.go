@@ -1,0 +1,41 @@
+// Command logp regenerates Fig. 2 of the paper: the LogP performance
+// characteristics of StarT-X PIO message passing for 8-byte and
+// 64-byte payloads, plus (with -pio) the §2.3 overhead estimates
+// derived from the host's mmap access costs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hyades/internal/logp"
+	"hyades/internal/report"
+)
+
+func main() {
+	pio := flag.Bool("pio", false, "also print the section 2.3 mmap cost estimates")
+	flag.Parse()
+
+	rows, err := logp.Fig2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("Figure 2: LogP characteristics of PIO message passing",
+		"size (byte)", "Os (us)", "Or (us)", "Tround-trip/2 (us)", "Lnetwork (us)")
+	paper := map[int][4]float64{8: {0.4, 2.0, 3.7, 1.3}, 64: {1.7, 8.6, 11.7, 1.4}}
+	for _, r := range rows {
+		t.Addf("%d|%.2f|%.2f|%.2f|%.2f", r.PayloadBytes,
+			r.Os.Micros(), r.Or.Micros(), r.HalfRTT.Micros(), r.L.Micros())
+		p := paper[r.PayloadBytes]
+		t.Addf("  (paper)|%.1f|%.1f|%.1f|%.1f", p[0], p[1], p[2], p[3])
+	}
+	fmt.Print(t)
+
+	if *pio {
+		fmt.Println()
+		fmt.Println("Section 2.3 estimate for an 8-byte message:")
+		fmt.Println("  send    = 2 x 0.18 us mmap writes = 0.36 us")
+		fmt.Println("  receive = 2 x 0.93 us mmap reads  = 1.86 us")
+	}
+}

@@ -1,0 +1,111 @@
+// Command perftable regenerates the performance tables of §5:
+//
+//   - Fig. 10: sustained floating-point performance of the ocean
+//     isomorph on 1 and 16 Hyades processors, alongside the vector
+//     supercomputers (roofline model + published values);
+//   - Fig. 11 (with -params): the performance-model parameters of the
+//     coupled 2.8125-degree simulation, measured on the simulated
+//     machine, next to the paper's published values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hyades/internal/bench"
+	"hyades/internal/gcm"
+	"hyades/internal/gcm/physics"
+	"hyades/internal/gcm/tile"
+	"hyades/internal/report"
+	"hyades/internal/vector"
+)
+
+func main() {
+	params := flag.Bool("params", false, "print the Fig. 11 performance-model parameters")
+	steps := flag.Int("steps", 4, "timed model steps per measurement")
+	flag.Parse()
+
+	if *params {
+		printFig11(*steps)
+		return
+	}
+	printFig10(*steps)
+}
+
+func printFig10(steps int) {
+	t := report.NewTable("Figure 10: sustained performance of the coarse-resolution ocean isomorph",
+		"processors", "machine", "sustained (GFlop/s)", "paper (GFlop/s)")
+	for _, m := range vector.Fig10Machines() {
+		t.Addf("%d|%s|%.2f|%.1f", m.CPUs, m.Name, m.SustainedGFlops(), m.PaperSustainedGFlops)
+	}
+
+	// One simulated Hyades processor: the serial ocean tile.
+	serialCfg := gcm.CoarseOceanConfig(serial128x64())
+	m1, elapsed, err := gcm.RunSerial(serialCfg, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oneProc := float64(m1.C.PS+m1.C.DS) / elapsed.Seconds() / 1e9
+	t.Addf("1|Hyades|%.3f|%.3f", oneProc, 0.054)
+
+	// Sixteen processors on eight SMPs.
+	cfg16 := gcm.CoarseOceanConfig(bench.ScalingDecomp())
+	res, err := gcm.RunParallel(8, 2, cfg16, 1, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sixteen := res.SustainedMFlops() / 1000
+	t.Addf("16|Hyades|%.2f|%.1f", sixteen, 0.8)
+	t.Note = fmt.Sprintf("Hyades 16-processor speedup over 1: %.1fx (paper: ~15x); mean CG iterations Ni = %.0f",
+		sixteen/oneProc, res.MeanNi)
+	fmt.Print(t)
+}
+
+func printFig11(steps int) {
+	// Communication primitives from the stand-alone benchmarks.
+	prim, err := bench.MeasureHyades()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Operation counts from instrumented serial kernels.
+	atm := gcm.CoarseAtmosphereConfig(serial128x64())
+	atm.Forcing = physics.New(physics.Default())
+	atm.FpsMFlops, atm.FdsMFlops = 0, 0
+	mAtm, _, err := gcm.RunSerial(atm, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oc := gcm.CoarseOceanConfig(serial128x64())
+	oc.FpsMFlops, oc.FdsMFlops = 0, 0
+	mOc, _, err := gcm.RunSerial(oc, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cells := 128 * 64
+	npsAtm := float64(mAtm.C.PS) / float64(steps*cells*5)
+	npsOc := float64(mOc.C.PS) / float64(steps*cells*15)
+	ndsAtm := float64(mAtm.C.DS) / (float64(mAtm.Solver.TotalIters) * float64(cells))
+
+	t := report.NewTable("Figure 11: performance-model parameters (16 processors, 8 SMPs)",
+		"parameter", "measured", "paper")
+	t.Addf("Nps (atmosphere, flops/cell)|%.0f|781", npsAtm)
+	t.Addf("Nps (ocean, flops/cell)|%.0f|751", npsOc)
+	t.Addf("Nds (flops/column/iter)|%.0f|36", ndsAtm)
+	t.Addf("texchxyz atm (us)|%.0f|1640", prim.Texchxyz.Micros())
+	t.Addf("texchxyz ocean (us)|%.0f|4573", prim.Ocean3D.Micros())
+	t.Addf("texchxy (us)|%.0f|115", prim.Texchxy.Micros())
+	t.Addf("tgsum 2x8-way (us)|%.1f|13.5", prim.Tgsum.Micros())
+	t.Addf("Ni (mean CG iters)|%.0f|60", mAtm.Solver.MeanIters())
+	t.Note = "Nps/Nds are measured from this implementation's instrumented kernels; " +
+		"the paper's counts come from the Fortran code, so magnitudes (hundreds per cell, tens per column) are the comparison"
+	fmt.Print(t)
+}
+
+// serial128x64 is the single-tile production grid decomposition used
+// for serial baseline measurements.
+func serial128x64() tile.Decomp {
+	return tile.Decomp{NXg: 128, NYg: 64, Px: 1, Py: 1, PeriodicX: true}
+}

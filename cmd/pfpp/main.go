@@ -1,0 +1,86 @@
+// Command pfpp regenerates Fig. 12 of the paper: the Potential
+// Floating-Point Performance of the 2.8125-degree atmospheric
+// simulation on a sixteen-processor, eight-SMP cluster joined by Fast
+// Ethernet, Gigabit Ethernet and the Arctic Switch Fabric — in two
+// forms: from the paper's published primitive costs (the formulas of
+// eqs. 14-15 on Fig. 12's inputs) and from primitives measured on the
+// simulated/modelled machines.  With -hpvm it adds the §6 comparison
+// against a Myrinet/HPVM cluster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hyades/internal/bench"
+	"hyades/internal/netmodel"
+	"hyades/internal/perfmodel"
+	"hyades/internal/report"
+	"hyades/internal/units"
+)
+
+func main() {
+	hpvm := flag.Bool("hpvm", false, "add the section 6 Myrinet/HPVM comparison")
+	flag.Parse()
+
+	fmt.Println("Evaluated from the paper's published primitive costs:")
+	printRows(perfmodel.PaperFig12())
+
+	fmt.Println("\nEvaluated from primitives measured on this reproduction's machines:")
+	var rows []perfmodel.InterconnectRow
+	fe, err := bench.MeasureNet(netmodel.FastEthernet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, perfmodel.Fig12Row("F.E.", fe.Tgsum, fe.Texchxy, fe.Texchxyz))
+	ge, err := bench.MeasureNet(netmodel.GigabitEthernet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, perfmodel.Fig12Row("G.E.", ge.Tgsum, ge.Texchxy, ge.Texchxyz))
+	arctic, err := bench.MeasureHyades()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, perfmodel.Fig12Row("Arctic", arctic.Tgsum, arctic.Texchxy, arctic.Texchxyz))
+	if *hpvm {
+		my, err := bench.MeasureNet(netmodel.MyrinetHPVM())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, perfmodel.Fig12Row("Myrinet/HPVM", my.Tgsum, my.Texchxy, my.Texchxyz))
+	}
+	printRows(rows)
+
+	thr := perfmodel.DSThreshold(60)
+	fmt.Printf("\nTo reach Pfpp,ds = 60 MFlop/s, tgsum + texchxy must not exceed %.0f us (paper: 306 us).\n", thr.Micros())
+	fmt.Printf("Gigabit Ethernet sits %.1fx beyond that threshold (paper: nearly a factor of ten).\n",
+		(ge.Tgsum+ge.Texchxy).Seconds()/thr.Seconds())
+
+	if *hpvm {
+		barrier, err := bench.Gsum(bench.NetRunner{Prm: netmodel.MyrinetHPVM()}, 16, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ours, err := bench.Gsum(bench.HyadesRunner{PPN: 1}, 16, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nSection 6: a 16-way HPVM barrier takes %v vs Hyades' %v (paper: >50 us, more than 2.5x longer).\n",
+			barrier, ours)
+	}
+}
+
+func printRows(rows []perfmodel.InterconnectRow) {
+	t := report.NewTable("",
+		"network", "tgsum (us)", "texchxy (us)", "texchxyz (us)",
+		"Pfpp,ps (MF/s)", "Pfpp,ds (MF/s)", "Fps", "Fds")
+	for _, r := range rows {
+		t.Addf("%s|%.1f|%.0f|%.0f|%.1f|%.1f|%.0f|%.0f",
+			r.Name, r.Tgsum.Micros(), r.Texchxy.Micros(), r.Texchxyz.Micros(),
+			r.PfppPS, r.PfppDS, r.Fps, r.Fds)
+	}
+	fmt.Print(t)
+	_ = units.Microsecond
+}

@@ -1,0 +1,106 @@
+// Command scaling extends the paper's analysis in the direction its
+// §5.4 points: if Pfpp is well above the processor's compute rate,
+// "straight-forward investments in faster or more processors are a
+// viable route" — so how far does the 2.8125-degree ocean actually
+// scale on the Arctic fabric?
+//
+// The study runs the same global problem over 1..32 workers (strong
+// scaling; 32 nodes exercises a three-level fat tree) and, for each
+// machine size, compares the simulated sustained rate against the
+// performance model's prediction built from primitives measured at
+// that size — eqs. (4)-(11) applied beyond the configurations the
+// paper tabulates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hyades/internal/bench"
+	"hyades/internal/gcm"
+	"hyades/internal/gcm/tile"
+	"hyades/internal/perfmodel"
+	"hyades/internal/report"
+	"hyades/internal/units"
+)
+
+func main() {
+	steps := flag.Int("steps", 3, "timed steps per point")
+	flag.Parse()
+
+	type point struct {
+		workers int
+		px, py  int
+	}
+	points := []point{{1, 1, 1}, {4, 2, 2}, {8, 4, 2}, {16, 4, 4}, {32, 8, 4}}
+
+	t := report.NewTable("Strong scaling of the 2.8125-degree ocean isomorph on Arctic (one worker per node)",
+		"workers", "time/step", "sustained MF/s", "speedup", "model MF/s", "comm %")
+	var base float64
+	for _, pt := range points {
+		d := tile.Decomp{NXg: 128, NYg: 64, Px: pt.px, Py: pt.py, PeriodicX: true}
+		cfg := gcm.CoarseOceanConfig(d)
+		var sustained float64
+		var perStep units.Time
+		var commFrac float64
+		var ni float64
+		if pt.workers == 1 {
+			m, elapsed, err := gcm.RunSerial(cfg, *steps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sustained = float64(m.C.PS+m.C.DS) / elapsed.Seconds() / 1e6
+			perStep = elapsed / units.Time(*steps)
+			ni = m.Solver.MeanIters()
+		} else {
+			res, err := gcm.RunParallel(pt.workers, 1, cfg, 1, *steps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sustained = res.SustainedMFlops()
+			perStep = res.PerStep()
+			comm := res.ExchangeTime + res.GsumTime
+			commFrac = 100 * float64(comm) / float64(comm+res.ComputeTime)
+			ni = res.MeanNi
+		}
+		if pt.workers == 1 {
+			base = sustained
+		}
+
+		model := modelPrediction(pt.workers, d, ni)
+		t.Addf("%d|%v|%.0f|%.1fx|%.0f|%.0f%%",
+			pt.workers, perStep, sustained, sustained/base, model, commFrac)
+	}
+	t.Note = "model: eqs. (4)-(11) with primitives measured at each machine size and " +
+		"this implementation's counted Nps/Nds; 32 workers route through a 3-level fat tree"
+	fmt.Print(t)
+}
+
+// modelPrediction evaluates the aggregate sustained rate the paper's
+// performance model implies for the given machine size.
+func modelPrediction(workers int, d tile.Decomp, ni float64) float64 {
+	const npsOcean, ndsOcean = 283, 37 // measured from this implementation
+	nxy := 128 * 64 / workers
+	nxyz := nxy * 15
+	ps := perfmodel.PS{Nps: npsOcean, Nxyz: nxyz, FpsMFlops: gcm.PaperFpsMFlops}
+	ds := perfmodel.DS{Nds: ndsOcean, Nxy: nxy, FdsMFlops: gcm.PaperFdsMFlops}
+	if workers == 1 {
+		ps.Texchxyz, ds.Texchxy, ds.Tgsum = 0, 0, 0
+	} else {
+		r := bench.HyadesRunner{PPN: 1}
+		var err error
+		if ds.Tgsum, err = bench.Gsum(r, workers, 4); err != nil {
+			log.Fatal(err)
+		}
+		if ds.Texchxy, err = bench.Exchange2(r, d, 2); err != nil {
+			log.Fatal(err)
+		}
+		if ps.Texchxyz, err = bench.Exchange3(r, d, 15, 3, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	e := perfmodel.Experiment{PS: ps, DS: ds, Nt: 1, Ni: ni}
+	flops := ps.Nps*float64(nxyz) + ni*ds.Nds*float64(nxy)
+	return flops * float64(workers) / e.Trun().Seconds() / 1e6
+}

@@ -1,0 +1,12 @@
+// Package hyades is a reproduction of "A Personal Supercomputer for
+// Climate Research" (Hoe, Hill, Adcroft; SC'99): a discrete-event
+// simulation of the Hyades cluster — the Arctic Switch Fabric, StarT-X
+// network interfaces and dual-processor SMP nodes — running a real
+// finite-volume ocean/atmosphere general circulation model through the
+// paper's application-specific communication primitives.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-reproduction results, and the examples/ directory for
+// runnable entry points.  The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation.
+package hyades

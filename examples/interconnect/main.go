@@ -1,0 +1,63 @@
+// Interconnect: the paper's headline claim in action.  The identical
+// GCM configuration runs over four machines — the Arctic Switch Fabric
+// (simulated from published hardware constants), modelled Gigabit and
+// Fast Ethernet, and a Myrinet/HPVM cluster — and the per-step time
+// splits into compute and communication, making Fig. 12's Pfpp
+// analysis concrete: commodity processors with commodity interconnects
+// leave fine-grain climate models starved.
+//
+//	go run ./examples/interconnect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyades/internal/gcm"
+	"hyades/internal/gcm/physics"
+	"hyades/internal/gcm/tile"
+	"hyades/internal/netmodel"
+	"hyades/internal/report"
+)
+
+func main() {
+	// The 2.8125-degree atmosphere over 8 workers (the Fig. 12 config,
+	// at one tile per SMP).
+	d := tile.Decomp{NXg: 128, NYg: 64, Px: 4, Py: 2, PeriodicX: true}
+	mk := func() gcm.Config {
+		cfg := gcm.CoarseAtmosphereConfig(d)
+		cfg.Forcing = physics.New(physics.Default())
+		return cfg
+	}
+	const warmup, steps = 1, 4
+
+	t := report.NewTable("The same 2.8125-degree atmosphere on four interconnects",
+		"machine", "time/step", "compute", "comm", "comm %", "sustained MF/s")
+	add := func(name string, res *gcm.Result) {
+		comm := res.ExchangeTime + res.GsumTime
+		t.Addf("%s|%v|%v|%v|%.0f%%|%.0f",
+			name, res.PerStep(), res.ComputeTime, comm,
+			100*float64(comm)/float64(comm+res.ComputeTime),
+			res.SustainedMFlops())
+	}
+
+	res, err := gcm.RunParallel(8, 1, mk(), warmup, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("Arctic (Hyades)", res)
+
+	for _, prm := range []netmodel.Params{
+		netmodel.MyrinetHPVM(), netmodel.GigabitEthernet(), netmodel.FastEthernet(),
+	} {
+		res, err := gcm.RunParallelNet(prm, mk(), warmup, steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		add(prm.Name, res)
+	}
+	fmt.Print(t)
+	fmt.Println("\nThe ordering and the growing communication share reproduce the paper's")
+	fmt.Println("conclusion: only the application-specific primitives on a low-overhead")
+	fmt.Println("interconnect keep this fine-grain model compute-bound.")
+}

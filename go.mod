@@ -1,0 +1,3 @@
+module hyades
+
+go 1.22

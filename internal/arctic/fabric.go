@@ -1,0 +1,330 @@
+package arctic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyades/internal/des"
+	"hyades/internal/units"
+)
+
+// Config describes a fat-tree fabric instance.
+type Config struct {
+	// Endpoints is the number of attached network endpoints (NIUs).
+	Endpoints int
+	// Levels is the number of router stages.  The fabric's capacity is
+	// 4^Levels endpoints; Endpoints may be smaller.  Zero means "just
+	// enough stages for Endpoints".
+	Levels int
+	// LinkBandwidth is the per-direction link rate (paper: 150 MByte/s).
+	LinkBandwidth units.Bandwidth
+	// RouterLatency is the per-stage forwarding latency (paper: <0.15 us).
+	RouterLatency units.Time
+	// RandomUpSeed seeds the adaptive up-route generator used for
+	// packets with the RandomUp flag set.
+	RandomUpSeed int64
+}
+
+// DefaultConfig returns the published Arctic parameters for n endpoints.
+func DefaultConfig(n int) Config {
+	return Config{
+		Endpoints:     n,
+		LinkBandwidth: 150 * units.MBps,
+		RouterLatency: 150 * units.Nanosecond,
+	}
+}
+
+// Stats aggregates fabric-wide counters.
+type Stats struct {
+	Packets        int64 // packets delivered
+	PayloadBytes   int64 // payload bytes delivered
+	WireBytes      int64 // wire bytes delivered
+	Dropped        int64 // packets dropped at a router for bad CRC
+	CorruptArrived int64 // corrupted packets that reached an endpoint
+}
+
+// link is one directed link with two-priority FIFO queueing.
+type link struct {
+	fab     *Fabric
+	name    string
+	busy    bool
+	queueHi []*transit
+	queueLo []*transit
+	// sink receives the packet when its head has crossed this link;
+	// exactly one of nextRouter/endpoint is set.
+	deliver func(t *transit)
+	final   bool // link terminates at an endpoint: wait for the tail
+}
+
+// transit is a packet in flight.
+type transit struct {
+	pkt         *Packet
+	upRemaining int // up hops left before the packet turns downwards
+}
+
+// router is one Arctic switch.  Its forwarding behaviour is folded into
+// the link event chain; the struct records topology for navigation.
+type router struct {
+	stage int
+	index int
+	up    []*link // towards the roots, one per up port
+	down  []*link // towards the leaves, one per down port
+}
+
+// Fabric is the simulated switch fabric.
+type Fabric struct {
+	eng     *des.Engine
+	cfg     Config
+	levels  int
+	routers [][]*router // [stage][index]
+	inject  []*link     // endpoint -> leaf router
+	eject   []*link     // leaf router -> endpoint
+	rx      []func(*Packet)
+	rng     *rand.Rand
+	stats   Stats
+}
+
+// New builds a fabric for cfg on engine e.
+func New(e *des.Engine, cfg Config) (*Fabric, error) {
+	if cfg.Endpoints < 1 {
+		return nil, fmt.Errorf("arctic: need at least 1 endpoint, got %d", cfg.Endpoints)
+	}
+	levels := cfg.Levels
+	if levels == 0 {
+		for capacity := Radix; ; capacity *= Radix {
+			levels++
+			if capacity >= cfg.Endpoints {
+				break
+			}
+		}
+	}
+	if levels > maxUpSteps {
+		return nil, fmt.Errorf("arctic: %d levels exceeds the %d-stage routing header", levels, maxUpSteps)
+	}
+	capacity := 1
+	for i := 0; i < levels; i++ {
+		capacity *= Radix
+	}
+	if cfg.Endpoints > capacity {
+		return nil, fmt.Errorf("arctic: %d endpoints exceed capacity %d of %d-level tree", cfg.Endpoints, capacity, levels)
+	}
+	f := &Fabric{
+		eng:    e,
+		cfg:    cfg,
+		levels: levels,
+		rx:     make([]func(*Packet), cfg.Endpoints),
+		rng:    rand.New(rand.NewSource(cfg.RandomUpSeed ^ 0x41524354)), // "ARCT"
+	}
+	routersPerStage := capacity / Radix
+	f.routers = make([][]*router, levels)
+	for s := 0; s < levels; s++ {
+		f.routers[s] = make([]*router, routersPerStage)
+		for i := 0; i < routersPerStage; i++ {
+			f.routers[s][i] = &router{stage: s, index: i,
+				up:   make([]*link, Radix),
+				down: make([]*link, Radix),
+			}
+		}
+	}
+	// Inter-stage wiring (folded butterfly): up port q of router (s, i)
+	// connects to router (s+1, i with digit_s replaced by q).  The same
+	// edge seen from above is down port d of (s+1, j) towards
+	// (s, j with digit_s replaced by d).
+	for s := 0; s < levels-1; s++ {
+		for i, r := range f.routers[s] {
+			for q := 0; q < Radix; q++ {
+				j := replaceDigit(i, s, q)
+				upper := f.routers[s+1][j]
+				upLink := f.newLink(fmt.Sprintf("up(s%d,%d,p%d)", s, i, q))
+				dnLink := f.newLink(fmt.Sprintf("down(s%d,%d,p%d)", s+1, j, digit(i, s)))
+				r.up[q] = upLink
+				upper.down[digit(i, s)] = dnLink
+				upLink.deliver = f.routerInput(upper)
+				dnLink.deliver = f.routerInput(r)
+			}
+		}
+	}
+	// Endpoint wiring.
+	f.inject = make([]*link, cfg.Endpoints)
+	f.eject = make([]*link, cfg.Endpoints)
+	for ep := 0; ep < cfg.Endpoints; ep++ {
+		leaf := f.routers[0][ep/Radix]
+		in := f.newLink(fmt.Sprintf("inject(%d)", ep))
+		in.deliver = f.routerInput(leaf)
+		f.inject[ep] = in
+		out := f.newLink(fmt.Sprintf("eject(%d)", ep))
+		out.final = true
+		epCopy := ep
+		out.deliver = func(t *transit) { f.deliverToEndpoint(epCopy, t.pkt) }
+		f.eject[ep] = out
+		// The leaf router's down port for this endpoint is the eject
+		// link; down-phase forwarding finds it there.
+		leaf.down[ep%Radix] = out
+	}
+	return f, nil
+}
+
+// replaceDigit returns v with its 2-bit digit at the given stage set to q.
+func replaceDigit(v, stage, q int) int {
+	shift := 2 * stage
+	return v&^((Radix-1)<<shift) | q<<shift
+}
+
+func (f *Fabric) newLink(name string) *link {
+	return &link{fab: f, name: name}
+}
+
+// Engine returns the simulation engine the fabric runs on.
+func (f *Fabric) Engine() *des.Engine { return f.eng }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Stats returns a snapshot of the fabric counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Attach registers the receive handler for an endpoint.  The handler
+// runs in engine context at the packet's delivery time.
+func (f *Fabric) Attach(endpoint int, rx func(*Packet)) {
+	f.rx[endpoint] = rx
+}
+
+// RouteFor fills in the routing header fields of p for a src->dst
+// journey, choosing a deterministic up path (so that all packets between
+// the same pair follow the same path and arrive in FIFO order, as the
+// paper's software layer assumes).  Packets with RandomUp set get an
+// adaptive path chosen at injection time instead.
+func (f *Fabric) RouteFor(p *Packet, src, dst int) {
+	p.Src, p.Dst = src, dst
+	p.DownRoute = downRouteFor(dst)
+	up := 0
+	for a, b := src/Radix, dst/Radix; a != b; a, b = a/Radix, b/Radix {
+		up++
+	}
+	p.UpSteps = uint8(up)
+	if up == 0 {
+		p.UpDigits = 0
+		return
+	}
+	if p.RandomUp {
+		p.UpDigits = uint16(f.rng.Intn(1 << (2 * up)))
+		return
+	}
+	// Deterministic spread: ascend along the source's own digits.  All
+	// packets of a pair share one path (preserving FIFO order), and the
+	// four endpoints under a leaf router fan out over the four up ports,
+	// so shift-by-constant patterns (exchange with a fixed neighbour,
+	// butterfly global-sum rounds) see no up-link contention — matching
+	// the paper's "undiminished pair-wise bandwidth" observation (§4.1).
+	p.UpDigits = uint16(src) & (1<<(2*up) - 1)
+}
+
+// Inject hands a packet to the fabric at the current virtual time.  The
+// packet must already carry routing fields (see RouteFor).  Injection
+// models the NIU driving the endpoint's up-link.
+func (f *Fabric) Inject(src int, p *Packet) {
+	if p.Dst < 0 || p.Dst >= f.cfg.Endpoints {
+		panic(fmt.Sprintf("arctic: inject to invalid endpoint %d", p.Dst))
+	}
+	t := &transit{pkt: p, upRemaining: int(p.UpSteps)}
+	f.inject[src].enqueue(t)
+}
+
+// routerInput returns the forwarding action for packets whose head has
+// arrived at r: consume routing state, verify CRC, and drive the next
+// link after the router latency.
+func (f *Fabric) routerInput(r *router) func(*transit) {
+	return func(t *transit) {
+		if !t.pkt.checkCRC() {
+			// Paper §2.2: correctness is verified at every router
+			// stage; a corrupted packet cannot propagate silently.
+			f.stats.Dropped++
+			return
+		}
+		var next *link
+		if t.upRemaining > 0 {
+			q := digit(int(t.pkt.UpDigits), r.stage)
+			t.upRemaining--
+			next = r.up[q]
+		} else {
+			d := digit(t.pkt.Dst, r.stage)
+			next = r.down[d]
+		}
+		if next == nil {
+			panic(fmt.Sprintf("arctic: no route at router s%d/%d for packet %d->%d", r.stage, r.index, t.pkt.Src, t.pkt.Dst))
+		}
+		next.enqueue(t)
+	}
+}
+
+// deliverToEndpoint completes a packet's journey.
+func (f *Fabric) deliverToEndpoint(ep int, p *Packet) {
+	if p.Dst != ep {
+		panic(fmt.Sprintf("arctic: misrouted packet %d->%d arrived at %d", p.Src, p.Dst, ep))
+	}
+	if !p.checkCRC() {
+		// The endpoint NIU also checks CRC; software sees a status bit.
+		f.stats.CorruptArrived++
+	}
+	f.stats.Packets++
+	f.stats.PayloadBytes += int64(p.PayloadBytes())
+	f.stats.WireBytes += int64(p.WireBytes())
+	if rx := f.rx[ep]; rx != nil {
+		rx(p)
+	}
+}
+
+// enqueue places a transit on the link, starting transmission if idle.
+// High-priority packets overtake queued low-priority ones but do not
+// preempt a transmission in progress.
+func (l *link) enqueue(t *transit) {
+	if t.pkt.Pri == High {
+		l.queueHi = append(l.queueHi, t)
+	} else {
+		l.queueLo = append(l.queueLo, t)
+	}
+	if !l.busy {
+		l.startNext()
+	}
+}
+
+// startNext begins transmitting the best queued packet, if any.
+func (l *link) startNext() {
+	var t *transit
+	switch {
+	case len(l.queueHi) > 0:
+		t, l.queueHi = l.queueHi[0], l.queueHi[1:]
+	case len(l.queueLo) > 0:
+		t, l.queueLo = l.queueLo[0], l.queueLo[1:]
+	default:
+		l.busy = false
+		return
+	}
+	l.busy = true
+	f := l.fab
+	full := f.cfg.LinkBandwidth.Transfer(t.pkt.WireBytes())
+	// Virtual cut-through: the downstream hop sees the packet head after
+	// the router latency plus the header serialization; the link itself
+	// stays occupied for the full wire size.  The final hop into an
+	// endpoint completes only when the tail arrives.
+	head := f.cfg.RouterLatency + f.cfg.LinkBandwidth.Transfer(HeaderBytes)
+	handoff := head
+	if l.final {
+		handoff = f.cfg.RouterLatency + full
+	}
+	f.eng.Schedule(handoff, func() { l.deliver(t) })
+	f.eng.Schedule(full, l.startNext)
+}
+
+// Levels reports the number of router stages.
+func (f *Fabric) Levels() int { return f.levels }
+
+// HopsBetween returns the number of links a packet crosses from src to
+// dst (injection and ejection links included).
+func (f *Fabric) HopsBetween(src, dst int) int {
+	up := 0
+	for a, b := src/Radix, dst/Radix; a != b; a, b = a/Radix, b/Radix {
+		up++
+	}
+	return 2 + 2*up // inject + eject + up/down inter-stage links
+}

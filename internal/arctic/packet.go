@@ -1,0 +1,241 @@
+// Package arctic simulates the Arctic Switch Fabric, the system-area
+// network of the Hyades cluster (paper §2.2).
+//
+// Arctic is a packet-switched, multi-stage network of radix-4 routers
+// organised as a fat tree.  The simulator reproduces the properties the
+// paper's communication library depends on:
+//
+//   - 150 MByte/sec of bandwidth per link direction, with a full
+//     fat-tree bisection of 2*N*150 MByte/sec for N endpoints;
+//   - less than 0.15 us of latency through a router stage (we charge
+//     exactly 0.15 us), with virtual cut-through forwarding;
+//   - FIFO ordering of packets sent between two endpoints along the same
+//     path;
+//   - two packet priorities, with the guarantee that a high-priority
+//     packet is never blocked behind low-priority traffic at a link;
+//   - CRC protection verified at every router stage and at the endpoint,
+//     so that software sees error-free operation and only checks a 1-bit
+//     status word for the catastrophic case.
+package arctic
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Priority selects one of Arctic's two logical networks (Fig. 1a).
+type Priority uint8
+
+// The two Arctic priorities.
+const (
+	Low Priority = iota
+	High
+)
+
+func (p Priority) String() string {
+	if p == High {
+		return "high"
+	}
+	return "low"
+}
+
+// Packet format constants (Fig. 1b): two 32-bit header words followed by
+// a payload of 2..22 32-bit words, protected by a CRC trailer word.
+const (
+	MinPayloadWords = 2
+	MaxPayloadWords = 22
+	HeaderWords     = 2
+	crcWords        = 1
+
+	// HeaderBytes is the wire size of the routing header; cut-through
+	// forwarding can begin once these bytes have arrived.
+	HeaderBytes = HeaderWords * 4
+
+	// MaxPayloadBytes is the largest payload a single packet carries.
+	MaxPayloadBytes = MaxPayloadWords * 4
+)
+
+// Radix is the Arctic router radix: four down ports and four up ports.
+const Radix = 4
+
+// maxUpSteps is the largest up-phase length encodable in the 14-bit
+// uproute field (3 bits of step count + 2 bits of up-port digit per
+// stage); it caps fabrics at 4^5 = 1024 endpoints, far beyond the
+// 16-node Hyades configuration.
+const maxUpSteps = 5
+
+// Packet is one Arctic network packet.
+type Packet struct {
+	Pri       Priority
+	DownRoute uint16 // destination digits, 2 bits per stage, LSB = leaf stage
+	UpSteps   uint8  // number of up-phase hops (0 for same leaf router)
+	UpDigits  uint16 // chosen up port per up stage, 2 bits per stage
+	RandomUp  bool   // hardware picks up-ports randomly (adaptive)
+	Tag       uint16 // 11-bit user tag, dispatch hint for the software layer
+	Payload   []uint32
+
+	// Src and Dst are endpoint numbers.  Dst is recoverable from
+	// DownRoute; both are kept explicit for bookkeeping and assertions.
+	Src, Dst int
+
+	// VI-mode bulk packets: the StarT-X DMA engines move user data in
+	// packet-sized quanta, but the simulator carries the actual bytes
+	// out-of-band on the final packet of a transfer instead of encoding
+	// 88-byte slices into every packet.  BulkWords is the modelled
+	// payload size of this packet (used for wire timing); Bulk is the
+	// whole transfer's data, attached to the packet with Final set.
+	BulkWords int
+	Bulk      []byte
+	Final     bool
+
+	// Rmem marks a one-sided remote-memory packet (StarT-X's third
+	// mechanism) whose destination is (window = Tag's low bits,
+	// RmemOffset); like Bulk these are simulator bookkeeping, not
+	// wire-header state.
+	Rmem       bool
+	RmemOffset int
+
+	// crc is the checksum computed at injection time.  corrupted marks
+	// packets damaged by fault injection after the CRC was sealed.
+	crc       uint32
+	corrupted bool
+}
+
+// payloadWords returns the modelled payload size in words, honouring
+// the out-of-band bulk convention.
+func (p *Packet) payloadWords() int {
+	if p.BulkWords > 0 {
+		return p.BulkWords
+	}
+	return len(p.Payload)
+}
+
+// WireBytes returns the number of bytes the packet occupies on a link:
+// header, payload and CRC trailer.
+func (p *Packet) WireBytes() int {
+	return (HeaderWords + p.payloadWords() + crcWords) * 4
+}
+
+// PayloadBytes returns the user-payload size in bytes.
+func (p *Packet) PayloadBytes() int { return p.payloadWords() * 4 }
+
+// Errors returned by header validation.
+var (
+	ErrPayloadSize = errors.New("arctic: payload must be 2..22 words")
+	ErrBadCRC      = errors.New("arctic: CRC mismatch")
+	ErrFieldRange  = errors.New("arctic: header field out of range")
+)
+
+// header0 packs priority and downroute into the first header word.
+func (p *Packet) header0() uint32 {
+	w := uint32(p.DownRoute)
+	if p.Pri == High {
+		w |= 1 << 31
+	}
+	return w
+}
+
+// header1 packs uproute, the random-up flag, the user tag and the size
+// field into the second header word:
+//
+//	[31:21] up-port digits (10 bits + 1 spare)
+//	[20:18] up-step count (3 bits)
+//	[17]    random-up flag
+//	[16:6]  user tag (11 bits)
+//	[5:1]   payload size in words (5 bits)
+//	[0]     spare
+func (p *Packet) header1() uint32 {
+	return uint32(p.UpDigits&0x3ff)<<22 |
+		uint32(p.UpSteps&0x7)<<18 |
+		boolBit(p.RandomUp)<<17 |
+		uint32(p.Tag&0x7ff)<<6 |
+		uint32(len(p.Payload)&0x1f)<<1
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Encode serializes the packet to wire words (header, payload, CRC) and
+// seals the CRC.  It returns an error if a field is out of range.
+func (p *Packet) Encode() ([]uint32, error) {
+	if len(p.Payload) < MinPayloadWords || len(p.Payload) > MaxPayloadWords {
+		return nil, fmt.Errorf("%w: %d", ErrPayloadSize, len(p.Payload))
+	}
+	if p.Tag > 0x7ff || p.UpSteps > maxUpSteps || p.UpDigits > 0x3ff {
+		return nil, ErrFieldRange
+	}
+	words := make([]uint32, 0, HeaderWords+len(p.Payload)+crcWords)
+	words = append(words, p.header0(), p.header1())
+	words = append(words, p.Payload...)
+	p.crc = crcOfWords(words)
+	words = append(words, p.crc)
+	return words, nil
+}
+
+// Decode reconstructs a packet from wire words, verifying the CRC.
+func Decode(words []uint32) (*Packet, error) {
+	if len(words) < HeaderWords+MinPayloadWords+crcWords {
+		return nil, fmt.Errorf("arctic: short packet (%d words)", len(words))
+	}
+	body := words[:len(words)-1]
+	crc := words[len(words)-1]
+	if crcOfWords(body) != crc {
+		return nil, ErrBadCRC
+	}
+	h0, h1 := words[0], words[1]
+	size := int(h1 >> 1 & 0x1f)
+	if size < MinPayloadWords || size > MaxPayloadWords || HeaderWords+size+crcWords != len(words) {
+		return nil, fmt.Errorf("%w: size field %d for %d words", ErrPayloadSize, size, len(words))
+	}
+	p := &Packet{
+		Pri:       Priority(h0 >> 31),
+		DownRoute: uint16(h0 & 0xffff),
+		UpDigits:  uint16(h1 >> 22 & 0x3ff),
+		UpSteps:   uint8(h1 >> 18 & 0x7),
+		RandomUp:  h1>>17&1 == 1,
+		Tag:       uint16(h1 >> 6 & 0x7ff),
+		Payload:   append([]uint32(nil), words[HeaderWords:HeaderWords+size]...),
+		crc:       crc,
+	}
+	p.Dst = dstFromDownRoute(p.DownRoute)
+	return p, nil
+}
+
+// crcOfWords computes the IEEE CRC-32 of a word sequence.  The real
+// Arctic link layer uses a hardware CRC; any strong checksum preserves
+// the software-visible behaviour (a 1-bit good/bad status).
+func crcOfWords(words []uint32) uint32 {
+	buf := make([]byte, 0, len(words)*4)
+	for _, w := range words {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return crc32.ChecksumIEEE(buf)
+}
+
+// checkCRC re-verifies the sealed CRC, as every router stage and
+// endpoint does in hardware.  Fault-injected packets fail.
+func (p *Packet) checkCRC() bool { return !p.corrupted }
+
+// Corrupt flips the packet into the damaged state used by fault
+// injection tests: its CRC no longer matches its contents.
+func (p *Packet) Corrupt() { p.corrupted = true }
+
+// Corrupted reports whether the packet was damaged in flight.
+func (p *Packet) Corrupted() bool { return p.corrupted }
+
+// dstFromDownRoute recovers the endpoint number from the full downroute
+// field.  Digits are stored 2 bits per stage with the leaf stage in the
+// low bits, which makes the field numerically equal to the endpoint
+// number for radix-4 trees.
+func dstFromDownRoute(dr uint16) int { return int(dr) }
+
+// downRouteFor builds the downroute field for an endpoint number.
+func downRouteFor(dst int) uint16 { return uint16(dst) }
+
+// digit extracts the 2-bit digit of v at the given stage.
+func digit(v, stage int) int { return v >> (2 * stage) & (Radix - 1) }

@@ -1,0 +1,119 @@
+// Package cluster assembles a simulated Hyades machine: N two-way SMP
+// nodes, one StarT-X NIU per node, and the Arctic Switch Fabric joining
+// them (paper §2).
+//
+// The published Hyades configuration is sixteen SMPs; production climate
+// runs use eight SMPs (sixteen processors) per model component.  The
+// cluster is parameterised so both configurations — and scaling studies
+// beyond them — run from the same code.
+package cluster
+
+import (
+	"fmt"
+
+	"hyades/internal/arctic"
+	"hyades/internal/des"
+	"hyades/internal/node"
+	"hyades/internal/pci"
+	"hyades/internal/startx"
+)
+
+// Config selects the machine to build.
+type Config struct {
+	Nodes        int // number of SMPs
+	ProcsPerNode int // 1 (network benchmarks) or 2 (production mix-mode)
+
+	Arctic arctic.Config
+	PCI    pci.Config
+	NIU    startx.Config
+	Node   node.Config
+}
+
+// DefaultConfig returns the published Hyades machine with the given SMP
+// count and processors per SMP.
+func DefaultConfig(nodes, procsPerNode int) Config {
+	nodeCfg := node.DefaultConfig()
+	nodeCfg.Processors = procsPerNode
+	return Config{
+		Nodes:        nodes,
+		ProcsPerNode: procsPerNode,
+		Arctic:       arctic.DefaultConfig(nodes),
+		PCI:          pci.DefaultConfig(),
+		NIU:          startx.DefaultConfig(),
+		Node:         nodeCfg,
+	}
+}
+
+// Cluster is an assembled machine.
+type Cluster struct {
+	Cfg    Config
+	Eng    *des.Engine
+	Fabric *arctic.Fabric
+	Nodes  []*node.Node
+}
+
+// New builds the machine on a fresh engine.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if cfg.ProcsPerNode < 1 || cfg.ProcsPerNode > 8 {
+		return nil, fmt.Errorf("cluster: %d processors per node out of range", cfg.ProcsPerNode)
+	}
+	eng := des.NewEngine()
+	cfg.Arctic.Endpoints = cfg.Nodes
+	fab, err := arctic.New(eng, cfg.Arctic)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Cfg: cfg, Eng: eng, Fabric: fab}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := node.New(eng, i, cfg.Node, cfg.PCI)
+		n.AttachNIU(startx.New(eng, n.Bus, fab, i, cfg.NIU))
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// Processors returns the total processor count.
+func (c *Cluster) Processors() int { return c.Cfg.Nodes * c.Cfg.ProcsPerNode }
+
+// Worker identifies one processor running application code.
+type Worker struct {
+	Rank int
+	CPU  int // index within the SMP; 0 is the communication master
+	Node *node.Node
+	Proc *des.Proc
+}
+
+// Start spawns one application process per processor.  Ranks are dense:
+// rank r runs on node r/ProcsPerNode, CPU r%ProcsPerNode, so CPU 0 of
+// each SMP (the communication master of §4.1) holds the even ranks in
+// the two-way configuration.
+func (c *Cluster) Start(body func(w *Worker)) []*Worker {
+	workers := make([]*Worker, c.Processors())
+	for r := 0; r < c.Processors(); r++ {
+		nd := c.Nodes[r/c.Cfg.ProcsPerNode]
+		w := &Worker{Rank: r, CPU: r % c.Cfg.ProcsPerNode, Node: nd}
+		workers[r] = w
+		w.Proc = c.Eng.Spawn(fmt.Sprintf("rank%d", r), func(p *des.Proc) {
+			w.Proc = p
+			body(w)
+		})
+	}
+	return workers
+}
+
+// Run executes the simulation until all activity drains.  It returns an
+// error if processes remain blocked (a deadlock in the modelled
+// program).
+func (c *Cluster) Run() error {
+	c.Eng.Run()
+	if n := c.Eng.Blocked(); n != 0 {
+		return fmt.Errorf("cluster: deadlock, %d processes still blocked", n)
+	}
+	return nil
+}
+
+// Close releases the engine's process goroutines.
+func (c *Cluster) Close() { c.Eng.Close() }

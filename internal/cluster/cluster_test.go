@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"testing"
+
+	"hyades/internal/arctic"
+	"hyades/internal/units"
+)
+
+func TestBuildPublishedMachine(t *testing.T) {
+	cl, err := New(DefaultConfig(16, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Processors() != 32 {
+		t.Fatalf("processors = %d", cl.Processors())
+	}
+	if len(cl.Nodes) != 16 {
+		t.Fatalf("nodes = %d", len(cl.Nodes))
+	}
+	for i, n := range cl.Nodes {
+		if n.NIU == nil || n.NIU.Endpoint() != i {
+			t.Fatalf("node %d NIU wiring", i)
+		}
+	}
+	if cl.Fabric.Config().LinkBandwidth != 150*units.MBps {
+		t.Fatal("Arctic link bandwidth")
+	}
+}
+
+func TestStartRunsAllWorkers(t *testing.T) {
+	cl, err := New(DefaultConfig(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	seen := make([]bool, 8)
+	nodeOf := make([]int, 8)
+	cpuOf := make([]int, 8)
+	cl.Start(func(w *Worker) {
+		seen[w.Rank] = true
+		nodeOf[w.Rank] = w.Node.ID
+		cpuOf[w.Rank] = w.CPU
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if !seen[r] {
+			t.Fatalf("rank %d never ran", r)
+		}
+		if nodeOf[r] != r/2 || cpuOf[r] != r%2 {
+			t.Fatalf("rank %d placed on node %d cpu %d", r, nodeOf[r], cpuOf[r])
+		}
+	}
+}
+
+func TestWorkersCommunicateViaNIU(t *testing.T) {
+	cl, err := New(DefaultConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var got uint32
+	cl.Start(func(w *Worker) {
+		if w.Rank == 0 {
+			w.Node.NIU.PIOSend(w.Proc, 1, 5, []uint32{99, 1}, arctic.Low)
+		} else {
+			m := w.Node.NIU.PIORecv(w.Proc, arctic.Low)
+			got = m.Words[0]
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("payload = %d", got)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	cl, err := New(DefaultConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Start(func(w *Worker) {
+		w.Node.NIU.PIORecv(w.Proc, arctic.Low) // nobody sends
+	})
+	if err := cl.Run(); err == nil {
+		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := New(DefaultConfig(0, 1)); err == nil {
+		t.Fatal("0 nodes accepted")
+	}
+	if _, err := New(DefaultConfig(2, 0)); err == nil {
+		t.Fatal("0 ppn accepted")
+	}
+	if _, err := New(DefaultConfig(2, 9)); err == nil {
+		t.Fatal("9 ppn accepted")
+	}
+}

@@ -1,0 +1,411 @@
+// Package des is a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// The Hyades reproduction models the whole cluster — processors, PCI
+// buses, the StarT-X NIUs and the Arctic switch fabric — in virtual time.
+// The kernel executes exactly one activity at a time (either an event
+// closure or a resumed process), so a simulation run is a deterministic
+// function of its inputs: every timing figure in the paper can be
+// regenerated bit-for-bit.
+//
+// Two styles of activity coexist:
+//
+//   - Event closures, scheduled with Engine.Schedule, model purely
+//     reactive hardware (link pumps, DMA engines, router stages).
+//   - Processes, created with Engine.Spawn, model threads of control with
+//     their own program counter (application code on a simulated
+//     processor).  A process blocks by calling Delay, Mailbox.Recv or
+//     Semaphore.Acquire; control transfers back to the kernel until the
+//     wake-up event fires.
+//
+// Processes are backed by goroutines but are strictly coroutines: the
+// kernel hands a "baton" to at most one goroutine at a time, so process
+// code may freely touch shared simulation state without locking.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hyades/internal/units"
+)
+
+// event is a scheduled activity.
+type event struct {
+	at  units.Time
+	seq uint64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event   { return h[0] }
+func (h *eventHeap) pop() *event   { return heap.Pop(h).(*event) }
+func (h *eventHeap) push(e *event) { heap.Push(h, e) }
+func (h eventHeap) empty() bool    { return len(h) == 0 }
+
+// Engine is the simulation kernel.  Create one with NewEngine; it is not
+// safe for concurrent use from multiple OS-level goroutines other than
+// through the coroutine discipline described in the package comment.
+type Engine struct {
+	now     units.Time
+	events  eventHeap
+	seq     uint64
+	procs   map[*Proc]struct{}
+	stopped bool
+}
+
+// NewEngine returns an empty kernel at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Schedule runs fn at now+d.  A non-positive d means "as soon as
+// possible", i.e. at the current time but after already-queued
+// simultaneous events.
+func (e *Engine) Schedule(d units.Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	e.events.push(&event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute time t (clamped to the present).
+func (e *Engine) ScheduleAt(t units.Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(&event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the event queue is empty.  Processes blocked
+// on mailboxes or semaphores with no pending wake-up are left blocked;
+// use Blocked to detect them (a non-zero count usually means deadlock in
+// the modelled system).
+func (e *Engine) Run() {
+	e.RunUntil(units.Never)
+}
+
+// RunUntil executes events with timestamps <= limit.
+func (e *Engine) RunUntil(limit units.Time) {
+	for !e.events.empty() && !e.stopped {
+		if e.events.peek().at > limit {
+			return
+		}
+		ev := e.events.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+}
+
+// Step executes a single event and reports whether one was available.
+func (e *Engine) Step() bool {
+	if e.events.empty() || e.stopped {
+		return false
+	}
+	ev := e.events.pop()
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	ev.fn()
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Blocked returns the number of live processes currently waiting on a
+// blocking primitive.
+func (e *Engine) Blocked() int {
+	n := 0
+	for p := range e.procs {
+		if p.blocked {
+			n++
+		}
+	}
+	return n
+}
+
+// Close terminates all live processes by unwinding their goroutines.
+// After Close the engine must not be used.  It is safe to call Close on
+// an engine whose Run has returned; it is also idempotent.
+func (e *Engine) Close() {
+	e.stopped = true
+	for p := range e.procs {
+		if p.blocked {
+			p.kill()
+		}
+	}
+	e.procs = map[*Proc]struct{}{}
+}
+
+// stopSignal is the panic payload used to unwind a killed process.
+type stopSignal struct{}
+
+// Proc is a simulated thread of control.
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan bool // true = run, false = unwind
+	yield   chan struct{}
+	blocked bool
+	dead    bool
+}
+
+// Spawn creates a process running fn and schedules its first activation
+// "now".  fn runs in coroutine discipline; when it returns the process
+// disappears.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan bool),
+		yield:  make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopSignal); !ok {
+					panic(r) // real bug: re-raise
+				}
+				return // killed by Engine.Close
+			}
+		}()
+		if !<-p.resume {
+			panic(stopSignal{})
+		}
+		fn(p)
+		p.dead = true
+		delete(e.procs, p)
+		p.yield <- struct{}{}
+	}()
+	p.blocked = true
+	e.Schedule(0, func() { p.wake() })
+	return p
+}
+
+// wake transfers the baton to p and waits for it to block or finish.
+// Must only be called from engine context (inside an event).
+func (p *Proc) wake() {
+	if p.dead {
+		return
+	}
+	p.blocked = false
+	p.resume <- true
+	<-p.yield
+}
+
+// kill unwinds a blocked process.  Called from Engine.Close only.
+func (p *Proc) kill() {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	p.resume <- false
+}
+
+// block yields the baton back to the kernel and waits to be woken.
+// Must only be called from process context.
+func (p *Proc) block() {
+	p.blocked = true
+	p.yield <- struct{}{}
+	if !<-p.resume {
+		panic(stopSignal{})
+	}
+}
+
+// Engine returns the kernel this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() units.Time { return p.eng.now }
+
+// Delay suspends the process for d of virtual time.  A non-positive d
+// yields the baton without advancing the clock (other simultaneous
+// events run first).
+func (p *Proc) Delay(d units.Time) {
+	p.eng.Schedule(d, func() { p.wake() })
+	p.block()
+}
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }
+
+// Mailbox is an unbounded FIFO queue connecting activities.  Send may be
+// called from event or process context; Recv only from process context.
+type Mailbox[T any] struct {
+	eng     *Engine
+	name    string
+	items   []T
+	waiters []*Proc
+}
+
+// NewMailbox creates an empty mailbox on engine e.
+func NewMailbox[T any](e *Engine, name string) *Mailbox[T] {
+	return &Mailbox[T]{eng: e, name: name}
+}
+
+// Send enqueues v and wakes the longest-waiting receiver, if any.  The
+// receiver observes the item at the current virtual time.
+func (m *Mailbox[T]) Send(v T) {
+	m.items = append(m.items, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.eng.Schedule(0, func() { w.wake() })
+	}
+}
+
+// Recv dequeues the oldest item, blocking the calling process until one
+// is available.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	for len(m.items) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.block()
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v
+}
+
+// TryRecv dequeues the oldest item without blocking.
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Semaphore is a counting semaphore with FIFO wake-up order, used to
+// model the shared-memory semaphores of the mix-mode primitives (§4.1,
+// §4.2).
+type Semaphore struct {
+	eng     *Engine
+	count   int
+	waiters []*Proc
+}
+
+// NewSemaphore creates a semaphore with an initial count.
+func NewSemaphore(e *Engine, initial int) *Semaphore {
+	return &Semaphore{eng: e, count: initial}
+}
+
+// Acquire decrements the semaphore, blocking while the count is zero.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.count == 0 {
+		s.waiters = append(s.waiters, p)
+		p.block()
+	}
+	s.count--
+}
+
+// Release increments the semaphore and wakes one waiter.  Callable from
+// event or process context.
+func (s *Semaphore) Release() {
+	s.count++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.eng.Schedule(0, func() { w.wake() })
+	}
+}
+
+// Count returns the current semaphore value.
+func (s *Semaphore) Count() int { return s.count }
+
+// Signal is a lost-wakeup-safe edge notification: waiters snapshot the
+// sequence number before testing their predicate, and Wait returns
+// immediately if any Broadcast happened after the snapshot.  It is the
+// DES analogue of a condition variable with a generation counter.
+type Signal struct {
+	eng     *Engine
+	seq     uint64
+	waiters []*Proc
+}
+
+// NewSignal creates a signal on engine e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Seq returns the current generation, to be snapshotted before testing
+// the guarded predicate.
+func (s *Signal) Seq() uint64 { return s.seq }
+
+// Broadcast advances the generation and wakes all current waiters.
+// Callable from event or process context.
+func (s *Signal) Broadcast() {
+	s.seq++
+	waiters := s.waiters
+	s.waiters = nil
+	for _, w := range waiters {
+		w := w
+		s.eng.Schedule(0, func() { w.wake() })
+	}
+}
+
+// Wait blocks the process until the generation advances past the
+// snapshot.  If it already has, Wait returns immediately.
+func (s *Signal) Wait(p *Proc, snapshot uint64) {
+	if s.seq != snapshot {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// Resource models a serially-reusable facility (a bus, a link) with
+// busy-until semantics.  Claim returns the time at which a use of
+// duration d that becomes ready at "ready" will complete, advancing the
+// facility's horizon; it never blocks, making it suitable for event-chain
+// hardware models.
+type Resource struct {
+	freeAt units.Time
+}
+
+// Claim reserves the resource for d starting no earlier than ready, and
+// returns the [start, end] of the granted slot.
+func (r *Resource) Claim(ready units.Time, d units.Time) (start, end units.Time) {
+	start = ready
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + d
+	r.freeAt = end
+	return start, end
+}
+
+// FreeAt reports when the resource next becomes idle.
+func (r *Resource) FreeAt() units.Time { return r.freeAt }

@@ -1,0 +1,129 @@
+package gcm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hyades/internal/comm"
+	"hyades/internal/gcm/tile"
+)
+
+// TestCheckpointRestartBitExact: run A for 10 steps; run B for 5, save,
+// restore into a fresh model, run 5 more — the two must agree exactly.
+func TestCheckpointRestartBitExact(t *testing.T) {
+	cfg := smallGyre(1, 1)
+
+	mA, _, err := RunSerial(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mB, _, err := RunSerial(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mB.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	mC, err := New(cfg, &comm.Serial{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mC.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if mC.Steps != 5 {
+		t.Fatalf("restored step count = %d", mC.Steps)
+	}
+	mC.Run(5)
+
+	for k := 0; k < mA.G.NZ; k++ {
+		for j := 0; j < mA.G.NY; j++ {
+			for i := 0; i < mA.G.NX; i++ {
+				if a, c := mA.S.Theta.At(i, j, k), mC.S.Theta.At(i, j, k); a != c {
+					t.Fatalf("theta(%d,%d,%d): %g vs %g", i, j, k, a, c)
+				}
+				if a, c := mA.S.U.At(i, j, k), mC.S.U.At(i, j, k); a != c {
+					t.Fatalf("u(%d,%d,%d): %g vs %g", i, j, k, a, c)
+				}
+				if a, c := mA.S.V.At(i, j, k), mC.S.V.At(i, j, k); a != c {
+					t.Fatalf("v(%d,%d,%d): %g vs %g", i, j, k, a, c)
+				}
+			}
+		}
+	}
+	for j := 0; j < mA.G.NY; j++ {
+		for i := 0; i < mA.G.NX; i++ {
+			if a, c := mA.S.Ps.At(i, j), mC.S.Ps.At(i, j); a != c {
+				t.Fatalf("ps(%d,%d): %g vs %g", i, j, a, c)
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	cfg := smallGyre(1, 1)
+	m, _, err := RunSerial(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong grid.
+	other := GyreConfig(24, 24, 3, tile.Decomp{NXg: 24, NYg: 24, Px: 1, Py: 1})
+	other.FpsMFlops, other.FdsMFlops = 0, 0
+	m2, err := New(other, &comm.Serial{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("grid mismatch accepted")
+	}
+
+	// Truncated stream.
+	m3, err := New(cfg, &comm.Serial{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.Restore(bytes.NewReader(buf.Bytes()[:100])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+
+	// Corrupted magic.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[0] ^= 0xff
+	if err := m3.Restore(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestCheckpointPreservesEnergy: a restore must not perturb the
+// solution at all — KE before save equals KE after restore.
+func TestCheckpointPreservesEnergy(t *testing.T) {
+	cfg := smallGyre(1, 1)
+	m, _, err := RunSerial(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keBefore := m.TotalKE()
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(cfg, &comm.Serial{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if ke := m2.TotalKE(); math.Abs(ke-keBefore) > 0 {
+		t.Fatalf("KE changed across restore: %g vs %g", ke, keBefore)
+	}
+}

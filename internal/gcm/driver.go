@@ -1,0 +1,164 @@
+package gcm
+
+import (
+	"fmt"
+
+	"hyades/internal/cluster"
+	"hyades/internal/comm"
+	"hyades/internal/gcm/solver"
+	"hyades/internal/netmodel"
+	"hyades/internal/units"
+)
+
+// Result summarizes a timed parallel run.
+type Result struct {
+	Models  []*Model
+	Elapsed units.Time // virtual wall-clock of the timed steps
+	Steps   int
+
+	TotalPS, TotalDS int64 // flops across all workers
+
+	// Aggregated endpoint accounting over the timed region.
+	ComputeTime, ExchangeTime, GsumTime units.Time // summed over workers
+
+	MeanNi float64 // mean CG iterations per step
+}
+
+// TotalFlops returns all floating-point work in the timed region.
+func (r *Result) TotalFlops() int64 { return r.TotalPS + r.TotalDS }
+
+// SustainedMFlops returns the aggregate sustained floating-point rate
+// (the Fig. 10 metric).
+func (r *Result) SustainedMFlops() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TotalFlops()) / r.Elapsed.Seconds() / 1e6
+}
+
+// PerStep returns the mean virtual time per model step.
+func (r *Result) PerStep() units.Time {
+	if r.Steps == 0 {
+		return 0
+	}
+	return r.Elapsed / units.Time(r.Steps)
+}
+
+// RunParallel executes cfg for the given number of timed steps (plus
+// warm-up steps excluded from the timing) on a simulated Hyades
+// cluster with the given SMP count and processors per SMP.  The
+// decomposition must produce exactly nodes*ppn tiles.
+func RunParallel(nodes, ppn int, cfg Config, warmup, steps int) (*Result, error) {
+	cl, err := cluster.New(cluster.DefaultConfig(nodes, ppn))
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	lib, err := comm.NewHyades(cl, comm.DefaultHyadesConfig())
+	if err != nil {
+		return nil, err
+	}
+	launch := func(body func(rank int, ep comm.Endpoint)) error {
+		cl.Start(func(w *cluster.Worker) { body(w.Rank, lib.Bind(w)) })
+		return cl.Run()
+	}
+	return runOn(cl.Processors(), launch, cfg, warmup, steps)
+}
+
+// RunParallelNet executes cfg over a modelled commodity interconnect
+// (Fast Ethernet, Gigabit Ethernet, Myrinet/HPVM) with one worker per
+// node — the "portable MPI" configurations of Fig. 12.
+func RunParallelNet(prm netmodel.Params, cfg Config, warmup, steps int) (*Result, error) {
+	n := cfg.Decomp.Tiles()
+	nc := netmodel.New(n, prm)
+	defer nc.Close()
+	launch := func(body func(rank int, ep comm.Endpoint)) error {
+		nc.Start(func(ep *netmodel.Endpoint) { body(ep.Rank(), ep) })
+		return nc.Run()
+	}
+	return runOn(n, launch, cfg, warmup, steps)
+}
+
+// runOn is the machine-agnostic core of the parallel runners: launch
+// must start nWorkers processes running body and drain the simulation.
+func runOn(nWorkers int, launch func(body func(rank int, ep comm.Endpoint)) error, cfg Config, warmup, steps int) (*Result, error) {
+	if cfg.Decomp.Tiles() != nWorkers {
+		return nil, fmt.Errorf("gcm: %d tiles for %d workers", cfg.Decomp.Tiles(), nWorkers)
+	}
+	res := &Result{Models: make([]*Model, nWorkers), Steps: steps}
+	var t0, t1 units.Time
+	var buildErr error
+	baseline := make([]comm.Stats, nWorkers)
+	eps := make([]comm.Endpoint, nWorkers)
+	err := launch(func(rank int, ep comm.Endpoint) {
+		eps[rank] = ep
+		m, err := New(cfg, ep)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		res.Models[rank] = m
+		m.Run(warmup)
+		ep.Barrier()
+		baseline[rank] = *ep.Stats()
+		if rank == 0 {
+			t0 = ep.Now()
+		}
+		psBase, dsBase := m.C.PS, m.C.DS
+		m.Run(steps)
+		ep.Barrier()
+		if rank == 0 {
+			t1 = ep.Now()
+		}
+		res.TotalPS += m.C.PS - psBase
+		res.TotalDS += m.C.DS - dsBase
+	})
+	if err != nil {
+		return nil, err
+	}
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	res.Elapsed = t1 - t0
+	for r, ep := range eps {
+		if ep == nil {
+			continue
+		}
+		s := ep.Stats()
+		res.ComputeTime += s.ComputeTime - baseline[r].ComputeTime
+		res.ExchangeTime += s.ExchangeTime - baseline[r].ExchangeTime
+		res.GsumTime += s.GsumTime - baseline[r].GsumTime
+	}
+	var iters, solves int64
+	for _, m := range res.Models {
+		iters += m.Solver.TotalIters
+		solves += m.Solver.Solves
+	}
+	if solves > 0 {
+		res.MeanNi = float64(iters) / float64(solves)
+	}
+	return res, nil
+}
+
+// RunSerial executes cfg on the serial endpoint (single tile) and
+// returns the model plus the charged single-processor time.
+func RunSerial(cfg Config, steps int) (*Model, units.Time, error) {
+	return RunSerialWithPrecond(cfg, steps, solver.PrecondSSOR)
+}
+
+// RunSerialWithPrecond is RunSerial with an explicit solver
+// preconditioner — used by the preconditioner ablation benchmark.
+func RunSerialWithPrecond(cfg Config, steps int, pre solver.Precond) (*Model, units.Time, error) {
+	if cfg.Decomp.Tiles() != 1 {
+		return nil, 0, fmt.Errorf("gcm: serial run needs a 1x1 decomposition")
+	}
+	ep := &comm.Serial{}
+	m, err := New(cfg, ep)
+	if err != nil {
+		return nil, 0, err
+	}
+	m.Solver.Pre = pre
+	start := ep.Now()
+	m.Run(steps)
+	return m, ep.Now() - start, nil
+}

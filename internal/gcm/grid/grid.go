@@ -1,0 +1,328 @@
+// Package grid builds the finite-volume geometry of the MIT GCM port
+// (paper §3.2): a lateral curvilinear (spherical or beta-plane) grid of
+// cell volumes, sculpted to land-mass geometry with partial ("shaved")
+// cells at the bottom boundary, following Adcroft, Hill & Marshall
+// (1997), the paper's reference [1].
+//
+// The grid is tile-local: each worker holds only its own subdomain's
+// rows of metric coefficients plus masked volume factors with halo, so
+// the package composes with the horizontal decomposition of Fig. 4.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"hyades/internal/gcm/field"
+)
+
+// EarthRadius is in metres.
+const EarthRadius = 6.371e6
+
+// Omega is the Earth's rotation rate (1/s).
+const Omega = 7.2921e-5
+
+// Gravity is the gravitational acceleration (m/s^2).
+const Gravity = 9.81
+
+// Config describes the global domain.
+type Config struct {
+	NX, NY, NZ int // global lateral grid and level count
+
+	// Spherical selects lat-lon metrics between Lat0 and Lat1 degrees;
+	// otherwise a beta-plane with constant DX, DY centred at Lat0.
+	Spherical  bool
+	Lat0, Lat1 float64 // degrees
+	LonSpan    float64 // degrees of longitude covered (Spherical)
+	DX, DY     float64 // metres (beta-plane)
+
+	// DZ holds level thicknesses, surface first.  Metres for the ocean
+	// isomorph; the atmosphere reuses the same code with pressure-like
+	// thicknesses mapped to an equivalent depth.
+	DZ []float64
+
+	PeriodicX, PeriodicY bool
+
+	// DepthFrac returns the fluid depth at fractional global position
+	// (x, y in [0,1]) as a fraction of the full column depth; 0 is
+	// land.  Nil means a flat full-depth domain.
+	DepthFrac func(x, y float64) float64
+
+	// MinHFac is the smallest allowed partial-cell fraction (shaved
+	// cells); cells thinner than this are rounded to land or MinHFac.
+	MinHFac float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.NX < 1 || c.NY < 1 || c.NZ < 1 {
+		return fmt.Errorf("grid: bad dims %dx%dx%d", c.NX, c.NY, c.NZ)
+	}
+	if len(c.DZ) != c.NZ {
+		return fmt.Errorf("grid: %d DZ entries for %d levels", len(c.DZ), c.NZ)
+	}
+	for k, dz := range c.DZ {
+		if dz <= 0 {
+			return fmt.Errorf("grid: DZ[%d] = %g", k, dz)
+		}
+	}
+	if c.Spherical {
+		if c.Lat1 <= c.Lat0 {
+			return fmt.Errorf("grid: Lat1 %g <= Lat0 %g", c.Lat1, c.Lat0)
+		}
+		if math.Abs(c.Lat0) > 89 || math.Abs(c.Lat1) > 89 {
+			return fmt.Errorf("grid: latitudes must stay within +-89 degrees")
+		}
+		if c.LonSpan <= 0 {
+			return fmt.Errorf("grid: LonSpan %g", c.LonSpan)
+		}
+	} else if c.DX <= 0 || c.DY <= 0 {
+		return fmt.Errorf("grid: DX/DY must be positive on a beta-plane")
+	}
+	return nil
+}
+
+// Local is the geometry owned by one tile, for global cell range
+// [I0, I0+NX) x [J0, J0+NY).
+type Local struct {
+	Cfg        Config
+	NX, NY, NZ int
+	H          int // halo width
+	I0, J0     int
+
+	// Per-row metrics (indexed j in [-H, NY+H)).  dxs is the zonal
+	// width at the row's SOUTH face (the v-point latitude): every
+	// north/south flux must use the face width so that the two cells
+	// sharing a face see the same area — otherwise the discrete
+	// divergence is inconsistent and the surface-pressure system loses
+	// compatibility on converging meridians.
+	dxc, dxs, dyc, fCor []float64
+
+	DZ     []float64 // level thickness
+	ZC     []float64 // depth of level centre (positive down)
+	ZF     []float64 // depth of level top face
+	DepthC float64   // full column depth
+
+	// HFacC is the open fraction of each cell volume (0 land, 1 open,
+	// fractional at shaved bottom cells); halo included.
+	HFacC *field.F3
+	// HFacW/HFacS are the open fractions of the west (u-point) and
+	// south (v-point) faces: the minimum of the adjacent cell
+	// fractions, so side fluxes and the column depths seen by the
+	// barotropic solve stay mutually consistent.
+	HFacW, HFacS *field.F3
+	// Depth is the fluid column depth at cell centres (sum hFac*dz);
+	// DepthW/DepthS are the face-integrated depths used as the
+	// transmissibilities of the surface-pressure operator.
+	Depth, DepthW, DepthS *field.F2
+}
+
+// NewLocal builds the tile geometry.
+func NewLocal(cfg Config, i0, j0, nx, ny, halo int) (*Local, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Local{
+		Cfg: cfg, NX: nx, NY: ny, NZ: cfg.NZ, H: halo, I0: i0, J0: j0,
+		DZ: append([]float64(nil), cfg.DZ...),
+	}
+	g.ZF = make([]float64, cfg.NZ+1)
+	g.ZC = make([]float64, cfg.NZ)
+	for k := 0; k < cfg.NZ; k++ {
+		g.ZF[k+1] = g.ZF[k] + cfg.DZ[k]
+		g.ZC[k] = g.ZF[k] + cfg.DZ[k]/2
+	}
+	g.DepthC = g.ZF[cfg.NZ]
+
+	rows := ny + 2*halo
+	g.dxc = make([]float64, rows)
+	g.dxs = make([]float64, rows)
+	g.dyc = make([]float64, rows)
+	g.fCor = make([]float64, rows)
+	for jj := 0; jj < rows; jj++ {
+		j := jj - halo + j0 // global row
+		lat := cfg.rowLat(j)
+		if cfg.Spherical {
+			dLon := cfg.LonSpan / float64(cfg.NX) * math.Pi / 180
+			dLat := (cfg.Lat1 - cfg.Lat0) / float64(cfg.NY) * math.Pi / 180
+			g.dxc[jj] = EarthRadius * math.Cos(lat*math.Pi/180) * dLon
+			faceLat := lat - (cfg.Lat1-cfg.Lat0)/float64(cfg.NY)/2
+			g.dxs[jj] = EarthRadius * math.Cos(faceLat*math.Pi/180) * dLon
+			g.dyc[jj] = EarthRadius * dLat
+			g.fCor[jj] = 2 * Omega * math.Sin(lat*math.Pi/180)
+		} else {
+			g.dxc[jj] = cfg.DX
+			g.dxs[jj] = cfg.DX
+			g.dyc[jj] = cfg.DY
+			// Beta-plane: f = f0 + beta * y measured from domain centre.
+			f0 := 2 * Omega * math.Sin(cfg.Lat0*math.Pi/180)
+			beta := 2 * Omega * math.Cos(cfg.Lat0*math.Pi/180) / EarthRadius
+			yc := (float64(j) + 0.5 - float64(cfg.NY)/2) * cfg.DY
+			g.fCor[jj] = f0 + beta*yc
+		}
+	}
+
+	g.buildMasks()
+	return g, nil
+}
+
+// rowLat returns the centre latitude of global row j (clamped to the
+// domain for halo rows beyond a wall).
+func (c *Config) rowLat(j int) float64 {
+	if !c.Spherical {
+		return c.Lat0
+	}
+	fr := (float64(j) + 0.5) / float64(c.NY)
+	return c.Lat0 + (c.Lat1-c.Lat0)*fr
+}
+
+// buildMasks evaluates the topography into hFac and face masks.
+func (g *Local) buildMasks() {
+	cfg := g.Cfg
+	minH := cfg.MinHFac
+	if minH <= 0 {
+		minH = 0.2
+	}
+	g.HFacC = field.NewF3(g.NX, g.NY, g.NZ, g.H)
+	g.HFacW = field.NewF3(g.NX, g.NY, g.NZ, g.H)
+	g.HFacS = field.NewF3(g.NX, g.NY, g.NZ, g.H)
+	g.Depth = field.NewF2(g.NX, g.NY, g.H)
+	g.DepthW = field.NewF2(g.NX, g.NY, g.H)
+	g.DepthS = field.NewF2(g.NX, g.NY, g.H)
+
+	depthAt := func(i, j int) float64 {
+		gi, gj := g.I0+i, g.J0+j
+		gi = wrapOrClamp(gi, cfg.NX, cfg.PeriodicX)
+		gj = wrapOrClamp(gj, cfg.NY, cfg.PeriodicY)
+		if !cfg.PeriodicY && (g.J0+j < 0 || g.J0+j >= cfg.NY) {
+			return 0 // beyond a wall: land
+		}
+		if !cfg.PeriodicX && (g.I0+i < 0 || g.I0+i >= cfg.NX) {
+			return 0
+		}
+		if cfg.DepthFrac == nil {
+			return g.DepthC
+		}
+		x := (float64(gi) + 0.5) / float64(cfg.NX)
+		y := (float64(gj) + 0.5) / float64(cfg.NY)
+		fr := cfg.DepthFrac(x, y)
+		if fr < 0 {
+			fr = 0
+		}
+		if fr > 1 {
+			fr = 1
+		}
+		return fr * g.DepthC
+	}
+
+	for j := -g.H; j < g.NY+g.H; j++ {
+		for i := -g.H; i < g.NX+g.H; i++ {
+			d := depthAt(i, j)
+			col := 0.0
+			for k := 0; k < g.NZ; k++ {
+				open := (d - g.ZF[k]) / g.DZ[k]
+				switch {
+				case open >= 1:
+					open = 1
+				case open < minH/2:
+					open = 0
+				case open < minH:
+					open = minH
+				}
+				g.HFacC.Set(i, j, k, open)
+				col += open * g.DZ[k]
+			}
+			g.Depth.Set(i, j, col)
+		}
+	}
+	// Face fractions: the open part of a face is limited by the more
+	// closed of the two adjacent cells (shaved-cell treatment).
+	for k := 0; k < g.NZ; k++ {
+		for j := -g.H; j < g.NY+g.H; j++ {
+			for i := -g.H; i < g.NX+g.H; i++ {
+				w, s := 0.0, 0.0
+				if i > -g.H {
+					w = math.Min(g.HFacC.At(i, j, k), g.HFacC.At(i-1, j, k))
+				}
+				if j > -g.H {
+					s = math.Min(g.HFacC.At(i, j, k), g.HFacC.At(i, j-1, k))
+				}
+				g.HFacW.Set(i, j, k, w)
+				g.HFacS.Set(i, j, k, s)
+				g.DepthW.Add(i, j, w*g.DZ[k])
+				g.DepthS.Add(i, j, s*g.DZ[k])
+			}
+		}
+	}
+}
+
+func wrapOrClamp(v, n int, periodic bool) int {
+	if periodic {
+		return ((v % n) + n) % n
+	}
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+// DXC returns the zonal grid spacing of local row j at cell centres.
+func (g *Local) DXC(j int) float64 { return g.dxc[j+g.H] }
+
+// DXS returns the zonal width of local row j's south face (the
+// v-point); all meridional fluxes must use it.
+func (g *Local) DXS(j int) float64 { return g.dxs[j+g.H] }
+
+// DYC returns the meridional grid spacing of local row j.
+func (g *Local) DYC(j int) float64 { return g.dyc[j+g.H] }
+
+// F returns the Coriolis parameter of local row j.
+func (g *Local) F(j int) float64 { return g.fCor[j+g.H] }
+
+// Lat returns the centre latitude (degrees) of local row j; on a
+// beta-plane it returns the equivalent latitude implied by f(j).
+func (g *Local) Lat(j int) float64 {
+	if g.Cfg.Spherical {
+		return g.Cfg.rowLat(g.J0 + j)
+	}
+	s := g.F(j) / (2 * Omega)
+	if s > 1 {
+		s = 1
+	}
+	if s < -1 {
+		s = -1
+	}
+	return math.Asin(s) * 180 / math.Pi
+}
+
+// YFrac returns the fractional meridional position of local row j in
+// [0,1] over the global domain.
+func (g *Local) YFrac(j int) float64 {
+	return (float64(g.J0+j) + 0.5) / float64(g.Cfg.NY)
+}
+
+// ZFrac returns the fractional depth of level k's centre in [0,1].
+func (g *Local) ZFrac(k int) float64 { return g.ZC[k] / g.DepthC }
+
+// CellVolume returns the open volume of cell (i,j,k).
+func (g *Local) CellVolume(i, j, k int) float64 {
+	return g.DXC(j) * g.DYC(j) * g.DZ[k] * g.HFacC.At(i, j, k)
+}
+
+// OceanPoints counts open interior cells (diagnostics).
+func (g *Local) OceanPoints() int {
+	n := 0
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				if g.HFacC.At(i, j, k) > 0 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

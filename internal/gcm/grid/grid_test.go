@@ -1,0 +1,229 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func flatConfig(nx, ny, nz int) Config {
+	dz := make([]float64, nz)
+	for k := range dz {
+		dz[k] = 100
+	}
+	return Config{NX: nx, NY: ny, NZ: nz, DX: 1e4, DY: 1e4, Lat0: 45, DZ: dz}
+}
+
+func TestValidate(t *testing.T) {
+	good := flatConfig(8, 8, 3)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{NX: 0, NY: 8, NZ: 1, DX: 1, DY: 1, DZ: []float64{1}},
+		{NX: 8, NY: 8, NZ: 2, DX: 1, DY: 1, DZ: []float64{1}},  // wrong DZ count
+		{NX: 8, NY: 8, NZ: 1, DX: 1, DY: 1, DZ: []float64{-1}}, // negative dz
+		{NX: 8, NY: 8, NZ: 1, DX: 0, DY: 1, DZ: []float64{1}},  // bad dx
+		{NX: 8, NY: 8, NZ: 1, Spherical: true, Lat0: 10, Lat1: 5, LonSpan: 360, DZ: []float64{1}},
+		{NX: 8, NY: 8, NZ: 1, Spherical: true, Lat0: -95, Lat1: 5, LonSpan: 360, DZ: []float64{1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestFlatDomainFullyOpen(t *testing.T) {
+	g, err := NewLocal(flatConfig(8, 6, 3), 0, 0, 8, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OceanPoints() != 8*6*3 {
+		t.Fatalf("open cells = %d", g.OceanPoints())
+	}
+	if g.Depth.At(3, 3) != 300 {
+		t.Fatalf("column depth = %g", g.Depth.At(3, 3))
+	}
+	if g.DepthW.At(3, 3) != 300 || g.DepthS.At(3, 3) != 300 {
+		t.Fatal("face depths")
+	}
+}
+
+func TestSphericalMetrics(t *testing.T) {
+	cfg := Config{
+		NX: 36, NY: 18, NZ: 1, Spherical: true,
+		Lat0: -80, Lat1: 80, LonSpan: 360, DZ: []float64{100},
+	}
+	g, err := NewLocal(cfg, 0, 0, 36, 18, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dx shrinks towards the poles; dy constant.
+	if !(g.DXC(0) < g.DXC(9)) {
+		t.Fatalf("dx(%d)=%g !< dx(9)=%g", 0, g.DXC(0), g.DXC(9))
+	}
+	if g.DYC(0) != g.DYC(9) {
+		t.Fatal("dy varies")
+	}
+	// Coriolis antisymmetric about the equator.
+	if f0, f1 := g.F(2), g.F(15); math.Abs(f0+f1) > 1e-18 {
+		t.Fatalf("f(%d)=%g, f(%d)=%g not antisymmetric", 2, f0, 15, f1)
+	}
+	// Face width is the zonal arc length at the v-point latitude (note
+	// it exceeds both neighbours at the equator, where cos is maximal).
+	dLon := 360.0 / 36 * math.Pi / 180
+	for j := 0; j < 18; j++ {
+		faceLat := (-80 + 160*float64(j)/18) * math.Pi / 180
+		want := EarthRadius * math.Cos(faceLat) * dLon
+		if s := g.DXS(j); math.Abs(s-want) > 1 {
+			t.Fatalf("dxs(%d)=%g, want %g", j, s, want)
+		}
+	}
+}
+
+func TestShavedCells(t *testing.T) {
+	cfg := flatConfig(8, 8, 4)
+	// A linear ramp from full depth to zero across the domain.
+	cfg.DepthFrac = func(x, y float64) float64 { return 1 - x }
+	cfg.MinHFac = 0.2
+	g, err := NewLocal(cfg, 0, 0, 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth decreases eastward.
+	prev := math.Inf(1)
+	for i := 0; i < 8; i++ {
+		d := g.Depth.At(i, 4)
+		if d > prev {
+			t.Fatalf("depth not monotone at i=%d", i)
+		}
+		prev = d
+	}
+	// hFac values lie in {0} U [MinHFac, 1].
+	for k := 0; k < 4; k++ {
+		for i := 0; i < 8; i++ {
+			h := g.HFacC.At(i, 4, k)
+			if h != 0 && (h < 0.2-1e-12 || h > 1) {
+				t.Fatalf("hFac(%d,4,%d) = %g", i, k, h)
+			}
+		}
+	}
+	// Face fraction never exceeds either neighbour.
+	for k := 0; k < 4; k++ {
+		for i := 1; i < 8; i++ {
+			w := g.HFacW.At(i, 4, k)
+			if w > g.HFacC.At(i, 4, k)+1e-12 || w > g.HFacC.At(i-1, 4, k)+1e-12 {
+				t.Fatalf("hFacW exceeds neighbours at i=%d k=%d", i, k)
+			}
+		}
+	}
+}
+
+func TestWallsBeyondDomain(t *testing.T) {
+	cfg := flatConfig(8, 8, 2) // not periodic
+	g, err := NewLocal(cfg, 0, 0, 8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halo cells beyond a wall are land.
+	if g.HFacC.At(-1, 4, 0) != 0 || g.HFacC.At(8, 4, 0) != 0 {
+		t.Fatal("x wall halo not land")
+	}
+	if g.HFacC.At(4, -1, 0) != 0 || g.HFacC.At(4, 8, 0) != 0 {
+		t.Fatal("y wall halo not land")
+	}
+	if g.HFacS.At(4, 0, 0) != 0 {
+		t.Fatal("southern wall face open")
+	}
+}
+
+func TestPeriodicHaloWrapsTopography(t *testing.T) {
+	cfg := flatConfig(8, 8, 1)
+	cfg.PeriodicX = true
+	cfg.DepthFrac = func(x, y float64) float64 {
+		if x < 0.25 {
+			return 0 // land in the west quarter
+		}
+		return 1
+	}
+	g, err := NewLocal(cfg, 0, 0, 8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The halo west of i=0 wraps to i=6,7 (open water).
+	if g.HFacC.At(-1, 4, 0) != 1 {
+		t.Fatal("periodic wrap saw land where open water wraps")
+	}
+	// Interior land band present.
+	if g.HFacC.At(0, 4, 0) != 0 {
+		t.Fatal("land band missing")
+	}
+}
+
+func TestLatAndFractions(t *testing.T) {
+	cfg := Config{NX: 16, NY: 16, NZ: 4, Spherical: true, Lat0: -80, Lat1: 80, LonSpan: 360,
+		DZ: []float64{100, 200, 300, 400}}
+	g, err := NewLocal(cfg, 0, 8, 16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile starts at global row 8 (the equator for NY=16): first local
+	// row sits just north of it.
+	if lat := g.Lat(0); lat < 0 || lat > 10 {
+		t.Fatalf("Lat(0) = %g", lat)
+	}
+	if y := g.YFrac(0); math.Abs(y-(8.5/16)) > 1e-12 {
+		t.Fatalf("YFrac = %g", y)
+	}
+	if z := g.ZFrac(0); math.Abs(z-50.0/1000) > 1e-12 {
+		t.Fatalf("ZFrac(0) = %g", z)
+	}
+	if g.ZFrac(3) <= g.ZFrac(0) {
+		t.Fatal("ZFrac not increasing")
+	}
+}
+
+// Property: DepthW at a face equals sum over k of dz*hFacW and never
+// exceeds either adjacent column depth.
+func TestFaceDepthConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := flatConfig(6, 6, 3)
+		cfg.DepthFrac = func(x, y float64) float64 {
+			v := 0.5 + 0.5*math.Sin(x*37+float64(seed%7))*math.Cos(y*23)
+			return v
+		}
+		g, err := NewLocal(cfg, 0, 0, 6, 6, 1)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < 6; j++ {
+			for i := 1; i < 6; i++ {
+				sum := 0.0
+				for k := 0; k < 3; k++ {
+					sum += g.HFacW.At(i, j, k) * g.DZ[k]
+				}
+				if math.Abs(sum-g.DepthW.At(i, j)) > 1e-9 {
+					return false
+				}
+				if g.DepthW.At(i, j) > g.Depth.At(i, j)+1e-9 || g.DepthW.At(i, j) > g.Depth.At(i-1, j)+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellVolume(t *testing.T) {
+	g, err := NewLocal(flatConfig(4, 4, 2), 0, 0, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g.CellVolume(1, 1, 0); v != 1e4*1e4*100 {
+		t.Fatalf("volume = %g", v)
+	}
+}

@@ -1,0 +1,556 @@
+// Package kernel implements the Prognostic Step (PS) of the GCM
+// algorithm (paper Fig. 6): evaluation of the time tendencies G for
+// momentum and tracers, Adams-Bashforth extrapolation, the hydrostatic
+// pressure integral, and the continuity diagnosis of vertical velocity.
+//
+// The numerics are a finite-volume Arakawa-C discretisation of the
+// incompressible primitive equations in the style of Marshall et al.
+// (1997), the paper's references [20][21]: flux-form tracer advection,
+// advective-form momentum transport, Coriolis, Laplacian friction and
+// diffusion, and shaved-cell volume factors from package grid.
+//
+// All terms at a cell are computable from a 3x3 lateral stencil, so —
+// exactly as §4 describes — one halo exchange per time step suffices:
+// tendencies are "overcomputed" into the halo region at a margin wide
+// enough to feed every downstream stage of the step.
+//
+// Every routine counts the floating-point operations it performs; the
+// performance model of §5.2 consumes these counts as Nps.
+package kernel
+
+import (
+	"fmt"
+
+	"hyades/internal/gcm/eos"
+	"hyades/internal/gcm/field"
+	"hyades/internal/gcm/grid"
+)
+
+// Halo is the lateral overlap width required for single-exchange
+// overcomputation.
+const Halo = 3
+
+// StateFields is the number of 3-D state variables exchanged per step
+// (u, v, w, theta, salt) — the "5" in tps_exch = 5*texchxyz.
+const StateFields = 5
+
+// State holds one tile's prognostic and diagnostic fields.
+type State struct {
+	U, V, W     *field.F3 // velocities; W diagnosed, positive with k
+	Theta, Salt *field.F3 // tracer pair (theta/salt or theta/humidity)
+	Phy         *field.F3 // hydrostatic pressure potential (p'/rho0)
+	Ps          *field.F2 // surface pressure potential
+
+	// Tendency buffers at time levels n and n-1 (toggled by cur).
+	gu, gv, gth, gs [2]*field.F3
+	cur             int
+	firstStep       bool
+}
+
+// NewState allocates the state for a tile of the given interior size.
+func NewState(nx, ny, nz int) *State {
+	f3 := func() *field.F3 { return field.NewF3(nx, ny, nz, Halo) }
+	s := &State{
+		U: f3(), V: f3(), W: f3(), Theta: f3(), Salt: f3(), Phy: f3(),
+		Ps:        field.NewF2(nx, ny, 1),
+		firstStep: true,
+	}
+	for lv := 0; lv < 2; lv++ {
+		s.gu[lv], s.gv[lv], s.gth[lv], s.gs[lv] = f3(), f3(), f3(), f3()
+	}
+	return s
+}
+
+// GU returns the current zonal-momentum tendency buffer.  Forcing
+// implementations add their terms into these buffers before the
+// Adams-Bashforth step.
+func (s *State) GU() *field.F3 { return s.gu[s.cur] }
+
+// GV returns the current meridional-momentum tendency buffer.
+func (s *State) GV() *field.F3 { return s.gv[s.cur] }
+
+// GTh returns the current theta tendency buffer.
+func (s *State) GTh() *field.F3 { return s.gth[s.cur] }
+
+// GS returns the current salinity/humidity tendency buffer.
+func (s *State) GS() *field.F3 { return s.gs[s.cur] }
+
+// Rotate flips the Adams-Bashforth buffers at the end of a step.
+func (s *State) Rotate() {
+	s.cur = 1 - s.cur
+	s.firstStep = false
+}
+
+// ABCursor exposes the Adams-Bashforth buffer toggle for checkpointing.
+func (s *State) ABCursor() int { return s.cur }
+
+// SetABCursor restores the toggle and first-step flag from a
+// checkpoint (started reports whether any step has completed).
+func (s *State) SetABCursor(cur int, started bool) {
+	s.cur = cur & 1
+	s.firstStep = !started
+}
+
+// ABBuffers exposes both time levels of every tendency array, in a
+// stable order, for checkpointing.
+func (s *State) ABBuffers() []*field.F3 {
+	return []*field.F3{
+		s.gu[0], s.gu[1], s.gv[0], s.gv[1],
+		s.gth[0], s.gth[1], s.gs[0], s.gs[1],
+	}
+}
+
+// Params collects the kernel's physical and numerical parameters.
+type Params struct {
+	Dt       float64 // time step (s)
+	AhMom    float64 // lateral viscosity (m^2/s)
+	AvMom    float64 // vertical viscosity (m^2/s)
+	KhTracer float64 // lateral diffusivity (m^2/s)
+	KvTracer float64 // vertical diffusivity (m^2/s)
+	BotDrag  float64 // linear bottom drag (1/s) on the deepest wet level
+	ABEps    float64 // Adams-Bashforth stabilising offset
+	EOS      eos.EOS
+	// ImplicitConvection enables the convective-adjustment mixing pass.
+	ImplicitConvection bool
+}
+
+// Validate sanity-checks the parameters.
+func (p *Params) Validate() error {
+	if p.Dt <= 0 {
+		return fmt.Errorf("kernel: Dt = %g", p.Dt)
+	}
+	if p.EOS == nil {
+		return fmt.Errorf("kernel: nil EOS")
+	}
+	if p.AhMom < 0 || p.KhTracer < 0 || p.AvMom < 0 || p.KvTracer < 0 {
+		return fmt.Errorf("kernel: negative mixing coefficient")
+	}
+	return nil
+}
+
+// Counters accumulates floating-point operation counts, split by model
+// phase as the performance model requires.  The optional charge hooks
+// let a driver convert flops to simulated processor time at the
+// measured phase rates (Fps, Fds of Fig. 11) at the same granularity
+// as the real machine — between communication points.
+type Counters struct {
+	PS int64 // flops in the prognostic step
+	DS int64 // flops in the diagnostic (solver) step
+
+	ChargePS func(flops int64)
+	ChargeDS func(flops int64)
+}
+
+// AddPS records prognostic-step work.
+func (c *Counters) AddPS(f int64) {
+	c.PS += f
+	if c.ChargePS != nil {
+		c.ChargePS(f)
+	}
+}
+
+// AddDS records diagnostic-step work.
+func (c *Counters) AddDS(f int64) {
+	c.DS += f
+	if c.ChargeDS != nil {
+		c.ChargeDS(f)
+	}
+}
+
+// Forcing adds external tendencies (wind stress, heating, the
+// atmospheric physics package) into the current G buffers.  AddingNil
+// is allowed: a nil Forcing means an unforced fluid.
+type Forcing interface {
+	AddTendencies(g *grid.Local, s *State, p *Params, c *Counters)
+}
+
+// abCoeffs returns the Adams-Bashforth-2 weights; the first step falls
+// back to forward Euler.
+func (s *State) abCoeffs(eps float64) (aNow, aPrev float64) {
+	if s.firstStep {
+		return 1, 0
+	}
+	return 1.5 + eps, -(0.5 + eps)
+}
+
+// ComputeGTracers evaluates advective and diffusive tendencies for
+// theta and salt on the overcomputation margin [-2, n+2).
+func ComputeGTracers(g *grid.Local, s *State, p *Params, c *Counters) {
+	m := Halo - 1 // stencil reaches one further; halo is 3
+	gth, gs := s.gth[s.cur], s.gs[s.cur]
+	nz := g.NZ
+	for k := 0; k < nz; k++ {
+		dz := g.DZ[k]
+		for j := -m; j < g.NY+m; j++ {
+			dx, dy := g.DXC(j), g.DYC(j)
+			for i := -m; i < g.NX+m; i++ {
+				hc := g.HFacC.At(i, j, k)
+				if hc == 0 {
+					gth.Set(i, j, k, 0)
+					gs.Set(i, j, k, 0)
+					continue
+				}
+				vol := dx * dy * dz * hc
+				// Horizontal advective + diffusive fluxes on the four
+				// side faces (flux form: conservative).
+				conv := 0.0
+				convS := 0.0
+				// West face of cell i and of cell i+1 (east face).
+				for _, f := range [2]struct {
+					ii, jj int
+					sign   float64
+					u      float64
+					area   float64
+					length float64
+				}{
+					{i, j, 1, s.U.At(i, j, k), dy * dz * g.HFacW.At(i, j, k), dx},
+					{i + 1, j, -1, s.U.At(i+1, j, k), dy * dz * g.HFacW.At(i+1, j, k), dx},
+				} {
+					thFace := 0.5 * (s.Theta.At(f.ii-1, j, k) + s.Theta.At(f.ii, j, k))
+					sFace := 0.5 * (s.Salt.At(f.ii-1, j, k) + s.Salt.At(f.ii, j, k))
+					dTh := (s.Theta.At(f.ii, j, k) - s.Theta.At(f.ii-1, j, k)) / f.length
+					dS := (s.Salt.At(f.ii, j, k) - s.Salt.At(f.ii-1, j, k)) / f.length
+					conv += f.sign * f.area * (f.u*thFace - p.KhTracer*dTh)
+					convS += f.sign * f.area * (f.u*sFace - p.KhTracer*dS)
+				}
+				for _, f := range [2]struct {
+					jj     int
+					sign   float64
+					v      float64
+					area   float64
+					length float64
+				}{
+					{j, 1, s.V.At(i, j, k), g.DXS(j) * dz * g.HFacS.At(i, j, k), dy},
+					{j + 1, -1, s.V.At(i, j+1, k), g.DXS(j+1) * dz * g.HFacS.At(i, j+1, k), dy},
+				} {
+					thFace := 0.5 * (s.Theta.At(i, f.jj-1, k) + s.Theta.At(i, f.jj, k))
+					sFace := 0.5 * (s.Salt.At(i, f.jj-1, k) + s.Salt.At(i, f.jj, k))
+					dTh := (s.Theta.At(i, f.jj, k) - s.Theta.At(i, f.jj-1, k)) / f.length
+					dS := (s.Salt.At(i, f.jj, k) - s.Salt.At(i, f.jj-1, k)) / f.length
+					conv += f.sign * f.area * (f.v*thFace - p.KhTracer*dTh)
+					convS += f.sign * f.area * (f.v*sFace - p.KhTracer*dS)
+				}
+				// Vertical advection + diffusion across the top and
+				// bottom faces; w lives on top faces, w(k=0) = 0.
+				area := dx * dy
+				if k > 0 && g.HFacC.At(i, j, k-1) > 0 {
+					w := s.W.At(i, j, k)
+					thF := 0.5 * (s.Theta.At(i, j, k-1) + s.Theta.At(i, j, k))
+					sF := 0.5 * (s.Salt.At(i, j, k-1) + s.Salt.At(i, j, k))
+					dzF := 0.5 * (g.DZ[k-1] + g.DZ[k])
+					dTh := (s.Theta.At(i, j, k) - s.Theta.At(i, j, k-1)) / dzF
+					dS := (s.Salt.At(i, j, k) - s.Salt.At(i, j, k-1)) / dzF
+					conv += area * (w*thF - p.KvTracer*dTh)
+					convS += area * (w*sF - p.KvTracer*dS)
+				}
+				if k < nz-1 && g.HFacC.At(i, j, k+1) > 0 {
+					w := s.W.At(i, j, k+1)
+					thF := 0.5 * (s.Theta.At(i, j, k) + s.Theta.At(i, j, k+1))
+					sF := 0.5 * (s.Salt.At(i, j, k) + s.Salt.At(i, j, k+1))
+					dzF := 0.5 * (g.DZ[k] + g.DZ[k+1])
+					dTh := (s.Theta.At(i, j, k+1) - s.Theta.At(i, j, k)) / dzF
+					dS := (s.Salt.At(i, j, k+1) - s.Salt.At(i, j, k)) / dzF
+					conv -= area * (w*thF - p.KvTracer*dTh)
+					convS -= area * (w*sF - p.KvTracer*dS)
+				}
+				gth.Set(i, j, k, conv/vol)
+				gs.Set(i, j, k, convS/vol)
+			}
+		}
+	}
+	// ~96 flops per wet cell for the twelve face-flux evaluations plus
+	// the volume divisions (hand count of the loop body).
+	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m)) * 96)
+}
+
+// StepTracers applies AB2 extrapolation and advances theta and salt on
+// the margin [-2, n+2).
+func StepTracers(g *grid.Local, s *State, p *Params, c *Counters) {
+	m := Halo - 1
+	aNow, aPrev := s.abCoeffs(p.ABEps)
+	now, prev := s.cur, 1-s.cur
+	for k := 0; k < g.NZ; k++ {
+		for j := -m; j < g.NY+m; j++ {
+			for i := -m; i < g.NX+m; i++ {
+				if g.HFacC.At(i, j, k) == 0 {
+					continue
+				}
+				s.Theta.Add(i, j, k, p.Dt*(aNow*s.gth[now].At(i, j, k)+aPrev*s.gth[prev].At(i, j, k)))
+				s.Salt.Add(i, j, k, p.Dt*(aNow*s.gs[now].At(i, j, k)+aPrev*s.gs[prev].At(i, j, k)))
+			}
+		}
+	}
+	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m)) * 10)
+}
+
+// Hydrostatic integrates buoyancy downward into the hydrostatic
+// pressure potential phy (paper eq. 3 context): phy(k) is the pressure
+// anomaly at the centre of level k per unit reference density.
+func Hydrostatic(g *grid.Local, s *State, p *Params, c *Counters) {
+	m := Halo - 1
+	for j := -m; j < g.NY+m; j++ {
+		for i := -m; i < g.NX+m; i++ {
+			acc := 0.0
+			for k := 0; k < g.NZ; k++ {
+				if g.HFacC.At(i, j, k) == 0 {
+					s.Phy.Set(i, j, k, acc)
+					continue
+				}
+				b := p.EOS.Buoyancy(s.Theta.At(i, j, k), s.Salt.At(i, j, k), k)
+				half := 0.5 * g.DZ[k] * b
+				acc -= half // buoyant fluid lowers pressure below it
+				s.Phy.Set(i, j, k, acc)
+				acc -= half
+			}
+		}
+	}
+	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m)) * int64(4+p.EOS.FlopsPerCell()))
+}
+
+// ComputeGMomentum evaluates the velocity tendencies on margin
+// [-1, n+1): advection, Coriolis, lateral and vertical friction and
+// bottom drag.  The pressure gradients are applied in StepMomentum, as
+// in eq. (1) of the paper where grad(p) stands apart from G.
+func ComputeGMomentum(g *grid.Local, s *State, p *Params, c *Counters) {
+	m := 1
+	gu, gv := s.gu[s.cur], s.gv[s.cur]
+	nz := g.NZ
+	for k := 0; k < nz; k++ {
+		for j := -m; j < g.NY+m; j++ {
+			dx, dy := g.DXC(j), g.DYC(j)
+			f := g.F(j)
+			for i := -m; i < g.NX+m+1; i++ { // faces up to nx+m
+				// ---- u tendency at the west face (i,j,k) ----
+				if g.HFacW.At(i, j, k) == 0 {
+					gu.Set(i, j, k, 0)
+				} else {
+					u := s.U.At(i, j, k)
+					vBar := 0.25 * (s.V.At(i-1, j, k) + s.V.At(i, j, k) + s.V.At(i-1, j+1, k) + s.V.At(i, j+1, k))
+					dudx := (s.U.At(i+1, j, k) - s.U.At(i-1, j, k)) / (2 * dx)
+					dudy := (s.U.At(i, j+1, k) - s.U.At(i, j-1, k)) / (2 * dy)
+					adv := u*dudx + vBar*dudy
+					if nz > 1 {
+						wBar := 0.0
+						var dudz float64
+						switch {
+						case k == 0:
+							wBar = 0.5 * (s.W.At(i-1, j, 1) + s.W.At(i, j, 1))
+							dudz = (s.U.At(i, j, 1) - u) / (0.5 * (g.DZ[0] + g.DZ[1]))
+						case k == nz-1:
+							wBar = 0.5 * (s.W.At(i-1, j, k) + s.W.At(i, j, k))
+							dudz = (u - s.U.At(i, j, k-1)) / (0.5 * (g.DZ[k-1] + g.DZ[k]))
+						default:
+							wBar = 0.25 * (s.W.At(i-1, j, k) + s.W.At(i, j, k) + s.W.At(i-1, j, k+1) + s.W.At(i, j, k+1))
+							dudz = (s.U.At(i, j, k+1) - s.U.At(i, j, k-1)) / (g.DZ[k] + 0.5*(g.DZ[maxInt(k-1, 0)]+g.DZ[minInt(k+1, nz-1)]))
+						}
+						adv += wBar * dudz
+					}
+					visc := p.AhMom * ((s.U.At(i+1, j, k)-2*u+s.U.At(i-1, j, k))/(dx*dx) +
+						(s.U.At(i, j+1, k)-2*u+s.U.At(i, j-1, k))/(dy*dy))
+					if nz > 1 {
+						visc += vertLap(s.U, g, i, j, k, p.AvMom)
+					}
+					tend := -adv + f*vBar + visc
+					if p.BotDrag > 0 && isBottom(g, i, j, k) {
+						tend -= p.BotDrag * u
+					}
+					gu.Set(i, j, k, tend)
+				}
+				// ---- v tendency at the south face (i,j,k) ----
+				if g.HFacS.At(i, j, k) == 0 {
+					gv.Set(i, j, k, 0)
+					continue
+				}
+				v := s.V.At(i, j, k)
+				uBar := 0.25 * (s.U.At(i, j-1, k) + s.U.At(i+1, j-1, k) + s.U.At(i, j, k) + s.U.At(i+1, j, k))
+				dvdx := (s.V.At(i+1, j, k) - s.V.At(i-1, j, k)) / (2 * dx)
+				dvdy := (s.V.At(i, j+1, k) - s.V.At(i, j-1, k)) / (2 * dy)
+				adv := uBar*dvdx + v*dvdy
+				if nz > 1 {
+					wBar := 0.0
+					var dvdz float64
+					switch {
+					case k == 0:
+						wBar = 0.5 * (s.W.At(i, j-1, 1) + s.W.At(i, j, 1))
+						dvdz = (s.V.At(i, j, 1) - v) / (0.5 * (g.DZ[0] + g.DZ[1]))
+					case k == nz-1:
+						wBar = 0.5 * (s.W.At(i, j-1, k) + s.W.At(i, j, k))
+						dvdz = (v - s.V.At(i, j, k-1)) / (0.5 * (g.DZ[k-1] + g.DZ[k]))
+					default:
+						wBar = 0.25 * (s.W.At(i, j-1, k) + s.W.At(i, j, k) + s.W.At(i, j-1, k+1) + s.W.At(i, j, k+1))
+						dvdz = (s.V.At(i, j, k+1) - s.V.At(i, j, k-1)) / (g.DZ[k] + 0.5*(g.DZ[maxInt(k-1, 0)]+g.DZ[minInt(k+1, nz-1)]))
+					}
+					adv += wBar * dvdz
+				}
+				visc := p.AhMom * ((s.V.At(i+1, j, k)-2*v+s.V.At(i-1, j, k))/(dx*dx) +
+					(s.V.At(i, j+1, k)-2*v+s.V.At(i, j-1, k))/(dy*dy))
+				if nz > 1 {
+					visc += vertLap(s.V, g, i, j, k, p.AvMom)
+				}
+				tend := -adv - f*uBar + visc
+				if p.BotDrag > 0 && isBottom(g, i, j, k) {
+					tend -= p.BotDrag * v
+				}
+				gv.Set(i, j, k, tend)
+			}
+		}
+	}
+	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m+1)) * 110)
+}
+
+// vertLap is the vertical friction term with free-slip at the top and
+// bottom boundaries.
+func vertLap(f *field.F3, g *grid.Local, i, j, k int, av float64) float64 {
+	if av == 0 {
+		return 0
+	}
+	nz := g.NZ
+	up, dn := 0.0, 0.0
+	if k > 0 {
+		up = (f.At(i, j, k-1) - f.At(i, j, k)) / (0.5 * (g.DZ[k-1] + g.DZ[k]))
+	}
+	if k < nz-1 {
+		dn = (f.At(i, j, k) - f.At(i, j, k+1)) / (0.5 * (g.DZ[k] + g.DZ[k+1]))
+	}
+	return av * (up - dn) / g.DZ[k]
+}
+
+// isBottom reports whether (i,j,k) is the deepest wet cell of its
+// column.
+func isBottom(g *grid.Local, i, j, k int) bool {
+	if g.HFacC.At(i, j, k) == 0 {
+		return false
+	}
+	return k == g.NZ-1 || g.HFacC.At(i, j, k+1) == 0
+}
+
+// StepMomentum applies AB2 to the momentum tendencies and adds the
+// hydrostatic pressure gradient, producing the provisional velocities
+// u*, v* (in place) that the DS phase projects.  Faces up to index n
+// inclusive are updated so tile-edge divergences are complete.
+func StepMomentum(g *grid.Local, s *State, p *Params, c *Counters) {
+	m := 1
+	aNow, aPrev := s.abCoeffs(p.ABEps)
+	now, prev := s.cur, 1-s.cur
+	for k := 0; k < g.NZ; k++ {
+		for j := -m; j < g.NY+m; j++ {
+			dx, dy := g.DXC(j), g.DYC(j)
+			for i := -m; i < g.NX+m+1; i++ {
+				if g.HFacW.At(i, j, k) > 0 {
+					gStar := aNow*s.gu[now].At(i, j, k) + aPrev*s.gu[prev].At(i, j, k)
+					dpdx := (s.Phy.At(i, j, k) - s.Phy.At(i-1, j, k)) / dx
+					s.U.Add(i, j, k, p.Dt*(gStar-dpdx))
+				} else {
+					s.U.Set(i, j, k, 0)
+				}
+				if g.HFacS.At(i, j, k) > 0 {
+					gStar := aNow*s.gv[now].At(i, j, k) + aPrev*s.gv[prev].At(i, j, k)
+					dpdy := (s.Phy.At(i, j, k) - s.Phy.At(i, j-1, k)) / dy
+					s.V.Add(i, j, k, p.Dt*(gStar-dpdy))
+				} else {
+					s.V.Set(i, j, k, 0)
+				}
+			}
+		}
+	}
+	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m+1)) * 16)
+}
+
+// Continuity diagnoses w from the non-divergence constraint (paper
+// eq. 2), integrating the horizontal divergence downward from the
+// rigid lid (w = 0 at k = 0).
+func Continuity(g *grid.Local, s *State, c *Counters) {
+	for j := 0; j < g.NY; j++ {
+		dx, dy := g.DXC(j), g.DYC(j)
+		area := dx * dy
+		for i := 0; i < g.NX; i++ {
+			wFace := 0.0
+			s.W.Set(i, j, 0, 0)
+			for k := 0; k < g.NZ; k++ {
+				div := dy*g.DZ[k]*(s.U.At(i+1, j, k)*g.HFacW.At(i+1, j, k)-s.U.At(i, j, k)*g.HFacW.At(i, j, k)) +
+					g.DZ[k]*(g.DXS(j+1)*s.V.At(i, j+1, k)*g.HFacS.At(i, j+1, k)-g.DXS(j)*s.V.At(i, j, k)*g.HFacS.At(i, j, k))
+				// With k increasing downward and w positive in +k, the
+				// cell's mass balance is w(k+1) = w(k) - outflux/area.
+				wFace -= div / area
+				if k < g.NZ-1 {
+					s.W.Set(i, j, k+1, wFace)
+				}
+			}
+		}
+	}
+	c.AddPS(int64(g.NZ*g.NY*g.NX) * 12)
+}
+
+// ConvectiveAdjust removes static instability by mixing adjacent
+// levels where buoyancy increases downward, sweeping each column until
+// stable.  This stands in for the convection scheme of the paper's
+// intermediate-complexity physics.
+func ConvectiveAdjust(g *grid.Local, s *State, p *Params, c *Counters) {
+	if !p.ImplicitConvection {
+		return
+	}
+	m := Halo - 1
+	var ops int64
+	unstable := func(i, j, ka, kb int) bool {
+		ops += int64(2*p.EOS.FlopsPerCell()) + 1
+		ba := p.EOS.Buoyancy(s.Theta.At(i, j, ka), s.Salt.At(i, j, ka), ka)
+		bb := p.EOS.Buoyancy(s.Theta.At(i, j, kb), s.Salt.At(i, j, kb), kb)
+		return bb > ba
+	}
+	// mixRegion homogenises the tracer pair over [lo, hi], volume
+	// weighted — the whole region becomes exactly uniform, so a mixed
+	// block is internally stable and the scheme terminates.
+	mixRegion := func(i, j, lo, hi int) {
+		var wSum, tSum, sSum float64
+		for k := lo; k <= hi; k++ {
+			w := g.DZ[k] * g.HFacC.At(i, j, k)
+			wSum += w
+			tSum += w * s.Theta.At(i, j, k)
+			sSum += w * s.Salt.At(i, j, k)
+		}
+		tm, sm := tSum/wSum, sSum/wSum
+		for k := lo; k <= hi; k++ {
+			s.Theta.Set(i, j, k, tm)
+			s.Salt.Set(i, j, k, sm)
+		}
+		ops += int64(hi-lo+1) * 8
+	}
+	for j := -m; j < g.NY+m; j++ {
+		for i := -m; i < g.NX+m; i++ {
+			for k := 0; k < g.NZ-1; {
+				if g.HFacC.At(i, j, k) == 0 || g.HFacC.At(i, j, k+1) == 0 {
+					k++
+					continue
+				}
+				if !unstable(i, j, k, k+1) {
+					k++
+					continue
+				}
+				// Grow the mixed region upward until the column above
+				// it is stable (or land), then continue below it.
+				lo, hi := k, k+1
+				mixRegion(i, j, lo, hi)
+				for lo > 0 && g.HFacC.At(i, j, lo-1) > 0 && unstable(i, j, lo-1, lo) {
+					lo--
+					mixRegion(i, j, lo, hi)
+				}
+				k = hi
+			}
+		}
+	}
+	c.AddPS(ops)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+// Package physics is the intermediate-complexity atmospheric physics
+// package of the reproduction, standing in for the 5-level
+// parameterisation suite of Molteni (paper reference [12]) used by the
+// 2.8125-degree coupled experiments.
+//
+// It follows the spirit of that package (and of the Held-Suarez
+// benchmark): Newtonian relaxation of potential temperature towards a
+// zonally symmetric radiative-convective equilibrium, Rayleigh
+// friction in the boundary layer, a simple moisture cycle
+// (bulk-formula evaporation from the lower boundary, supersaturation
+// condensation with latent heating), and bulk surface fluxes that
+// couple to an SST field when the atmosphere runs coupled to the
+// ocean isomorph.
+//
+// The level convention matches the dynamical kernel: k = 0 is the
+// model top and k = NZ-1 the surface-adjacent level.
+package physics
+
+import (
+	"math"
+
+	"hyades/internal/gcm/field"
+	"hyades/internal/gcm/grid"
+	"hyades/internal/gcm/kernel"
+)
+
+// Params holds the physics constants.
+type Params struct {
+	// Radiation: relaxation towards Teq with timescale TauRad (faster
+	// TauRadSurf in the boundary layer).
+	TauRadDays     float64
+	TauRadSurfDays float64
+	ThetaTropic    float64 // equilibrium surface theta at the equator (K)
+	DThetaPole     float64 // equator-pole equilibrium contrast (K)
+	DThetaVert     float64 // vertical equilibrium contrast (K)
+
+	// Boundary layer: Rayleigh friction over the lowest SigmaB of the
+	// column with peak rate KFric (1/s).
+	KFric  float64
+	SigmaB float64
+
+	// Moisture: saturation humidity scale, evaporation and
+	// condensation timescales, latent heating coefficient.
+	QSat0     float64 // surface saturation humidity (kg/kg)
+	TauEvap   float64 // s
+	TauCond   float64 // s
+	LatentK   float64 // K of heating per unit condensed humidity
+	QSatTheta float64 // e-folding of qsat with theta (1/K)
+
+	// Surface exchange (used when coupled): bulk coefficients.
+	CDrag float64 // momentum
+	CHeat float64 // heat (K/s per K of air-sea contrast)
+}
+
+// Default returns a stable coarse-resolution parameter set.
+func Default() Params {
+	return Params{
+		TauRadDays:     40,
+		TauRadSurfDays: 4,
+		ThetaTropic:    300,
+		DThetaPole:     55,
+		DThetaVert:     35,
+		KFric:          1.0 / 86400,
+		SigmaB:         0.7,
+		QSat0:          0.018,
+		TauEvap:        20 * 86400,
+		TauCond:        6 * 3600,
+		LatentK:        2500,
+		QSatTheta:      0.06,
+		CDrag:          1.2e-3,
+		CHeat:          1.0 / (10 * 86400),
+	}
+}
+
+// Physics implements kernel.Forcing.
+type Physics struct {
+	P Params
+
+	// SST, when non-nil, is the sea-surface temperature (C) under this
+	// tile, supplied by the coupler with a halo at least as wide as the
+	// physics margin; the surface fluxes then use it in place of the
+	// internal equilibrium profile.
+	SST *field.F2
+}
+
+// New builds the physics package.
+func New(p Params) *Physics { return &Physics{P: p} }
+
+var _ kernel.Forcing = (*Physics)(nil)
+
+// thetaEq is the radiative-convective equilibrium profile.
+func (ph *Physics) thetaEq(lat float64, height float64) float64 {
+	phi := lat * math.Pi / 180
+	sin2 := math.Sin(phi) * math.Sin(phi)
+	return ph.P.ThetaTropic - ph.P.DThetaPole*sin2 + ph.P.DThetaVert*height
+}
+
+// AddTendencies implements kernel.Forcing.
+func (ph *Physics) AddTendencies(g *grid.Local, s *kernel.State, kp *kernel.Params, c *kernel.Counters) {
+	p := ph.P
+	m := kernel.Halo - 1
+	gu, gv := s.GU(), s.GV()
+	gth, gq := s.GTh(), s.GS()
+	nz := g.NZ
+	tauRad := p.TauRadDays * 86400
+	tauSurf := p.TauRadSurfDays * 86400
+	var ops int64
+	for k := 0; k < nz; k++ {
+		height := 1 - g.ZFrac(k) // 1 = top, 0 = ground
+		sigma := g.ZFrac(k)      // fraction of column below the top
+		// Rayleigh friction ramps up towards the ground.
+		kv := 0.0
+		if sigma > p.SigmaB {
+			kv = p.KFric * (sigma - p.SigmaB) / (1 - p.SigmaB)
+		}
+		surface := k == nz-1
+		for j := -m; j < g.NY+m; j++ {
+			lat := g.Lat(j)
+			for i := -m; i < g.NX+m; i++ {
+				if g.HFacC.At(i, j, k) == 0 {
+					continue
+				}
+				th := s.Theta.At(i, j, k)
+				q := s.Salt.At(i, j, k)
+				// Radiation: relax towards equilibrium.
+				tau := tauRad
+				if surface {
+					tau = tauSurf
+				}
+				teq := ph.thetaEq(lat, height)
+				gth.Add(i, j, k, (teq-th)/tau)
+				ops += 10
+				// Moisture: condensation wherever q exceeds saturation.
+				qsat := p.QSat0 * math.Exp(p.QSatTheta*(th-p.ThetaTropic)) * (0.05 + 0.95*sigma)
+				if q > qsat {
+					cond := (q - qsat) / p.TauCond
+					gq.Add(i, j, k, -cond)
+					gth.Add(i, j, k, p.LatentK*cond)
+					ops += 6
+				}
+				if surface {
+					// Evaporation from the lower boundary towards
+					// saturation; stronger over warm SST when coupled.
+					qsrc := qsat
+					if ph.SST != nil {
+						sst := ph.SST.At(i, j)
+						qsrc = p.QSat0 * math.Exp(p.QSatTheta*(sst+273.15-p.ThetaTropic))
+					}
+					gq.Add(i, j, k, (qsrc-q)/p.TauEvap)
+					ops += 4
+					// Sensible heat flux from the SST when coupled.
+					if ph.SST != nil {
+						sst := ph.SST.At(i, j) + 273.15
+						gth.Add(i, j, k, p.CHeat*(sst-th))
+						ops += 3
+					}
+				}
+			}
+		}
+		// Friction acts on the momentum points of the same levels.
+		if kv > 0 {
+			for j := -m; j < g.NY+m; j++ {
+				for i := -m; i < g.NX+m+1; i++ {
+					if g.HFacW.At(i, j, k) > 0 {
+						gu.Add(i, j, k, -kv*s.U.At(i, j, k))
+					}
+					if g.HFacS.At(i, j, k) > 0 {
+						gv.Add(i, j, k, -kv*s.V.At(i, j, k))
+					}
+				}
+			}
+			ops += int64((g.NY + 2*m) * (g.NX + 2*m + 1) * 4)
+		}
+	}
+	c.AddPS(ops)
+}

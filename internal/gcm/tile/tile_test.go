@@ -1,0 +1,229 @@
+package tile
+
+import (
+	"fmt"
+	"testing"
+
+	"hyades/internal/cluster"
+	"hyades/internal/comm"
+	"hyades/internal/gcm/field"
+)
+
+func runHyades(t *testing.T, nodes, ppn int, body func(ep comm.Endpoint)) {
+	t.Helper()
+	cl, err := cluster.New(cluster.DefaultConfig(nodes, ppn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := comm.NewHyades(cl, comm.DefaultHyadesConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start(func(w *cluster.Worker) { body(h.Bind(w)) })
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompValidate(t *testing.T) {
+	good := Decomp{NXg: 32, NYg: 16, Px: 4, Py: 2, PeriodicX: true}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Decomp{
+		{NXg: 33, NYg: 16, Px: 4, Py: 2},                  // not divisible
+		{NXg: 30, NYg: 16, Px: 3, Py: 2, PeriodicX: true}, // odd periodic ring
+		{NXg: 32, NYg: 16, Px: 0, Py: 2},                  // degenerate
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, d)
+		}
+	}
+}
+
+func TestCoordRankRoundTrip(t *testing.T) {
+	d := Decomp{NXg: 32, NYg: 32, Px: 4, Py: 2}
+	for r := 0; r < d.Tiles(); r++ {
+		tx, ty := d.CoordOf(r)
+		if d.RankOf(tx, ty) != r {
+			t.Fatalf("rank %d -> (%d,%d) -> %d", r, tx, ty, d.RankOf(tx, ty))
+		}
+	}
+}
+
+// globalRef gives the test pattern value at a global cell.
+func globalRef(gi, gj, k int) float64 {
+	return float64(k*100000 + gj*1000 + gi + 7)
+}
+
+// checkHaloConsistency fills every tile's interior with the global
+// pattern, updates halos, and verifies halo cells carry the correct
+// neighbouring global values (with wrap where periodic).
+func checkHaloConsistency(t *testing.T, d Decomp, width, nz int, nodes, ppn int) {
+	t.Helper()
+	nx, ny := d.TileSize()
+	bad := 0
+	runHyades(t, nodes, ppn, func(ep comm.Endpoint) {
+		h, err := NewHalo(ep, d)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		i0, j0 := d.Origin(ep.Rank())
+		f := field.NewF3(nx, ny, nz, width)
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					f.Set(i, j, k, globalRef(i0+i, j0+j, k))
+				}
+			}
+		}
+		h.Update3(f, width)
+		for k := 0; k < nz; k++ {
+			for j := -width; j < ny+width; j++ {
+				for i := -width; i < nx+width; i++ {
+					gi, gj := i0+i, j0+j
+					inX, inY := true, true
+					if gi < 0 || gi >= d.NXg {
+						if !d.PeriodicX {
+							inX = false
+						}
+						gi = ((gi % d.NXg) + d.NXg) % d.NXg
+					}
+					if gj < 0 || gj >= d.NYg {
+						if !d.PeriodicY {
+							inY = false
+						}
+						gj = ((gj % d.NYg) + d.NYg) % d.NYg
+					}
+					if !inX || !inY {
+						continue // wall halo: undefined, kernels mask it
+					}
+					if got, want := f.At(i, j, k), globalRef(gi, gj, k); got != want {
+						bad++
+						if bad < 5 {
+							t.Errorf("rank %d cell (%d,%d,%d): got %g want %g", ep.Rank(), i, j, k, got, want)
+						}
+					}
+				}
+			}
+		}
+	})
+	if bad > 0 {
+		t.Fatalf("%d inconsistent halo cells", bad)
+	}
+}
+
+func TestHaloConsistency(t *testing.T) {
+	cases := []struct {
+		d          Decomp
+		width, nz  int
+		nodes, ppn int
+	}{
+		{Decomp{NXg: 16, NYg: 8, Px: 4, Py: 2, PeriodicX: true}, 3, 2, 8, 1},
+		{Decomp{NXg: 16, NYg: 8, Px: 4, Py: 2, PeriodicX: true}, 1, 1, 8, 1},
+		{Decomp{NXg: 16, NYg: 16, Px: 2, Py: 2, PeriodicX: true, PeriodicY: true}, 2, 1, 4, 1},
+		{Decomp{NXg: 8, NYg: 8, Px: 1, Py: 4}, 2, 1, 4, 1},
+		{Decomp{NXg: 8, NYg: 8, Px: 2, Py: 4, PeriodicX: true}, 1, 1, 4, 2},
+		{Decomp{NXg: 12, NYg: 12, Px: 1, Py: 1, PeriodicX: true, PeriodicY: true}, 2, 2, 1, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("%dx%d_w%d", tc.d.Px, tc.d.Py, tc.width)
+		t.Run(name, func(t *testing.T) {
+			checkHaloConsistency(t, tc.d, tc.width, tc.nz, tc.nodes, tc.ppn)
+		})
+	}
+}
+
+func TestHalo2DConsistency(t *testing.T) {
+	d := Decomp{NXg: 16, NYg: 8, Px: 4, Py: 2, PeriodicX: true}
+	nx, ny := d.TileSize()
+	bad := 0
+	runHyades(t, 8, 1, func(ep comm.Endpoint) {
+		h, _ := NewHalo(ep, d)
+		i0, j0 := d.Origin(ep.Rank())
+		f := field.NewF2(nx, ny, 1)
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				f.Set(i, j, globalRef(i0+i, j0+j, 0))
+			}
+		}
+		h.Update2(f, 1)
+		for _, probe := range [][2]int{{-1, 0}, {nx, 0}, {0, -1}, {0, ny}} {
+			i, j := probe[0], probe[1]
+			gi, gj := i0+i, j0+j
+			if gj < 0 || gj >= d.NYg {
+				continue
+			}
+			gi = ((gi % d.NXg) + d.NXg) % d.NXg
+			if f.At(i, j) != globalRef(gi, gj, 0) {
+				bad++
+			}
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d bad 2-D halo cells", bad)
+	}
+}
+
+func TestGather2(t *testing.T) {
+	d := Decomp{NXg: 8, NYg: 8, Px: 2, Py: 2}
+	nx, ny := d.TileSize()
+	runHyades(t, 4, 1, func(ep comm.Endpoint) {
+		h, _ := NewHalo(ep, d)
+		i0, j0 := d.Origin(ep.Rank())
+		f := field.NewF2(nx, ny, 1)
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				f.Set(i, j, globalRef(i0+i, j0+j, 0))
+			}
+		}
+		g := h.Gather2(f)
+		if ep.Rank() == 0 {
+			if g == nil {
+				t.Error("rank 0 got nil gather")
+				return
+			}
+			for j := 0; j < d.NYg; j++ {
+				for i := 0; i < d.NXg; i++ {
+					if g.At(i, j) != globalRef(i, j, 0) {
+						t.Errorf("gathered (%d,%d) = %g", i, j, g.At(i, j))
+						return
+					}
+				}
+			}
+		} else if g != nil {
+			t.Error("non-root got a gather result")
+		}
+	})
+}
+
+func TestSerialEndpointHalo(t *testing.T) {
+	// A single periodic tile on the serial endpoint wraps locally and
+	// never touches the network.
+	d := Decomp{NXg: 8, NYg: 8, Px: 1, Py: 1, PeriodicX: true, PeriodicY: true}
+	ep := &comm.Serial{}
+	h, err := NewHalo(ep, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := field.NewF2(8, 8, 2)
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 8; i++ {
+			f.Set(i, j, globalRef(i, j, 0))
+		}
+	}
+	h.Update2(f, 2)
+	if f.At(-1, 3) != globalRef(7, 3, 0) {
+		t.Fatalf("west wrap = %g", f.At(-1, 3))
+	}
+	if f.At(3, 9) != globalRef(3, 1, 0) {
+		t.Fatalf("north wrap = %g", f.At(3, 9))
+	}
+	if f.At(-2, -1) != globalRef(6, 7, 0) {
+		t.Fatalf("corner wrap = %g", f.At(-2, -1))
+	}
+}

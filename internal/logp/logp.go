@@ -1,0 +1,98 @@
+// Package logp measures the LogP characteristics of the StarT-X PIO
+// message-passing mechanism (paper Fig. 2 and [Culler et al. 96]):
+// send overhead Os, receive overhead Or, half round-trip time, and the
+// derived network latency L.
+//
+// The harness runs directly on the simulated NIUs of a two-node
+// cluster, mirroring the paper's stand-alone micro-benchmark: the
+// overheads are the processor stall times of the mmap register
+// accesses; the round trip is a ping-pong of messages of the probed
+// payload size.
+package logp
+
+import (
+	"fmt"
+
+	"hyades/internal/arctic"
+	"hyades/internal/cluster"
+	"hyades/internal/units"
+)
+
+// Result is one LogP characterisation row.
+type Result struct {
+	PayloadBytes int
+	Os, Or       units.Time // send / receive processor overheads
+	HalfRTT      units.Time // Tround-trip / 2
+	L            units.Time // HalfRTT - Os - Or (network latency)
+}
+
+// Measure characterises PIO messaging for one payload size on a fresh
+// two-node simulated cluster.
+func Measure(payloadWords int, rounds int) (Result, error) {
+	if payloadWords < arctic.MinPayloadWords || payloadWords > arctic.MaxPayloadWords {
+		return Result{}, fmt.Errorf("logp: payload %d words out of range", payloadWords)
+	}
+	cl, err := cluster.New(cluster.DefaultConfig(2, 1))
+	if err != nil {
+		return Result{}, err
+	}
+	defer cl.Close()
+	res := Result{PayloadBytes: payloadWords * 4}
+
+	payload := make([]uint32, payloadWords)
+	for i := range payload {
+		payload[i] = uint32(i)
+	}
+
+	var rttTotal units.Time
+	cl.Start(func(w *cluster.Worker) {
+		niu := w.Node.NIU
+		if w.Rank == 0 {
+			// Os: the processor stall of one send.
+			t0 := w.Proc.Now()
+			niu.PIOSend(w.Proc, 1, 1, payload, arctic.Low)
+			res.Os = w.Proc.Now() - t0
+			niu.PIORecv(w.Proc, arctic.Low) // drain the echo
+			// Ping-pong for the round trip.
+			start := w.Proc.Now()
+			for i := 0; i < rounds; i++ {
+				niu.PIOSend(w.Proc, 1, 1, payload, arctic.Low)
+				niu.PIORecv(w.Proc, arctic.Low)
+			}
+			rttTotal = w.Proc.Now() - start
+		} else {
+			// Or: receive a message that has long been waiting, so the
+			// measured stall is pure register-read overhead.
+			m := niu.PIORecv(w.Proc, arctic.Low)
+			niu.PIOSend(w.Proc, 0, 1, m.Words, arctic.Low)
+			for i := 0; i < rounds; i++ {
+				got := niu.PIORecv(w.Proc, arctic.Low)
+				niu.PIOSend(w.Proc, 0, 1, got.Words, arctic.Low)
+			}
+		}
+	})
+	if err := cl.Run(); err != nil {
+		return Result{}, err
+	}
+	// Or is the defined processor overhead of draining a waiting
+	// message: the register-read cost (the blocking wait is network
+	// time, not overhead).  Read it from the NIU cost model, exactly as
+	// the paper's estimate sums the mmap access costs.
+	res.Or = cl.Nodes[1].NIU.PIORecvCost(payloadWords)
+	res.HalfRTT = rttTotal / units.Time(2*rounds)
+	res.L = res.HalfRTT - res.Os - res.Or
+	return res, nil
+}
+
+// Fig2 reproduces the paper's LogP table: 8-byte and 64-byte payloads.
+func Fig2() ([]Result, error) {
+	var out []Result
+	for _, words := range []int{2, 16} {
+		r, err := Measure(words, 16)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

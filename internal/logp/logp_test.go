@@ -1,0 +1,74 @@
+package logp
+
+import (
+	"testing"
+)
+
+// TestFig2 reproduces the paper's LogP table within tight bands: the
+// overheads are sums of published mmap costs, the round trip adds the
+// simulated fabric.
+//
+//	paper:  8B: Os=0.4  Or=2.0  RTT/2=3.7   L=1.3
+//	       64B: Os=1.7  Or=8.6  RTT/2=11.7  L=1.4
+func TestFig2(t *testing.T) {
+	rows, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	type band struct{ os, or, half, l [2]float64 }
+	want := map[int]band{
+		8:  {os: [2]float64{0.3, 0.5}, or: [2]float64{1.7, 2.1}, half: [2]float64{3.2, 4.2}, l: [2]float64{0.9, 1.8}},
+		64: {os: [2]float64{1.4, 1.9}, or: [2]float64{8.0, 9.0}, half: [2]float64{10.8, 12.6}, l: [2]float64{0.9, 2.2}},
+	}
+	for _, r := range rows {
+		w, ok := want[r.PayloadBytes]
+		if !ok {
+			t.Fatalf("unexpected payload %d", r.PayloadBytes)
+		}
+		t.Logf("%2dB: Os=%v Or=%v RTT/2=%v L=%v", r.PayloadBytes, r.Os, r.Or, r.HalfRTT, r.L)
+		checks := []struct {
+			name string
+			got  float64
+			band [2]float64
+		}{
+			{"Os", r.Os.Micros(), w.os},
+			{"Or", r.Or.Micros(), w.or},
+			{"RTT/2", r.HalfRTT.Micros(), w.half},
+			{"L", r.L.Micros(), w.l},
+		}
+		for _, c := range checks {
+			if c.got < c.band[0] || c.got > c.band[1] {
+				t.Errorf("%dB payload: %s = %.2f us outside [%.1f, %.1f]", r.PayloadBytes, c.name, c.got, c.band[0], c.band[1])
+			}
+		}
+	}
+}
+
+// TestOsMatchesEstimate verifies §2.3's cost estimate: Os for an
+// 8-byte message is two back-to-back 8-byte writes (0.36 us), Or two
+// reads (1.86 us).
+func TestOsMatchesEstimate(t *testing.T) {
+	r, err := Measure(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us := r.Os.Micros(); us < 0.35 || us > 0.37 {
+		t.Errorf("Os = %.3f us, estimate 0.36", us)
+	}
+	if us := r.Or.Micros(); us < 1.85 || us > 1.87 {
+		t.Errorf("Or = %.3f us, estimate 1.86", us)
+	}
+}
+
+// TestPayloadValidation rejects out-of-range payloads.
+func TestPayloadValidation(t *testing.T) {
+	if _, err := Measure(1, 4); err == nil {
+		t.Error("1-word payload accepted")
+	}
+	if _, err := Measure(23, 4); err == nil {
+		t.Error("23-word payload accepted")
+	}
+}

@@ -1,0 +1,228 @@
+// Package mpistart models MPI-StarT (Husbands & Hoe, SC'98 — the
+// paper's reference [18]): a general-purpose message-passing interface
+// delivering the StarT-X network to portable applications.
+//
+// The paper's §6 argues that an application-specific cluster should
+// *not* pay for such generality: "there is little reason to give up
+// any performance for an API that is more general than required".
+// This package exists to quantify that trade on the simulated
+// machine: the same hardware mechanisms (PIO for eager messages, VI
+// DMA for bulk), but wrapped in a portable layer that pays a per-call
+// software tax (communicator dispatch, datatype handling, request
+// bookkeeping) and uses the portable reduce-broadcast algorithm
+// instead of the latency-optimal application-specific butterfly.  See
+// BenchmarkAblationMPIvsCustom.
+//
+// The model supports one process per node (MPI-StarT's cluster mode).
+package mpistart
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hyades/internal/arctic"
+	"hyades/internal/cluster"
+	"hyades/internal/startx"
+	"hyades/internal/units"
+)
+
+// Overhead is the per-call software cost of the portable layer on each
+// side of an operation, on top of the hardware costs.  MPI-StarT's
+// published small-message latencies sit a few microseconds above the
+// raw mechanisms; 2 us per side reproduces that class.
+const Overhead = 2 * units.Microsecond
+
+// eagerLimit is the largest message sent inline through PIO registers.
+const eagerLimit = arctic.MaxPayloadBytes - 4 // one word carries the length
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	w     *cluster.Worker
+	niu   *startx.NIU
+	size  int
+	stash map[key][][]byte
+}
+
+type key struct {
+	src, tag int
+}
+
+// New binds a communicator to a started worker.  The cluster must run
+// one process per node.
+func New(w *cluster.Worker, size int) (*Comm, error) {
+	if w.CPU != 0 {
+		return nil, fmt.Errorf("mpistart: one process per node only")
+	}
+	return &Comm{w: w, niu: w.Node.NIU, size: size, stash: make(map[key][][]byte)}, nil
+}
+
+// Rank returns this process's rank (its node id).
+func (c *Comm) Rank() int { return c.w.Rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// Send transmits data to dst with a tag (0..255).  Small messages go
+// eagerly through PIO; larger ones stream through the VI DMA engine.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	c.w.Proc.Delay(Overhead)
+	if tag < 0 || tag > 0xff {
+		panic(fmt.Sprintf("mpistart: tag %d out of range", tag))
+	}
+	if len(data) <= eagerLimit {
+		words := make([]uint32, 0, arctic.MaxPayloadWords)
+		words = append(words, uint32(len(data)))
+		for off := 0; off < len(data); off += 4 {
+			var w uint32
+			for b := 0; b < 4 && off+b < len(data); b++ {
+				w |= uint32(data[off+b]) << (8 * b)
+			}
+			words = append(words, w)
+		}
+		if len(words) < arctic.MinPayloadWords {
+			words = append(words, 0)
+		}
+		c.niu.PIOSend(c.w.Proc, dst, tag, words, arctic.Low)
+		return
+	}
+	c.niu.DMASend(c.w.Proc, dst, tag, data, arctic.Low)
+}
+
+// Recv blocks for the next message from src with the given tag.
+func (c *Comm) Recv(src, tag int) []byte {
+	c.w.Proc.Delay(Overhead)
+	k := key{src, tag}
+	if q := c.stash[k]; len(q) > 0 {
+		data := q[0]
+		c.stash[k] = q[1:]
+		return data
+	}
+	for {
+		src2, tag2, data := c.pull()
+		if src2 == src && tag2 == tag {
+			return data
+		}
+		k2 := key{src2, tag2}
+		c.stash[k2] = append(c.stash[k2], data)
+	}
+}
+
+// pull drains the next message from either hardware queue.  A single
+// process per node consumes both queues, so blocking on PIO first and
+// falling back to VI needs an arrival check loop.
+func (c *Comm) pull() (src, tag int, data []byte) {
+	for {
+		if m, ok := c.niu.TryPIORecv(c.w.Proc, arctic.Low); ok {
+			n := int(m.Words[0])
+			buf := make([]byte, n)
+			for i := 0; i < n; i++ {
+				buf[i] = byte(m.Words[1+i/4] >> (8 * (i % 4)))
+			}
+			return m.Src, m.Tag, buf
+		}
+		if c.niu.VIPending() > 0 {
+			t := c.niu.VIRecv(c.w.Proc)
+			return t.Src, t.Tag, t.Data
+		}
+		// Nothing yet: poll again after a status-read interval (the
+		// TryPIORecv above already charged one).
+	}
+}
+
+// Sendrecv performs the symmetric exchange the portable halo code uses.
+func (c *Comm) Sendrecv(peer, tag int, send []byte) []byte {
+	if c.Rank() < peer {
+		c.Send(peer, tag, send)
+		return c.Recv(peer, tag)
+	}
+	data := c.Recv(peer, tag)
+	c.Send(peer, tag, send)
+	return data
+}
+
+// Bcast distributes root's buffer to every rank over a binomial tree
+// and returns each rank's copy.
+func (c *Comm) Bcast(root, tag int, data []byte) []byte {
+	me := (c.Rank() - root + c.size) % c.size
+	highest := 1
+	for highest < c.size {
+		highest <<= 1
+	}
+	if me != 0 {
+		low := me & -me
+		parent := (me - low + root) % c.size
+		data = c.Recv(parent, tag)
+		highest = low
+	}
+	for mask := highest >> 1; mask >= 1; mask >>= 1 {
+		if me&mask == 0 && me|mask < c.size {
+			c.Send(((me|mask)+root)%c.size, tag, data)
+		}
+	}
+	return data
+}
+
+// Allreduce sums one float64 across all ranks with the portable
+// reduce-then-broadcast algorithm (2 log2 N sequential message
+// latencies on the critical path, against the custom butterfly's
+// log2 N).
+func (c *Comm) Allreduce(x float64, tag int) float64 {
+	me, n := c.Rank(), c.size
+	sum := x
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			c.Send(me&^mask, tag, encodeFloat(sum))
+			break
+		}
+		if me|mask < n {
+			sum += decodeFloat(c.Recv(me|mask, tag))
+		}
+	}
+	highest := 1
+	for highest < n {
+		highest <<= 1
+	}
+	start := highest
+	if me != 0 {
+		low := me & -me
+		sum = decodeFloat(c.Recv(me&^low, tag+1))
+		start = low
+	}
+	for mask := start >> 1; mask >= 1; mask >>= 1 {
+		if me|mask < n && me&mask == 0 {
+			c.Send(me|mask, tag+1, encodeFloat(sum))
+		}
+	}
+	return sum
+}
+
+// Barrier blocks until every rank arrives.
+func (c *Comm) Barrier(tag int) { c.Allreduce(0, tag) }
+
+// Gather collects every rank's buffer at root, in rank order; other
+// ranks return nil.
+func (c *Comm) Gather(root, tag int, data []byte) [][]byte {
+	if c.Rank() != root {
+		c.Send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, c.size)
+	out[root] = data
+	for r := 0; r < c.size; r++ {
+		if r != root {
+			out[r] = c.Recv(r, tag)
+		}
+	}
+	return out
+}
+
+func encodeFloat(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func decodeFloat(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

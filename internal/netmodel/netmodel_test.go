@@ -1,0 +1,166 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyades/internal/comm"
+	"hyades/internal/units"
+)
+
+func run(t *testing.T, n int, prm Params, body func(ep *Endpoint)) {
+	t.Helper()
+	c := New(n, prm)
+	defer c.Close()
+	c.Start(body)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeSwapsData(t *testing.T) {
+	for _, prm := range []Params{FastEthernet(), GigabitEthernet(), MyrinetHPVM()} {
+		run(t, 2, prm, func(ep *Endpoint) {
+			peer := 1 - ep.Rank()
+			send := make([]byte, 300)
+			for i := range send {
+				send[i] = byte(ep.Rank()*100 + i%50)
+			}
+			got := ep.Exchange(peer, send, comm.Block{Rows: 10, RowBytes: 30})
+			for i := range got {
+				if got[i] != byte(peer*100+i%50) {
+					t.Errorf("%s: byte %d = %d", prm.Name, i, got[i])
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestGlobalSumCorrectAnySize(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%13 + 1
+		want := float64(n*(n+1)) / 2
+		ok := true
+		c := New(n, GigabitEthernet())
+		defer c.Close()
+		c.Start(func(ep *Endpoint) {
+			if got := ep.GlobalSum(float64(ep.Rank() + 1)); math.Abs(got-want) > 1e-12 {
+				ok = false
+			}
+		})
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageGrainPolicy(t *testing.T) {
+	fe := New(2, FastEthernet())
+	// Narrow strided rows split to 8-byte elements on FE.
+	if g := fe.grainFor(comm.Block{Rows: 10, RowBytes: 24}, 240); g != 8 {
+		t.Fatalf("FE narrow strided grain = %d, want 8", g)
+	}
+	// Wide contiguous runs stay whole rows.
+	if g := fe.grainFor(comm.Block{Rows: 5, RowBytes: 912}, 4560); g != 912 {
+		t.Fatalf("FE wide-run grain = %d, want 912", g)
+	}
+	// Contiguous slabs are one message.
+	if g := fe.grainFor(comm.Block{Rows: 1, RowBytes: 4096}, 4096); g != 4096 {
+		t.Fatalf("FE contiguous grain = %d", g)
+	}
+	// HPVM packs everything.
+	my := New(2, MyrinetHPVM())
+	if g := my.grainFor(comm.Block{Rows: 10, RowBytes: 24}, 240); g != 240 {
+		t.Fatalf("HPVM grain = %d, want whole slab", g)
+	}
+}
+
+func TestStridedCostsMoreThanPacked(t *testing.T) {
+	elapsed := func(rows int) units.Time {
+		var d units.Time
+		run(t, 2, GigabitEthernet(), func(ep *Endpoint) {
+			layout := comm.Block{Rows: rows, RowBytes: 2400 / rows}
+			t0 := ep.Now()
+			ep.Exchange(1-ep.Rank(), make([]byte, 2400), layout)
+			if ep.Rank() == 0 {
+				d = ep.Now() - t0
+			}
+		})
+		return d
+	}
+	packed := elapsed(1)
+	strided := elapsed(100)
+	if strided <= 2*packed {
+		t.Fatalf("100-row strided exchange (%v) should cost far more than packed (%v)", strided, packed)
+	}
+}
+
+func TestSmallMessageFastPath(t *testing.T) {
+	prm := MyrinetHPVM()
+	if prm.SmallMessage >= prm.PerMessage {
+		t.Skip("model has no fast path")
+	}
+	c := New(2, prm)
+	if got := c.msgCost(8); got != prm.SmallMessage {
+		t.Fatalf("8-byte message cost %v", got)
+	}
+	if got := c.msgCost(100); got != prm.PerMessage {
+		t.Fatalf("100-byte message cost %v", got)
+	}
+}
+
+func TestNICSerialization(t *testing.T) {
+	// Two transfers from the same node share its NIC: back-to-back
+	// sends to different peers serialize on the wire.
+	prm := GigabitEthernet()
+	var t1, t2 units.Time
+	run(t, 3, prm, func(ep *Endpoint) {
+		switch ep.Rank() {
+		case 0:
+			ep.sendMsg(1, make([]byte, 65000))
+			ep.sendMsg(2, make([]byte, 65000))
+		case 1:
+			ep.recvMsg(0)
+			t1 = ep.Now()
+		case 2:
+			ep.recvMsg(0)
+			t2 = ep.Now()
+		}
+	})
+	wire := prm.Bandwidth.Transfer(65000 + prm.FrameOverhead)
+	if t2-t1 < wire/2 {
+		t.Fatalf("second transfer arrived %v after the first; NIC not serializing (wire=%v)", t2-t1, wire)
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	c := New(2, FastEthernet())
+	defer c.Close()
+	c.Start(func(ep *Endpoint) {
+		ep.recvMsg(1 - ep.Rank()) // both receive, nobody sends
+	})
+	if err := c.Run(); err == nil {
+		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	run(t, 2, GigabitEthernet(), func(ep *Endpoint) {
+		ep.Busy(5 * units.Microsecond)
+		ep.Exchange(1-ep.Rank(), make([]byte, 100), comm.Contiguous(100, true))
+		ep.GlobalSum(1)
+		s := ep.Stats()
+		if s.ComputeTime != 5*units.Microsecond || s.Exchanges != 1 || s.GlobalSums != 1 {
+			t.Errorf("stats: %+v", *s)
+		}
+		if s.ExchangeTime <= 0 || s.GsumTime <= 0 {
+			t.Errorf("times not recorded: %+v", *s)
+		}
+	})
+}

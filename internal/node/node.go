@@ -1,0 +1,105 @@
+// Package node models one Hyades processing node: a two-way SMP with
+// 400-MHz processors, 100-MHz SDRAM, a PCI bus and a StarT-X NIU
+// (paper §2.1).
+//
+// Processors are discrete-event processes created by the cluster layer;
+// this package carries the per-node cost parameters they charge against:
+// memory-copy bandwidth (for packing halo data and moving it through the
+// VI region or shared memory) and shared-memory semaphore costs (for the
+// mix-mode primitives of §4.1/§4.2).
+package node
+
+import (
+	"hyades/internal/des"
+	"hyades/internal/pci"
+	"hyades/internal/startx"
+	"hyades/internal/units"
+)
+
+// Config holds per-node cost parameters.  The copy rates are calibrated
+// (together with the per-row pack overheads in package comm) so the
+// stand-alone exchange benchmarks land on the paper's measured texch
+// values; the semaphore cost reproduces the ~1 us mix-mode global-sum
+// penalty and the ~30% slave-exchange bandwidth loss.
+type Config struct {
+	Processors int // CPUs per SMP (Hyades: 2)
+
+	// MemcpyBandwidth is the rate of a well-behaved cached block copy.
+	MemcpyBandwidth units.Bandwidth
+	// UncachedCopyBandwidth is the rate of a copy whose working set
+	// misses the cache (large 3-D fields swept between exchanges).
+	UncachedCopyBandwidth units.Bandwidth
+	// SemaphoreCost is one shared-memory semaphore operation.
+	SemaphoreCost units.Time
+}
+
+// DefaultConfig returns the calibrated Hyades node parameters.
+func DefaultConfig() Config {
+	return Config{
+		Processors:            2,
+		MemcpyBandwidth:       300 * units.MBps,
+		UncachedCopyBandwidth: 150 * units.MBps,
+		SemaphoreCost:         300 * units.Nanosecond,
+	}
+}
+
+// Node is one SMP.
+type Node struct {
+	ID  int
+	Eng *des.Engine
+	Cfg Config
+	Bus *pci.Bus
+	NIU *startx.NIU
+
+	// NIULock serializes NIU use between the processors of the SMP;
+	// the communication master holds it during remote primitives.
+	NIULock *des.Semaphore
+
+	// Shared is scratch shared memory for intra-SMP rendezvous, keyed
+	// by a small protocol-defined integer.
+	Shared map[int]*des.Mailbox[[]byte]
+
+	// Sums is the shared-memory slot used by the mix-mode local
+	// reduction of §4.2.
+	Sums *des.Mailbox[float64]
+}
+
+// New creates a node with its bus; the NIU is attached by the cluster.
+func New(e *des.Engine, id int, cfg Config, busCfg pci.Config) *Node {
+	return &Node{
+		ID:      id,
+		Eng:     e,
+		Cfg:     cfg,
+		Bus:     pci.NewBus(e, busCfg),
+		NIULock: des.NewSemaphore(e, 1),
+		Shared:  make(map[int]*des.Mailbox[[]byte]),
+		Sums:    des.NewMailbox[float64](e, "sums"),
+	}
+}
+
+// AttachNIU installs the node's network interface.
+func (n *Node) AttachNIU(niu *startx.NIU) { n.NIU = niu }
+
+// Memcpy charges the calling processor for a cached block copy.
+func (n *Node) Memcpy(p *des.Proc, bytes int) {
+	p.Delay(n.Cfg.MemcpyBandwidth.Transfer(bytes))
+}
+
+// UncachedCopy charges the calling processor for a cache-missing copy.
+func (n *Node) UncachedCopy(p *des.Proc, bytes int) {
+	p.Delay(n.Cfg.UncachedCopyBandwidth.Transfer(bytes))
+}
+
+// SemOp charges one shared-memory semaphore operation.
+func (n *Node) SemOp(p *des.Proc) { p.Delay(n.Cfg.SemaphoreCost) }
+
+// SharedChannel returns (creating on demand) the intra-SMP rendezvous
+// channel for a protocol key.
+func (n *Node) SharedChannel(key int) *des.Mailbox[[]byte] {
+	mb, ok := n.Shared[key]
+	if !ok {
+		mb = des.NewMailbox[[]byte](n.Eng, "shm")
+		n.Shared[key] = mb
+	}
+	return mb
+}

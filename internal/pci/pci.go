@@ -1,0 +1,92 @@
+// Package pci models the 32-bit 33-MHz PCI environment of a Hyades SMP
+// node (paper §2.1).
+//
+// The paper identifies three host I/O characteristics that "directly
+// govern the performance of interprocessor communication":
+//
+//   - the latency of an 8-byte read of an uncached memory-mapped PCI
+//     device register: 0.93 us;
+//   - the minimum latency between back-to-back 8-byte writes: 0.18 us;
+//   - sustained DMA by a PCI device: over 120 MByte/sec.
+//
+// Processor-side accesses (MMapRead/MMapWrite) stall the calling
+// simulated processor.  Device-side DMA claims the bus as a serially
+// reusable resource, so concurrent DMA streams on one node share the
+// 120 MB/s.
+package pci
+
+import (
+	"hyades/internal/des"
+	"hyades/internal/units"
+)
+
+// Config holds the host I/O cost parameters.
+type Config struct {
+	MMapReadLatency  units.Time      // uncached 8-byte register read
+	MMapWriteLatency units.Time      // back-to-back 8-byte register write
+	DMABandwidth     units.Bandwidth // sustained device DMA rate
+}
+
+// DefaultConfig returns the published Hyades host parameters.
+func DefaultConfig() Config {
+	return Config{
+		MMapReadLatency:  930 * units.Nanosecond,
+		MMapWriteLatency: 180 * units.Nanosecond,
+		DMABandwidth:     120 * units.MBps,
+	}
+}
+
+// Bus is one node's PCI bus.
+type Bus struct {
+	eng *des.Engine
+	cfg Config
+	dma des.Resource
+
+	// Counters for tests and reports.
+	Reads, Writes int64
+	DMABytes      int64
+}
+
+// NewBus creates a bus on engine e.
+func NewBus(e *des.Engine, cfg Config) *Bus {
+	return &Bus{eng: e, cfg: cfg}
+}
+
+// Config returns the bus parameters.
+func (b *Bus) Config() Config { return b.cfg }
+
+// MMapRead stalls the calling processor for one uncached 8-byte register
+// read and returns.
+func (b *Bus) MMapRead(p *des.Proc) {
+	b.Reads++
+	p.Delay(b.cfg.MMapReadLatency)
+}
+
+// MMapReadN performs n back-to-back register reads.
+func (b *Bus) MMapReadN(p *des.Proc, n int) {
+	b.Reads += int64(n)
+	p.Delay(units.Time(n) * b.cfg.MMapReadLatency)
+}
+
+// MMapWrite stalls the calling processor for one 8-byte register write.
+func (b *Bus) MMapWrite(p *des.Proc) {
+	b.Writes++
+	p.Delay(b.cfg.MMapWriteLatency)
+}
+
+// MMapWriteN performs n back-to-back register writes.
+func (b *Bus) MMapWriteN(p *des.Proc, n int) {
+	b.Writes += int64(n)
+	p.Delay(units.Time(n) * b.cfg.MMapWriteLatency)
+}
+
+// DMA reserves the bus for a device transfer of n bytes that becomes
+// ready at the given time, returning when the burst starts and ends.
+// It never blocks; device models chain events from the returned times.
+func (b *Bus) DMA(ready units.Time, n int) (start, end units.Time) {
+	b.DMABytes += int64(n)
+	return b.dma.Claim(ready, b.cfg.DMABandwidth.Transfer(n))
+}
+
+// DMAFreeAt reports when the bus next becomes idle for DMA.
+func (b *Bus) DMAFreeAt() units.Time { return b.dma.FreeAt() }

@@ -1,0 +1,151 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyades/internal/units"
+)
+
+// TestValidationReproducesPaper checks §5.3: with the Fig. 11
+// parameters, the model predicts Tcomm ~ 30.1 min and Tcomp ~ 151 min,
+// totalling ~181 min against 183 observed.
+func TestValidationReproducesPaper(t *testing.T) {
+	e, observed := PaperValidation()
+	tcomm := e.Tcomm().Minutes()
+	tcomp := e.Tcomp().Minutes()
+	total := e.Trun().Minutes()
+	t.Logf("Tcomm=%.1f min (paper 30.1), Tcomp=%.1f min (paper 151), total=%.1f min (observed %.0f)",
+		tcomm, tcomp, total, observed.Minutes())
+	if math.Abs(tcomm-30.1) > 1.0 {
+		t.Errorf("Tcomm = %.2f min, paper 30.1", tcomm)
+	}
+	if math.Abs(tcomp-151) > 2.0 {
+		t.Errorf("Tcomp = %.2f min, paper 151", tcomp)
+	}
+	if math.Abs(total-181) > 2.5 {
+		t.Errorf("total = %.2f min, paper 181", total)
+	}
+	if math.Abs(total-observed.Minutes()) > 6 {
+		t.Errorf("model misses the observed wall clock by more than 3%%")
+	}
+}
+
+// TestFig12PfppValues checks eqs. (14)-(15) against every Pfpp entry
+// of Fig. 12.
+func TestFig12PfppValues(t *testing.T) {
+	rows := PaperFig12()
+	want := []struct {
+		name           string
+		pfppPS, pfppDS float64
+	}{
+		{"F.E.", 8.0, 1.6},
+		{"G.E.", 139, 6.2},
+		{"Arctic", 487, 143},
+	}
+	for i, w := range want {
+		got := rows[i]
+		if got.Name != w.name {
+			t.Fatalf("row %d = %s", i, got.Name)
+		}
+		if math.Abs(got.PfppPS-w.pfppPS)/w.pfppPS > 0.03 {
+			t.Errorf("%s Pfpp,ps = %.1f, paper %.1f", w.name, got.PfppPS, w.pfppPS)
+		}
+		// The paper prints Pfpp,ds to one decimal (1.6 for the exact
+		// 1.68), so allow its truncation.
+		if math.Abs(got.PfppDS-w.pfppDS)/w.pfppDS > 0.08 {
+			t.Errorf("%s Pfpp,ds = %.2f, paper %.1f", w.name, got.PfppDS, w.pfppDS)
+		}
+	}
+}
+
+// TestDSThreshold checks the paper's 306-us observation: Pfpp,ds = 60
+// MFlop/s requires tgsum + texchxy <= ~306 us.
+func TestDSThreshold(t *testing.T) {
+	got := DSThreshold(60).Micros()
+	if math.Abs(got-307.2) > 3 {
+		t.Fatalf("DS threshold = %.1f us, paper ~306", got)
+	}
+	// Gigabit Ethernet is "nearly a factor of ten away".
+	ge := (1193 + 1789.0)
+	ratio := ge / got
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("GE distance from threshold = %.1fx, paper ~10x", ratio)
+	}
+}
+
+// TestPhaseTimeDecomposition checks eq. (4) and (7) bookkeeping.
+func TestPhaseTimeDecomposition(t *testing.T) {
+	ps := PaperAtmospherePS()
+	if ps.Time() != ps.ComputeTime()+ps.ExchangeTime() {
+		t.Error("eq. 4 violated")
+	}
+	if ps.ExchangeTime() != 5*ps.Texchxyz {
+		t.Error("eq. 6 violated")
+	}
+	ds := PaperDS()
+	if ds.Time() != ds.ComputeTime()+ds.ExchangeTime()+ds.GsumTime() {
+		t.Error("eq. 7 violated")
+	}
+	if ds.GsumTime() != 2*ds.Tgsum || ds.ExchangeTime() != 2*ds.Texchxy {
+		t.Error("eqs. 9-10 violated")
+	}
+}
+
+// TestTrunConsistency: Trun = Tcomm + Tcomp exactly, for any
+// parameters (the model is a pure decomposition).
+func TestTrunConsistency(t *testing.T) {
+	f := func(npsRaw, ndsRaw uint16, nxyzRaw, nxyRaw uint16, ntRaw uint16, niRaw uint8) bool {
+		e := Experiment{
+			PS: PS{
+				Nps:       float64(npsRaw%2000) + 1,
+				Nxyz:      int(nxyzRaw)%100000 + 1,
+				Texchxyz:  units.Time(nxyzRaw+1) * units.Microsecond,
+				FpsMFlops: 50,
+			},
+			DS: DS{
+				Nds:       float64(ndsRaw%100) + 1,
+				Nxy:       int(nxyRaw)%10000 + 1,
+				Tgsum:     units.Time(ndsRaw+1) * units.Microsecond,
+				Texchxy:   units.Time(nxyRaw+1) * units.Microsecond,
+				FdsMFlops: 60,
+			},
+			Nt: int(ntRaw)%100000 + 1,
+			Ni: float64(niRaw%100) + 1,
+		}
+		total := float64(e.Trun())
+		split := float64(e.Tcomm()) + float64(e.Tcomp())
+		return math.Abs(total-split) <= 1e-6*total+1000 // picosecond rounding
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPfppMonotonicity: faster communication can only raise Pfpp.
+func TestPfppMonotonicity(t *testing.T) {
+	f := func(a, b uint16) bool {
+		t1 := units.Time(a%5000+1) * units.Microsecond
+		t2 := t1 + units.Time(b%5000+1)*units.Microsecond
+		ps1, ps2 := PaperAtmospherePS(), PaperAtmospherePS()
+		ps1.Texchxyz, ps2.Texchxyz = t1, t2
+		return ps1.Pfpp() > ps2.Pfpp()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOceanAtmosphereScale: the ocean's 15 levels make its texchxyz
+// roughly 3x the atmosphere's 5-level cost in the paper's Fig. 11;
+// their PS compute times scale with nxyz.
+func TestOceanAtmosphereScale(t *testing.T) {
+	atm, oc := PaperAtmospherePS(), PaperOceanPS()
+	if r := float64(oc.Texchxyz) / float64(atm.Texchxyz); r < 2.5 || r > 3.5 {
+		t.Errorf("ocean/atm texchxyz ratio %.2f, expect ~3 (level ratio)", r)
+	}
+	if r := float64(oc.ComputeTime()) / float64(atm.ComputeTime()); r < 2.7 || r > 3.1 {
+		t.Errorf("ocean/atm PS compute ratio %.2f, expect ~2.9", r)
+	}
+}

@@ -1,0 +1,388 @@
+// Package startx models the StarT-X PCI network interface unit
+// (paper §2.3 and [Hoe 98]).
+//
+// StarT-X implements its message-passing mechanisms entirely in
+// hardware; the model therefore has no firmware process, just event
+// chains with the published costs.  All three of its mechanisms are
+// reproduced; the first two are the ones the GCM code uses:
+//
+//   - PIO mode: a FIFO-based network abstraction in the style of the
+//     CM-5 data network interface.  A message is two 32-bit header words
+//     plus 2..22 payload words, moved to/from NIU registers by uncached
+//     mmap accesses.  The cost of a send is one 8-byte header write plus
+//     one write per 8 payload bytes; a receive is the same pattern with
+//     reads.  With the §2.1 host constants this reproduces the paper's
+//     estimates (0.36 us / 1.86 us for an 8-byte message) and, through
+//     the fabric model, the LogP table of Fig. 2.
+//
+//   - VI (cacheable virtual interface) mode: transmit and receive queues
+//     extended into host memory by DMA.  The processor writes messages
+//     into a pinned, cacheable VI region and kicks the NIU's DMA engine
+//     with mmap writes; the engine moves packet-sized quanta (up to 88
+//     payload bytes plus an 8-byte header per 96-byte PCI burst) across
+//     the bus, which yields the published 110 MByte/sec peak payload
+//     rate (88/96 x 120 MB/s).
+//
+//   - Remote-memory mode: one-sided DMA puts into registered windows
+//     of a remote node's pinned memory (see RemotePut), completion
+//     observed by polling a cached flag.
+package startx
+
+import (
+	"fmt"
+
+	"hyades/internal/arctic"
+	"hyades/internal/des"
+	"hyades/internal/pci"
+	"hyades/internal/units"
+)
+
+// Tag-space conventions.  The 11-bit packet tag carries a VI flag in
+// the top bit; the low 10 bits are free for the software layer.
+// Remote-memory packets reuse the tag as the window id and are marked
+// out-of-band on the packet.
+const (
+	viTagFlag = 0x400
+	MaxTag    = 0x3ff
+	MaxWindow = 0x3ff
+)
+
+// Config holds NIU-internal pipeline latencies.  These are the only
+// parameters not published directly in the paper; they are calibrated so
+// that the simulated LogP characteristics land on Fig. 2 (see package
+// comm's tests).
+type Config struct {
+	TxLatency units.Time // NIU transmit pipeline, register to first link
+	RxLatency units.Time // NIU receive pipeline, last link to visible data
+}
+
+// DefaultConfig returns the calibrated StarT-X pipeline latencies.
+func DefaultConfig() Config {
+	return Config{
+		TxLatency: 250 * units.Nanosecond,
+		RxLatency: 250 * units.Nanosecond,
+	}
+}
+
+// Message is a received PIO-mode message.
+type Message struct {
+	Src     int
+	Tag     int
+	Words   []uint32
+	Corrupt bool // the 1-bit catastrophic-failure status of §2.2
+}
+
+// Transfer is a completed VI-mode bulk transfer.
+type Transfer struct {
+	Src  int
+	Tag  int
+	Data []byte
+}
+
+// NIU is one StarT-X interface attached to an Arctic endpoint and to its
+// host's PCI bus.
+type NIU struct {
+	eng *des.Engine
+	bus *pci.Bus
+	fab *arctic.Fabric
+	ep  int
+	cfg Config
+
+	rxHi *des.Mailbox[Message]
+	rxLo *des.Mailbox[Message]
+	rxVI *des.Mailbox[Transfer]
+
+	txQueue  []*dmaJob
+	txActive bool
+
+	// CorruptSeen counts packets that arrived with a failed CRC; the
+	// software layer observes this through Message.Corrupt.
+	CorruptSeen int64
+
+	// OnPIODeliver, if set, runs (in engine context) whenever a PIO
+	// message lands in a receive queue.  The software layer uses it to
+	// wake pollers without modelling every idle status read.
+	OnPIODeliver func()
+
+	// windows holds the registered remote-memory regions.
+	windows map[int]*rmemWindow
+}
+
+// dmaJob is one queued VI-mode or remote-memory transmit; offset is
+// the streaming cursor, winOff the rmem destination offset.
+type dmaJob struct {
+	dst, tag int
+	data     []byte
+	pri      arctic.Priority
+	offset   int
+
+	rmem   bool
+	window int
+	winOff int
+}
+
+// New attaches a NIU for endpoint ep to fabric fab and bus.
+func New(e *des.Engine, bus *pci.Bus, fab *arctic.Fabric, ep int, cfg Config) *NIU {
+	n := &NIU{
+		eng: e, bus: bus, fab: fab, ep: ep, cfg: cfg,
+		rxHi: des.NewMailbox[Message](e, fmt.Sprintf("niu%d.rxHi", ep)),
+		rxLo: des.NewMailbox[Message](e, fmt.Sprintf("niu%d.rxLo", ep)),
+		rxVI: des.NewMailbox[Transfer](e, fmt.Sprintf("niu%d.rxVI", ep)),
+	}
+	fab.Attach(ep, n.receive)
+	return n
+}
+
+// Endpoint returns the NIU's Arctic endpoint number.
+func (n *NIU) Endpoint() int { return n.ep }
+
+// Bus returns the host PCI bus the NIU is attached to.
+func (n *NIU) Bus() *pci.Bus { return n.bus }
+
+// pioAccesses returns the number of 8-byte mmap accesses needed to move
+// a message with the given payload through the register interface: one
+// for the header pair plus one per 8 payload bytes.
+func pioAccesses(payloadWords int) int {
+	return 1 + (payloadWords*4+7)/8
+}
+
+// PIOSendCost returns the processor overhead Os of a PIO send.
+func (n *NIU) PIOSendCost(payloadWords int) units.Time {
+	return units.Time(pioAccesses(payloadWords)) * n.bus.Config().MMapWriteLatency
+}
+
+// PIORecvCost returns the processor overhead Or of a PIO receive.
+func (n *NIU) PIORecvCost(payloadWords int) units.Time {
+	return units.Time(pioAccesses(payloadWords)) * n.bus.Config().MMapReadLatency
+}
+
+// PIOSend transmits a PIO-mode message, stalling the calling processor
+// for the mmap-write overhead.  The payload must be 2..22 words.
+func (n *NIU) PIOSend(p *des.Proc, dst int, tag int, words []uint32, pri arctic.Priority) {
+	if len(words) < arctic.MinPayloadWords || len(words) > arctic.MaxPayloadWords {
+		panic(fmt.Sprintf("startx: PIO payload %d words", len(words)))
+	}
+	if tag < 0 || tag > MaxTag {
+		panic(fmt.Sprintf("startx: tag %d out of range", tag))
+	}
+	n.bus.MMapWriteN(p, pioAccesses(len(words)))
+	pkt := &arctic.Packet{
+		Pri:     pri,
+		Tag:     uint16(tag),
+		Payload: append([]uint32(nil), words...),
+	}
+	n.fab.RouteFor(pkt, n.ep, dst)
+	n.eng.Schedule(n.cfg.TxLatency, func() { n.fab.Inject(n.ep, pkt) })
+}
+
+// PIORecv blocks until a PIO message of the given priority is available,
+// then stalls the calling processor for the mmap-read overhead and
+// returns the message.  The first header read doubles as the
+// queue-not-empty check, so no separate status poll is charged.
+func (n *NIU) PIORecv(p *des.Proc, pri arctic.Priority) Message {
+	mb := n.rxLo
+	if pri == arctic.High {
+		mb = n.rxHi
+	}
+	m := mb.Recv(p)
+	n.bus.MMapReadN(p, pioAccesses(len(m.Words)))
+	return m
+}
+
+// TryPIORecv polls the receive queue without blocking.  A successful
+// poll charges the read overhead; an empty poll charges one status read.
+func (n *NIU) TryPIORecv(p *des.Proc, pri arctic.Priority) (Message, bool) {
+	mb := n.rxLo
+	if pri == arctic.High {
+		mb = n.rxHi
+	}
+	m, ok := mb.TryRecv()
+	if !ok {
+		n.bus.MMapRead(p)
+		return Message{}, false
+	}
+	n.bus.MMapReadN(p, pioAccesses(len(m.Words)))
+	return m, true
+}
+
+// DMASend queues a VI-mode bulk transfer of data to dst.  The caller is
+// stalled only for the DMA-invocation cost (descriptor plus doorbell
+// writes); the transfer itself proceeds asynchronously at the PCI DMA
+// rate, one 96-byte burst (8-byte header + up to 88 payload bytes) per
+// packet.
+func (n *NIU) DMASend(p *des.Proc, dst int, tag int, data []byte, pri arctic.Priority) {
+	if tag < 0 || tag > MaxTag {
+		panic(fmt.Sprintf("startx: tag %d out of range", tag))
+	}
+	if len(data) == 0 {
+		panic("startx: empty DMA transfer")
+	}
+	n.bus.MMapWriteN(p, 2)
+	n.txQueue = append(n.txQueue, &dmaJob{dst: dst, tag: tag, data: data, pri: pri})
+	if !n.txActive {
+		n.txActive = true
+		n.pumpTx()
+	}
+}
+
+// pumpTx moves the next packet quantum of the transmit queue's head job
+// across the PCI bus and into the fabric, then re-arms itself.
+func (n *NIU) pumpTx() {
+	if len(n.txQueue) == 0 {
+		n.txActive = false
+		return
+	}
+	job := n.txQueue[0]
+	chunk := len(job.data) - job.offset
+	if chunk > arctic.MaxPayloadBytes {
+		chunk = arctic.MaxPayloadBytes
+	}
+	job.offset += chunk
+	final := job.offset == len(job.data)
+	if final {
+		n.txQueue = n.txQueue[1:]
+	}
+	_, end := n.bus.DMA(n.eng.Now(), chunk+arctic.HeaderBytes)
+	words := (chunk + 3) / 4
+	if words < arctic.MinPayloadWords {
+		words = arctic.MinPayloadWords
+	}
+	pkt := &arctic.Packet{
+		Pri:       job.pri,
+		Tag:       uint16(job.tag | viTagFlag),
+		BulkWords: words,
+		Final:     final,
+	}
+	pkt.Rmem = job.rmem
+	if final {
+		pkt.Bulk = job.data
+		pkt.RmemOffset = job.winOff
+	}
+	n.fab.RouteFor(pkt, n.ep, job.dst)
+	inject := end - n.eng.Now() + n.cfg.TxLatency
+	n.eng.Schedule(inject, func() { n.fab.Inject(n.ep, pkt) })
+	n.eng.ScheduleAt(end, n.pumpTx)
+}
+
+// VIRecv blocks until a completed bulk transfer is available and returns
+// it.  Polling the cacheable VI region is a cached memory access, so no
+// mmap cost is charged here; the comm layer charges its own copy-out.
+func (n *NIU) VIRecv(p *des.Proc) Transfer {
+	return n.rxVI.Recv(p)
+}
+
+// VIPending reports the number of completed transfers awaiting pickup.
+func (n *NIU) VIPending() int { return n.rxVI.Len() }
+
+// receive is the fabric delivery handler: it dispatches packets to the
+// PIO queues or runs the VI receive DMA.
+func (n *NIU) receive(pkt *arctic.Packet) {
+	if pkt.Corrupted() {
+		n.CorruptSeen++
+	}
+	if pkt.Tag&viTagFlag != 0 {
+		// VI path: DMA the quantum into the VI region; the transfer
+		// completes (becomes visible to software) when the final
+		// packet's burst lands.
+		_, end := n.bus.DMA(n.eng.Now(), pkt.PayloadBytes()+arctic.HeaderBytes)
+		if pkt.Final {
+			if pkt.Rmem {
+				window := int(pkt.Tag) &^ viTagFlag
+				offset := pkt.RmemOffset
+				data := pkt.Bulk
+				n.eng.ScheduleAt(end+n.cfg.RxLatency, func() { n.completeRemotePut(window, offset, data) })
+				return
+			}
+			t := Transfer{Src: pkt.Src, Tag: int(pkt.Tag &^ viTagFlag), Data: pkt.Bulk}
+			n.eng.ScheduleAt(end+n.cfg.RxLatency, func() { n.rxVI.Send(t) })
+		}
+		return
+	}
+	m := Message{Src: pkt.Src, Tag: int(pkt.Tag), Words: pkt.Payload, Corrupt: pkt.Corrupted()}
+	n.eng.Schedule(n.cfg.RxLatency, func() {
+		if pkt.Pri == arctic.High {
+			n.rxHi.Send(m)
+		} else {
+			n.rxLo.Send(m)
+		}
+		if n.OnPIODeliver != nil {
+			n.OnPIODeliver()
+		}
+	})
+}
+
+// ---- Remote-memory mechanism ----
+//
+// StarT-X's third message-passing mechanism [Hoe 98] is a one-sided
+// remote-memory operation: the initiator's DMA engine moves a block
+// directly into a window of the target node's pinned memory, with no
+// receiving process involved; completion is observed by polling a
+// cached flag.  The GCM's primitives do not use it (the paper's
+// exchange is built on VI mode), but the mechanism is part of the NIU
+// and is exercised by the tests and available for extensions.
+
+// rmemWindow is one registered remote-memory region.
+type rmemWindow struct {
+	data    []byte
+	version int64
+}
+
+// RegisterWindow exposes size bytes of this node's pinned memory as
+// remote-memory window id, writable by remote Put operations.
+func (n *NIU) RegisterWindow(id, size int) {
+	if n.windows == nil {
+		n.windows = make(map[int]*rmemWindow)
+	}
+	n.windows[id] = &rmemWindow{data: make([]byte, size)}
+}
+
+// Window returns the current contents and version counter of a local
+// window.  Reading it is a cached memory access (no cost charged);
+// the version increments once per completed remote Put.
+func (n *NIU) Window(id int) ([]byte, int64) {
+	w := n.windows[id]
+	if w == nil {
+		return nil, 0
+	}
+	return w.data, w.version
+}
+
+// RemotePut writes data into (window, offset) on the destination node,
+// one-sided: the caller pays only the DMA-invocation cost and the
+// transfer streams at the VI rate; the remote processor is never
+// involved.  Delivery order with respect to other Puts between the
+// same pair is FIFO.
+func (n *NIU) RemotePut(p *des.Proc, dst, window, offset int, data []byte, pri arctic.Priority) {
+	if len(data) == 0 {
+		panic("startx: empty RemotePut")
+	}
+	if window < 0 || window > MaxWindow {
+		panic(fmt.Sprintf("startx: window %d out of range", window))
+	}
+	n.bus.MMapWriteN(p, 2)
+	n.txQueue = append(n.txQueue, &dmaJob{
+		dst: dst, tag: window, data: data, pri: pri,
+		rmem: true, window: window, winOff: offset,
+	})
+	if !n.txActive {
+		n.txActive = true
+		n.pumpTx()
+	}
+}
+
+// completeRemotePut lands a finished Put in the local window.
+func (n *NIU) completeRemotePut(window, offset int, data []byte) {
+	w := n.windows[window]
+	if w == nil {
+		return // unregistered window: the hardware drops the write
+	}
+	copy(w.data[minInt(offset, len(w.data)):], data)
+	w.version++
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,43 @@
+package vector
+
+import (
+	"math"
+	"testing"
+)
+
+// TestModelReproducesFig10 checks the roofline estimates land within
+// 15% of the paper's measured sustained rates.
+func TestModelReproducesFig10(t *testing.T) {
+	for _, m := range Fig10Machines() {
+		got := m.SustainedGFlops()
+		rel := math.Abs(got-m.PaperSustainedGFlops) / m.PaperSustainedGFlops
+		t.Logf("%s x%d: model %.2f GF/s, paper %.1f (%.0f%%)", m.Name, m.CPUs, got, m.PaperSustainedGFlops, rel*100)
+		if rel > 0.15 {
+			t.Errorf("%s x%d: model %.2f vs paper %.1f GFlop/s", m.Name, m.CPUs, got, m.PaperSustainedGFlops)
+		}
+	}
+}
+
+// TestSustainedBelowPeak: no machine may exceed its aggregate peak.
+func TestSustainedBelowPeak(t *testing.T) {
+	for _, m := range Fig10Machines() {
+		peak := m.PeakMFlopsPerCPU * float64(m.CPUs) / 1000
+		if m.SustainedGFlops() > peak {
+			t.Errorf("%s x%d sustains %.2f above peak %.2f", m.Name, m.CPUs, m.SustainedGFlops(), peak)
+		}
+	}
+}
+
+// TestScalingSublinear: 4-CPU sustained rate is below 4x the 1-CPU rate.
+func TestScalingSublinear(t *testing.T) {
+	ms := Fig10Machines()
+	for i := 0; i+1 < len(ms); i += 2 {
+		one, four := ms[i], ms[i+1]
+		if four.SustainedGFlops() >= 4*one.SustainedGFlops() {
+			t.Errorf("%s scales superlinearly", one.Name)
+		}
+		if four.SustainedGFlops() < 3*one.SustainedGFlops() {
+			t.Errorf("%s scales worse than the paper's data suggests", one.Name)
+		}
+	}
+}
