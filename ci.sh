@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's verification gate.
+#
+# Runs formatting, the standard vet suite, the project's own
+# determinism analyzers (hyadeslint), a full build, and the tests under
+# the race detector.  Everything is offline and stdlib-only.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== hyadeslint (determinism contract)"
+go run ./cmd/hyadeslint ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race -short"
+go test -race -short ./...
+
+echo "CI OK"

@@ -1,0 +1,279 @@
+// Command hyadeslint is the multichecker for the project's determinism
+// analyzers (see internal/lint).  It runs in two modes:
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/hyadeslint ./...
+//	go run ./cmd/hyadeslint ./internal/comm ./internal/des
+//
+// As a vet tool, speaking cmd/go's unit-checking protocol (-V=full,
+// -flags, and a JSON *.cfg unit file):
+//
+//	go build -o /tmp/hyadeslint ./cmd/hyadeslint
+//	go vet -vettool=/tmp/hyadeslint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hyades/internal/lint"
+	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var patterns []string
+	var cfgFile string
+	jsonOut := false
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			return printVersion()
+		case arg == "-flags" || arg == "--flags":
+			// Protocol: report our flag set so cmd/go knows what it
+			// may pass.  We accept none beyond the built-ins.
+			fmt.Println("[]")
+			return 0
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			usage()
+			return 0
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgFile = arg
+		case strings.HasPrefix(arg, "-"):
+			// Tolerate unknown single flags from cmd/go (e.g. -c=N).
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+	if cfgFile != "" {
+		return runVetUnit(cfgFile, jsonOut)
+	}
+	if len(patterns) == 0 {
+		usage()
+		return 2
+	}
+	return runStandalone(patterns)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: hyadeslint <package patterns>   (e.g. hyadeslint ./...)\n")
+	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which hyadeslint) <packages>\n\nanalyzers:\n")
+	for _, a := range lint.Analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}
+
+// printVersion implements the -V=full handshake cmd/go uses to key the
+// vet cache: the reported ID must change when the tool's code changes,
+// so it embeds a digest of the executable.
+func printVersion() int {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:12])
+	return 0
+}
+
+// runStandalone loads the matched packages and reports every finding.
+func runStandalone(patterns []string) int {
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+		return 2
+	}
+	dirs, err := loader.Patterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+		return 2
+	}
+	status := 0
+	for _, dir := range dirs {
+		path, err := loader.ImportPathFor(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			return 2
+		}
+		pkg, err := loader.LoadDir(dir, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			return 2
+		}
+		if len(pkg.Errors) > 0 {
+			for _, e := range pkg.Errors {
+				fmt.Fprintf(os.Stderr, "hyadeslint: %s: %v\n", path, e)
+			}
+			return 2
+		}
+		diags, err := lint.Check(pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			return 2
+		}
+		if len(diags) > 0 && status == 0 {
+			status = 1
+		}
+		printDiags(loader.ModuleRoot, pkg, diags)
+	}
+	return status
+}
+
+// printDiags writes findings one per line, with paths relative to the
+// module root when possible.
+func printDiags(root string, pkg *load.Package, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		pos := d.Position(pkg.Fset)
+		file := pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", file, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+}
+
+// vetConfig is the unit-file schema cmd/go hands a -vettool (the same
+// JSON x/tools' unitchecker consumes).  Fields we do not need are kept
+// so unmarshalling stays strict about nothing and forward-compatible.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit described by a cfg file.
+// Imports are re-resolved from source (module tree + $GOROOT/src)
+// rather than from the export data cmd/go supplies, so the tool stays
+// independent of export-data format details.
+func runVetUnit(cfgFile string, jsonOut bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hyadeslint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// Always satisfy the facts side of the protocol first: downstream
+	// units ask for our (empty) facts file even when this unit is
+	// skipped.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("hyadeslint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The determinism contract governs simulation code, not tests:
+	// skip test variants ("pkg [pkg.test]", "pkg.test", "pkg_test").
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") {
+		return 0
+	}
+	loader, err := load.NewLoader(cfg.Dir)
+	if err != nil {
+		// Outside any module (e.g. vetting GOROOT): nothing of ours
+		// applies.
+		return 0
+	}
+	pkg := &load.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: loader.Fset}
+	for _, fname := range cfg.GoFiles {
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(loader.Fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			return 2
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, fname)
+	}
+	if len(pkg.Files) == 0 {
+		return 0
+	}
+	if err := loader.CheckFiles(pkg); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "hyadeslint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	diags, err := lint.Check(pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+		return 2
+	}
+	if jsonOut {
+		return printVetJSON(cfg, pkg, diags)
+	}
+	for _, d := range diags {
+		pos := d.Position(pkg.Fset)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetJSONDiag mirrors the diagnostic shape `go vet -json` consumers
+// expect from a unit-checking tool.
+type vetJSONDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// printVetJSON emits {"pkg": {"analyzer": [diag...]}} on stdout.
+func printVetJSON(cfg vetConfig, pkg *load.Package, diags []analysis.Diagnostic) int {
+	byAnalyzer := map[string][]vetJSONDiag{}
+	for _, d := range diags {
+		pos := d.Position(pkg.Fset)
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], vetJSONDiag{
+			Posn:    fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]vetJSONDiag{cfg.ImportPath: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+		return 2
+	}
+	return 0
+}

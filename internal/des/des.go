@@ -65,20 +65,30 @@ func (h eventHeap) empty() bool    { return len(h) == 0 }
 // safe for concurrent use from multiple OS-level goroutines other than
 // through the coroutine discipline described in the package comment.
 type Engine struct {
-	now     units.Time
-	events  eventHeap
-	seq     uint64
-	procs   map[*Proc]struct{}
+	now    units.Time
+	events eventHeap
+	seq    uint64
+	// procs holds the live processes in spawn order.  A slice, not a
+	// map: Blocked and Close iterate it, and map iteration order is
+	// randomized — a determinism hazard the maprange analyzer bans
+	// from the event path.
+	procs   []*Proc
 	stopped bool
 }
 
 // NewEngine returns an empty kernel at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{procs: make(map[*Proc]struct{})}
+	return &Engine{}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() units.Time { return e.now }
+
+// Events returns the total number of activities scheduled since the
+// engine was created.  Two runs of the same simulation with the same
+// inputs must report the same count — a cheap fingerprint for
+// determinism regression tests.
+func (e *Engine) Events() uint64 { return e.seq }
 
 // Schedule runs fn at now+d.  A non-positive d means "as soon as
 // possible", i.e. at the current time but after already-queued
@@ -142,7 +152,7 @@ func (e *Engine) Pending() int { return len(e.events) }
 // blocking primitive.
 func (e *Engine) Blocked() int {
 	n := 0
-	for p := range e.procs {
+	for _, p := range e.procs {
 		if p.blocked {
 			n++
 		}
@@ -155,12 +165,23 @@ func (e *Engine) Blocked() int {
 // an engine whose Run has returned; it is also idempotent.
 func (e *Engine) Close() {
 	e.stopped = true
-	for p := range e.procs {
+	for _, p := range e.procs {
 		if p.blocked {
 			p.kill()
 		}
 	}
-	e.procs = map[*Proc]struct{}{}
+	e.procs = nil
+}
+
+// dropProc unregisters a finished process, preserving spawn order.
+// Called with the baton held, so no other activity touches the slice.
+func (e *Engine) dropProc(p *Proc) {
+	for i, q := range e.procs {
+		if q == p {
+			e.procs = append(e.procs[:i], e.procs[i+1:]...)
+			return
+		}
+	}
 }
 
 // stopSignal is the panic payload used to unwind a killed process.
@@ -186,7 +207,12 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan bool),
 		yield:  make(chan struct{}),
 	}
-	e.procs[p] = struct{}{}
+	e.procs = append(e.procs, p)
+	// The kernel's coroutine baton: the one legitimate raw goroutine
+	// in the simulation core.  It runs only while holding the baton
+	// (handed over via p.resume / p.yield), so it never races with
+	// engine state.  All other concurrency must go through Spawn.
+	//lint:allow nogoroutine kernel baton launch; coroutine discipline documented above
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -201,7 +227,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 		p.dead = true
-		delete(e.procs, p)
+		e.dropProc(p)
 		p.yield <- struct{}{}
 	}()
 	p.blocked = true

@@ -1,0 +1,101 @@
+// Package lint is hyadeslint: project-specific static analyzers that
+// machine-check the invariants the simulation's claims rest on.
+//
+// The des package promises that a simulation run is a deterministic
+// function of its inputs — every timing figure in the paper regenerates
+// bit-for-bit.  Nothing in the language enforces that promise; these
+// analyzers do:
+//
+//	detsource   — no wall clock, no unseeded global randomness
+//	nogoroutine — no raw goroutines past the coroutine baton
+//	unitlit     — no unitless literals converted to units.Time/Bandwidth
+//	schedpast   — no provably-negative or unclamped-delta schedule delays
+//	maprange    — no map iteration in the event path
+//
+// Each rule can be locally waived with the annotation
+//
+//	//lint:allow <rule> <reason>
+//
+// on, or immediately above, the offending line.  The waiver is the only
+// escape hatch, and it is grep-able — reviewers can audit every
+// exception to the determinism contract in one search.
+package lint
+
+import (
+	"strings"
+
+	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/load"
+)
+
+// Analyzers is the full suite in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	Detsource,
+	Nogoroutine,
+	Unitlit,
+	Schedpast,
+	Maprange,
+}
+
+// simCorePackages hold simulation state or run inside the coroutine
+// discipline; detsource and nogoroutine apply here.
+var simCorePackages = []string{
+	"hyades/internal/des",
+	"hyades/internal/arctic",
+	"hyades/internal/startx",
+	"hyades/internal/pci",
+	"hyades/internal/node",
+	"hyades/internal/comm",
+	"hyades/internal/cluster",
+	"hyades/internal/netmodel",
+	"hyades/internal/mpistart",
+	"hyades/internal/gcm",
+}
+
+// eventPathPackages are the hot event-dispatch packages where map
+// iteration order could reorder simultaneous events; maprange applies
+// here.
+var eventPathPackages = []string{
+	"hyades/internal/des",
+	"hyades/internal/arctic",
+	"hyades/internal/comm",
+}
+
+func underAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzersFor returns the analyzers that apply to the package with the
+// given import path.  unitlit and schedpast guard call sites anywhere
+// in the module; the other rules are scoped to the simulation core.
+func AnalyzersFor(importPath string) []*analysis.Analyzer {
+	var as []*analysis.Analyzer
+	if underAny(importPath, simCorePackages) {
+		as = append(as, Detsource, Nogoroutine)
+	}
+	as = append(as, Unitlit, Schedpast)
+	if underAny(importPath, eventPathPackages) {
+		as = append(as, Maprange)
+	}
+	return as
+}
+
+// Check runs every applicable analyzer over pkg and returns the merged,
+// position-sorted findings.
+func Check(pkg *load.Package) ([]analysis.Diagnostic, error) {
+	var all []analysis.Diagnostic
+	for _, a := range AnalyzersFor(pkg.Path) {
+		diags, err := analysis.RunPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	analysis.Sort(pkg.Fset, all)
+	return all, nil
+}

@@ -1,0 +1,107 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hyades/internal/lint"
+	"hyades/internal/lint/analysistest"
+	"hyades/internal/lint/load"
+)
+
+// Each analyzer has a flagged fixture (every finding asserted by a
+// // want annotation) and a clean fixture (no findings allowed),
+// including the //lint:allow escape hatch on an otherwise-flagged line.
+
+func TestDetsource(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Detsource, "detsource")
+}
+
+func TestNogoroutine(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Nogoroutine, "nogoroutine")
+}
+
+func TestUnitlit(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Unitlit, "unitlit")
+}
+
+func TestSchedpast(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Schedpast, "schedpast")
+}
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Maprange, "maprange")
+}
+
+// TestAnalyzersForScope pins the scope table: determinism rules guard
+// the sim core, unit/schedule rules guard the whole module, and the
+// event-path rule guards only the dispatch-hot packages.
+func TestAnalyzersForScope(t *testing.T) {
+	names := func(path string) map[string]bool {
+		m := map[string]bool{}
+		for _, a := range lint.AnalyzersFor(path) {
+			m[a.Name] = true
+		}
+		return m
+	}
+	des := names("hyades/internal/des")
+	for _, want := range []string{"detsource", "nogoroutine", "unitlit", "schedpast", "maprange"} {
+		if !des[want] {
+			t.Errorf("des: missing analyzer %s", want)
+		}
+	}
+	gcm := names("hyades/internal/gcm/solver")
+	if !gcm["detsource"] || !gcm["nogoroutine"] {
+		t.Errorf("gcm subpackages must get the sim-core rules, got %v", gcm)
+	}
+	if gcm["maprange"] {
+		t.Errorf("gcm is not an event-path package, got %v", gcm)
+	}
+	rep := names("hyades/internal/report")
+	if rep["detsource"] || rep["nogoroutine"] || rep["maprange"] {
+		t.Errorf("report is outside the sim core, got %v", rep)
+	}
+	if !rep["unitlit"] || !rep["schedpast"] {
+		t.Errorf("unitlit/schedpast apply module-wide, got %v", rep)
+	}
+}
+
+// TestRepositoryIsClean runs the full suite over every package of the
+// module and requires zero findings — the machine-checked form of the
+// determinism contract.  Skipped under -short: ci.sh runs the same
+// check via cmd/hyadeslint.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hyadeslint self-check covered by ci.sh in short mode")
+	}
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Patterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("pattern expansion found only %d packages: %v", len(dirs), dirs)
+	}
+	for _, dir := range dirs {
+		path, err := loader.ImportPathFor(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(dir, path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("%s: type errors: %v", path, pkg.Errors[0])
+		}
+		diags, err := lint.Check(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s (%s)", d.Position(pkg.Fset), d.Message, d.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package load parses and type-checks packages of this module for the
+// hyadeslint analyzers, using only the standard library.
+//
+// The usual driver substrate (golang.org/x/tools/go/packages) is not
+// available offline, so the loader resolves imports itself:
+//
+//   - imports inside this module ("hyades/...") are located by path
+//     arithmetic against the module root and type-checked from source,
+//     recursively;
+//   - standard-library imports are delegated to go/importer's "source"
+//     importer, which type-checks $GOROOT/src and therefore needs no
+//     pre-compiled export data and no network.
+//
+// Test files (*_test.go) are excluded: the determinism contract governs
+// simulation code, and tests legitimately use wall-clock timeouts and
+// ad-hoc randomness.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package.
+type Package struct {
+	Path      string // import path
+	Dir       string // absolute directory
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Filenames []string
+	Types     *types.Package
+	Info      *types.Info
+	Errors    []error // type-checking errors, if any
+}
+
+// A Loader loads packages of one module, caching every package (module
+// or stdlib) so repeated imports type-check once per process.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string // absolute path of the directory holding go.mod
+	ModulePath string // module path declared in go.mod
+	GoVersion  string // "go1.22"-style language version from go.mod
+
+	std  types.Importer      // source importer for GOROOT packages
+	pkgs map[string]*Package // import path -> loaded module package
+}
+
+var (
+	moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+	goVerRE  = regexp.MustCompile(`(?m)^go\s+(\d+(?:\.\d+)*)`)
+)
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader creates a loader for the module rooted at (or above) dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := moduleRE.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("load: no module line in %s/go.mod", root)
+	}
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: root,
+		ModulePath: string(m[1]),
+		pkgs:       map[string]*Package{},
+	}
+	if v := goVerRE.FindSubmatch(data); v != nil {
+		l.GoVersion = "go" + string(v[1])
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	return l, nil
+}
+
+// Import implements types.Importer, resolving module-internal paths
+// from source and delegating everything else to the stdlib importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the non-test Go files of one
+// directory under the given import path.  Results are cached by path.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %v", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.Fset}
+	for _, name := range names {
+		fname := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %v", importPath, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, fname)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer:  l,
+		GoVersion: l.GoVersion,
+		Error:     func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	// Cache before checking: import cycles would otherwise recurse
+	// forever.  (The go toolchain rejects true cycles before we ever
+	// run, so a re-entrant Load during Check cannot happen for code
+	// that builds; this is belt and braces.)
+	l.pkgs[importPath] = pkg
+	tpkg, err := conf.Check(importPath, l.Fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	if err != nil && len(pkg.Errors) == 0 {
+		pkg.Errors = append(pkg.Errors, err)
+	}
+	return pkg, nil
+}
+
+// CheckFiles type-checks a package whose files were parsed externally
+// (the vet-unit path, where cmd/go names the exact compilation unit).
+// pkg.Fset must be l.Fset.  On success pkg.Types and pkg.Info are
+// populated and the package is cached for import resolution.
+func (l *Loader) CheckFiles(pkg *Package) error {
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer:  l,
+		GoVersion: l.GoVersion,
+		Error:     func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	tpkg, err := conf.Check(pkg.Path, l.Fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	if len(pkg.Errors) > 0 {
+		return pkg.Errors[0]
+	}
+	if err != nil {
+		return err
+	}
+	l.pkgs[pkg.Path] = pkg
+	return nil
+}
+
+// goFilesIn lists the buildable non-test Go files of dir, honouring
+// build constraints via go/build, in sorted order.
+func goFilesIn(dir string) ([]string, error) {
+	ctx := build.Default
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	return names, nil
+}
+
+// Patterns expands package patterns into module directories.  It
+// understands "./..."-style recursive patterns and plain (relative or
+// module-rooted) directory paths, mirroring the subset of the go tool's
+// syntax the repository's scripts use.  Directories named testdata or
+// vendor, and hidden or underscore-prefixed directories, are skipped.
+func (l *Loader) Patterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		if pat == "" {
+			pat = "."
+		}
+		// Resolve a module-path-prefixed pattern to a directory.
+		if pat == l.ModulePath || strings.HasPrefix(pat, l.ModulePath+"/") {
+			pat = "./" + strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/")
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.ModuleRoot, filepath.FromSlash(pat))
+		}
+		if !recursive {
+			add(dir)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(path)
+			if path != dir && (base == "testdata" || base == "vendor" ||
+				strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			if names, err := goFilesIn(path); err == nil && len(names) > 0 {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// ImportPathFor maps a module directory back to its import path.
+func (l *Loader) ImportPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("load: %s is outside module %s", dir, l.ModulePath)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}

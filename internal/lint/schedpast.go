@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"hyades/internal/lint/analysis"
+)
+
+// Schedpast flags Engine.Schedule / Engine.ScheduleAt call sites whose
+// time argument is provably negative or is an unguarded subtraction of
+// two units.Time values.
+//
+// The kernel clamps negative delays to "now", so scheduling in the past
+// does not crash — it silently reorders causality: the event fires
+// before the cause that should precede it has drained.  A negative
+// constant is always a bug.  A bare a-b of two Times is the classic way
+// to produce one at runtime (end-start where end may lag start under
+// contention); hoist the difference into a variable and clamp it, or
+// compute the absolute deadline and use ScheduleAt.
+var Schedpast = &analysis.Analyzer{
+	Name: "schedpast",
+	Doc:  "flag Schedule/ScheduleAt delays that are negative constants or unclamped Time subtractions",
+	Run:  runSchedpast,
+}
+
+func runSchedpast(pass *analysis.Pass) (interface{}, error) {
+	inspectAll(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := funcFor(pass.TypesInfo, sel.Sel)
+		if fn == nil || recvOf(fn) == nil {
+			return true
+		}
+		if fn.Name() != "Schedule" && fn.Name() != "ScheduleAt" {
+			return true
+		}
+		recv := namedType(recvOf(fn).Type())
+		if recv == nil || recv.Obj().Name() != "Engine" || !pkgPathIs(recv.Obj().Pkg(), desPkgPath) {
+			return true
+		}
+		arg := unparen(call.Args[0])
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+			if k := tv.Value.Kind(); (k == constant.Int || k == constant.Float) && constant.Sign(tv.Value) < 0 {
+				pass.Reportf(arg.Pos(),
+					"%s called with provably negative time %s: the kernel clamps it to now, silently breaking causality",
+					fn.Name(), tv.Value.ExactString())
+			}
+			return true
+		}
+		if bin, ok := arg.(*ast.BinaryExpr); ok && bin.Op == token.SUB &&
+			isTimeExpr(pass, bin.X) && isTimeExpr(pass, bin.Y) {
+			pass.Reportf(arg.Pos(),
+				"%s called with an unguarded units.Time subtraction, which can be negative at runtime; clamp the difference to zero first (or schedule the absolute deadline with ScheduleAt)",
+				fn.Name())
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isTimeExpr reports whether e has type units.Time.
+func isTimeExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && isUnitsType(tv.Type, "Time")
+}

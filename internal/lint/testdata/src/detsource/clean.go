@@ -1,0 +1,25 @@
+package detsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// good draws from an explicitly seeded generator: the seed is part of
+// the simulation input, so the stream is reproducible.
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8)
+}
+
+// goodMethods uses time.Time arithmetic on a caller-supplied value and
+// *rand.Rand methods; neither consults process-global state.
+func goodMethods(t0, t1 time.Time, rng *rand.Rand) (time.Duration, float64) {
+	return t1.Sub(t0), rng.Float64()
+}
+
+// goodAllowed shows the audited escape hatch.
+func goodAllowed() int64 {
+	//lint:allow detsource fixture exercising the escape hatch
+	return time.Now().UnixNano()
+}

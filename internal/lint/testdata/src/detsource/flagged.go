@@ -1,0 +1,24 @@
+// Package detsource exercises the detsource analyzer: wall-clock reads
+// and global-source randomness are flagged; seeded generators are not.
+package detsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad uses every banned determinism-breaking source.
+func bad() (int64, int) {
+	t := time.Now()     // want `time\.Now reads the wall clock`
+	d := time.Since(t)  // want `time\.Since reads the wall clock`
+	n := rand.Intn(8)   // want `rand\.Intn draws from the process-global source`
+	f := rand.Float64() // want `rand\.Float64 draws from the process-global source`
+	time.Sleep(d)       // want `time\.Sleep reads the wall clock`
+	return t.UnixNano() + int64(f), n
+}
+
+// badRef flags a bare function-value reference too: passing time.Now
+// around is as nondeterministic as calling it.
+func badRef() func() time.Time {
+	return time.Now // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,28 @@
+package maprange
+
+import "sort"
+
+// good iterates a sorted key slice: the visit order is a function of
+// the map's contents, not the iteration seed.
+func good(load map[int]float64) float64 {
+	keys := make([]int, 0, len(load))
+	//lint:allow maprange key collection only; order is fixed by the sort below
+	for k := range load {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += load[k]
+	}
+	return total
+}
+
+// goodSlice ranges a slice, which is ordered; nothing to flag.
+func goodSlice(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

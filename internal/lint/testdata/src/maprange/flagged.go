@@ -1,0 +1,21 @@
+// Package maprange exercises the maprange analyzer: map iteration
+// order is randomized, so ranging a map in the event path reorders
+// otherwise-identical runs.
+package maprange
+
+// bad accumulates floats in randomized order: the sum's rounding
+// differs run to run.
+func bad(load map[int]float64) float64 {
+	total := 0.0
+	for _, v := range load { // want `map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+// badKeys schedules work in randomized order.
+func badKeys(pending map[string]func()) {
+	for _, fn := range pending { // want `map iteration order is randomized`
+		fn()
+	}
+}

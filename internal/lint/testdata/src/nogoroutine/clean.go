@@ -1,0 +1,15 @@
+package nogoroutine
+
+// good does its work inline; nothing to flag.
+func good(work func()) {
+	work()
+}
+
+// goodAllowed is the kernel-baton pattern: a single annotated raw
+// goroutine, with the justification on the annotation line.
+func goodAllowed() {
+	done := make(chan struct{})
+	//lint:allow nogoroutine fixture double of the kernel's baton launch
+	go close(done)
+	<-done
+}

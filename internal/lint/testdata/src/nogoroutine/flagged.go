@@ -1,0 +1,17 @@
+// Package nogoroutine exercises the nogoroutine analyzer: raw go
+// statements are flagged unless annotated.
+package nogoroutine
+
+// bad launches a goroutine that escapes the coroutine baton.
+func bad() {
+	done := make(chan struct{})
+	go close(done) // want `raw go statement escapes the coroutine baton`
+	<-done
+}
+
+// badFuncLit is flagged the same way.
+func badFuncLit(work func()) {
+	go func() { // want `raw go statement escapes the coroutine baton`
+		work()
+	}()
+}

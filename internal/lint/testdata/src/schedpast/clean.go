@@ -1,0 +1,28 @@
+package schedpast
+
+import (
+	"hyades/internal/des"
+	"hyades/internal/units"
+)
+
+// good schedules forward, clamps differences before use, and prefers
+// absolute deadlines.
+func good(eng *des.Engine, start, end units.Time, fn func()) {
+	eng.Schedule(5*units.Nanosecond, fn)
+	d := end - start
+	if d < 0 {
+		d = 0
+	}
+	eng.Schedule(d, fn)
+	eng.ScheduleAt(end+5*units.Nanosecond, fn)
+	eng.Schedule(0, fn)
+}
+
+// goodOtherMethod leaves same-named methods on other types alone.
+type fakeScheduler struct{}
+
+func (fakeScheduler) Schedule(d int, fn func()) {}
+
+func goodOther(s fakeScheduler, fn func()) {
+	s.Schedule(-5, fn)
+}

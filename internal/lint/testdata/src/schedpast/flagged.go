@@ -1,0 +1,15 @@
+// Package schedpast exercises the schedpast analyzer: negative-constant
+// delays and unclamped Time subtractions corrupt event-heap causality.
+package schedpast
+
+import (
+	"hyades/internal/des"
+	"hyades/internal/units"
+)
+
+// bad schedules into the past.
+func bad(eng *des.Engine, start, end units.Time, fn func()) {
+	eng.Schedule(-5*units.Nanosecond, fn) // want `Schedule called with provably negative time`
+	eng.Schedule(end-start, fn)           // want `Schedule called with an unguarded units\.Time subtraction`
+	eng.ScheduleAt(end-start, fn)         // want `ScheduleAt called with an unguarded units\.Time subtraction`
+}

@@ -1,0 +1,29 @@
+package unitlit
+
+import "hyades/internal/units"
+
+// good spells every duration with a named unit.
+func good() units.Time {
+	return 500*units.Nanosecond + 3*units.Microsecond
+}
+
+// goodBandwidth multiplies by the named rate unit.
+func goodBandwidth() units.Bandwidth {
+	return 150 * units.MBps
+}
+
+// goodScaling divides by a runtime count: units.Time(reps) converts a
+// scalar, not a unitless duration, and is the sanctioned idiom.
+func goodScaling(start, end units.Time, reps int) units.Time {
+	return (end - start) / units.Time(reps)
+}
+
+// goodZero is exempt: zero is zero in every unit.
+func goodZero() units.Time {
+	return units.Time(0)
+}
+
+// goodTyped converts a value that already carries the unit.
+func goodTyped() units.Time {
+	return units.Time(5 * units.Nanosecond)
+}

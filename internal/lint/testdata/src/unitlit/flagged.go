@@ -1,0 +1,21 @@
+// Package unitlit exercises the unitlit analyzer: bare constants
+// converted to units.Time/units.Bandwidth silently mean "picoseconds"
+// or "bytes per second" and are flagged.
+package unitlit
+
+import "hyades/internal/units"
+
+// configDefault looks like 500 ns but is actually 500 ps.
+const configDefault = units.Time(500) // want `constant 500 converted directly to units\.Time`
+
+// bad shows the literal forms at statement level.
+func bad() units.Time {
+	d := units.Time(1500)            // want `constant 1500 converted directly to units\.Time`
+	bw := units.Bandwidth(150)       // want `converted directly to units\.Bandwidth`
+	named := units.Time(headerBytes) // want `converted directly to units\.Time`
+	return d + named + bw.Transfer(1024)
+}
+
+// headerBytes is a byte count: converting it to Time is the silent
+// unit-confusion bug unitlit exists to catch.
+const headerBytes = 8
