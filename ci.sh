@@ -18,8 +18,24 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== hyadeslint (determinism contract)"
-go run ./cmd/hyadeslint ./...
+echo "== hyadeslint (determinism + communication contract)"
+# One pass with fixes in dry-run mode: findings fail the gate, and a
+# clean tree must also be a fixed point of the autofixer (no "would
+# rewrite" lines on stderr).
+fixlog=$(go run ./cmd/hyadeslint -fix -n ./... 2>&1 >/dev/null) || {
+    echo "$fixlog" >&2
+    exit 1
+}
+if [ -n "$fixlog" ]; then
+    echo "hyadeslint -fix would modify a clean tree:" >&2
+    echo "$fixlog" >&2
+    exit 1
+fi
+
+echo "== hyadeslint -sarif (artifact)"
+sarif_out="${HYADESLINT_SARIF:-/tmp/hyadeslint.sarif}"
+go run ./cmd/hyadeslint -sarif ./... > "$sarif_out"
+echo "wrote $sarif_out"
 
 echo "== go build"
 go build ./...

@@ -1,10 +1,14 @@
 // Command hyadeslint is the multichecker for the project's determinism
-// analyzers (see internal/lint).  It runs in two modes:
+// and communication-discipline analyzers (see internal/lint).  It runs
+// in two modes:
 //
 // Standalone, over package patterns:
 //
 //	go run ./cmd/hyadeslint ./...
-//	go run ./cmd/hyadeslint ./internal/comm ./internal/des
+//	go run ./cmd/hyadeslint -json ./internal/comm
+//	go run ./cmd/hyadeslint -sarif ./... > findings.sarif
+//	go run ./cmd/hyadeslint -fix ./...      # apply suggested fixes
+//	go run ./cmd/hyadeslint -fix -n ./...   # dry run: report, touch nothing
 //
 // As a vet tool, speaking cmd/go's unit-checking protocol (-V=full,
 // -flags, and a JSON *.cfg unit file):
@@ -12,7 +16,11 @@
 //	go build -o /tmp/hyadeslint ./cmd/hyadeslint
 //	go vet -vettool=/tmp/hyadeslint ./...
 //
-// Exit status: 0 clean, 1 findings, 2 operational error.
+// Exit status: 0 clean, 1 findings, 2 load/parse/type-check errors.
+// Findings go to stdout (stderr in vet mode, matching vet convention);
+// operational errors always go to stderr and never masquerade as
+// diagnostics.  A bad package does not abort the run: the remaining
+// patterns are still checked and the exit status is 2.
 package main
 
 import (
@@ -20,13 +28,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/parser"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"hyades/internal/lint"
 	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/emit"
 	"hyades/internal/lint/load"
 )
 
@@ -34,10 +45,18 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// options are the standalone-mode switches.
+type options struct {
+	jsonOut  bool
+	sarifOut bool
+	fix      bool
+	dryRun   bool
+}
+
 func run(args []string) int {
 	var patterns []string
 	var cfgFile string
-	jsonOut := false
+	var opt options
 	for _, arg := range args {
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
@@ -48,7 +67,13 @@ func run(args []string) int {
 			fmt.Println("[]")
 			return 0
 		case arg == "-json" || arg == "--json":
-			jsonOut = true
+			opt.jsonOut = true
+		case arg == "-sarif" || arg == "--sarif":
+			opt.sarifOut = true
+		case arg == "-fix" || arg == "--fix":
+			opt.fix = true
+		case arg == "-n" || arg == "--n":
+			opt.dryRun = true
 		case arg == "-h" || arg == "-help" || arg == "--help":
 			usage()
 			return 0
@@ -61,18 +86,22 @@ func run(args []string) int {
 		}
 	}
 	if cfgFile != "" {
-		return runVetUnit(cfgFile, jsonOut)
+		return runVetUnit(cfgFile, opt.jsonOut)
 	}
 	if len(patterns) == 0 {
 		usage()
 		return 2
 	}
-	return runStandalone(patterns)
+	return runStandalone(patterns, opt)
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hyadeslint <package patterns>   (e.g. hyadeslint ./...)\n")
-	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which hyadeslint) <packages>\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: hyadeslint [-json|-sarif] [-fix [-n]] <package patterns>\n")
+	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which hyadeslint) <packages>\n\nflags:\n")
+	fmt.Fprintf(os.Stderr, "  -json   emit findings as JSON\n")
+	fmt.Fprintf(os.Stderr, "  -sarif  emit findings as SARIF 2.1.0\n")
+	fmt.Fprintf(os.Stderr, "  -fix    apply suggested fixes in place\n")
+	fmt.Fprintf(os.Stderr, "  -n      with -fix: dry run, modify nothing\n\nanalyzers:\n")
 	for _, a := range lint.Analyzers {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}
@@ -94,8 +123,9 @@ func printVersion() int {
 	return 0
 }
 
-// runStandalone loads the matched packages and reports every finding.
-func runStandalone(patterns []string) int {
+// runStandalone loads the matched packages, collects every finding,
+// and emits them once, globally normalized, in the selected format.
+func runStandalone(patterns []string, opt options) int {
 	loader, err := load.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
@@ -107,47 +137,127 @@ func runStandalone(patterns []string) int {
 		return 2
 	}
 	status := 0
+	var all []analysis.Diagnostic
 	for _, dir := range dirs {
 		path, err := loader.ImportPathFor(dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
-			return 2
+			status = 2
+			continue
 		}
 		pkg, err := loader.LoadDir(dir, path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
-			return 2
+			status = 2
+			continue
 		}
 		if len(pkg.Errors) > 0 {
 			for _, e := range pkg.Errors {
 				fmt.Fprintf(os.Stderr, "hyadeslint: %s: %v\n", path, e)
 			}
-			return 2
+			status = 2
+			continue
 		}
 		diags, err := lint.Check(pkg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
-			return 2
+			status = 2
+			continue
 		}
-		if len(diags) > 0 && status == 0 {
-			status = 1
+		all = append(all, diags...)
+	}
+	findings := emit.Normalize(emit.Findings(loader.Fset, loader.ModuleRoot, all))
+	if opt.fix {
+		if err := applyFixes(loader.Fset, all, opt.dryRun); err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			status = 2
 		}
-		printDiags(loader.ModuleRoot, pkg, diags)
+	}
+	var emitErr error
+	switch {
+	case opt.sarifOut:
+		emitErr = emit.SARIF(os.Stdout, findings, lint.Analyzers)
+	case opt.jsonOut:
+		emitErr = emit.JSON(os.Stdout, findings)
+	default:
+		emitErr = emit.Text(os.Stdout, findings)
+	}
+	if emitErr != nil {
+		fmt.Fprintln(os.Stderr, "hyadeslint:", emitErr)
+		return 2
+	}
+	if status == 0 && len(findings) > 0 {
+		status = 1
 	}
 	return status
 }
 
-// printDiags writes findings one per line, with paths relative to the
-// module root when possible.
-func printDiags(root string, pkg *load.Package, diags []analysis.Diagnostic) {
-	for _, d := range diags {
-		pos := d.Position(pkg.Fset)
-		file := pos.Filename
-		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
-		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", file, pos.Line, pos.Column, d.Message, d.Analyzer)
+// applyFixes gathers every suggested edit, groups them by file, and
+// rewrites the files (unless dryRun).  Overlapping edits are skipped:
+// edits are applied back to front so earlier offsets stay valid.
+func applyFixes(fset *token.FileSet, diags []analysis.Diagnostic, dryRun bool) error {
+	type edit struct {
+		start, end int
+		text       []byte
 	}
+	byFile := map[string][]edit{}
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := fset.Position(te.Pos)
+				end := start
+				if te.End.IsValid() {
+					end = fset.Position(te.End)
+				}
+				if end.Filename != start.Filename || end.Offset < start.Offset {
+					return fmt.Errorf("fix for %s: invalid edit range", start.Filename)
+				}
+				byFile[start.Filename] = append(byFile[start.Filename],
+					edit{start: start.Offset, end: end.Offset, text: te.NewText})
+			}
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, fname := range files {
+		edits := byFile[fname]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start > edits[j].start // back to front
+			}
+			return edits[i].end > edits[j].end
+		})
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			return err
+		}
+		out := src
+		applied := 0
+		lastStart := len(src) + 1
+		for _, e := range edits {
+			if e.end > lastStart || e.end > len(out) {
+				continue // overlaps a previously applied edit, or stale
+			}
+			out = append(out[:e.start:e.start], append(append([]byte(nil), e.text...), out[e.end:]...)...)
+			lastStart = e.start
+			applied++
+		}
+		if applied == 0 {
+			continue
+		}
+		if dryRun {
+			fmt.Fprintf(os.Stderr, "hyadeslint: would rewrite %s (%d edits)\n", fname, applied)
+			continue
+		}
+		if err := os.WriteFile(fname, out, 0o666); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hyadeslint: rewrote %s (%d edits)\n", fname, applied)
+	}
+	return nil
 }
 
 // vetConfig is the unit-file schema cmd/go hands a -vettool (the same
@@ -238,14 +348,17 @@ func runVetUnit(cfgFile string, jsonOut bool) int {
 		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
 		return 2
 	}
+	// Vet mode keeps absolute paths (cmd/go rewrites them) but shares
+	// the standalone normalization, so both modes are byte-stable.
+	findings := emit.Normalize(emit.Findings(pkg.Fset, "", diags))
 	if jsonOut {
-		return printVetJSON(cfg, pkg, diags)
+		return printVetJSON(cfg, findings)
 	}
-	for _, d := range diags {
-		pos := d.Position(pkg.Fset)
-		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	if err := emit.Text(os.Stderr, findings); err != nil {
+		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+		return 2
 	}
-	if len(diags) > 0 {
+	if len(findings) > 0 {
 		return 1
 	}
 	return 0
@@ -259,13 +372,12 @@ type vetJSONDiag struct {
 }
 
 // printVetJSON emits {"pkg": {"analyzer": [diag...]}} on stdout.
-func printVetJSON(cfg vetConfig, pkg *load.Package, diags []analysis.Diagnostic) int {
+func printVetJSON(cfg vetConfig, findings []emit.Finding) int {
 	byAnalyzer := map[string][]vetJSONDiag{}
-	for _, d := range diags {
-		pos := d.Position(pkg.Fset)
-		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], vetJSONDiag{
-			Posn:    fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column),
-			Message: d.Message,
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], vetJSONDiag{
+			Posn:    fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col),
+			Message: f.Message,
 		})
 	}
 	out := map[string]map[string][]vetJSONDiag{cfg.ImportPath: byAnalyzer}

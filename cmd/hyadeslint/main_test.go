@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hyades/internal/lint/load"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := load.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestScratchStandalone: the seeded rank-conditional GlobalSum is
+// flagged in standalone mode with exit status 1.
+func TestScratchStandalone(t *testing.T) {
+	var status int
+	out := capture(t, func() {
+		status = run([]string{"./cmd/hyadeslint/testdata/scratch"})
+	})
+	if status != 1 {
+		t.Fatalf("exit status = %d, want 1\noutput:\n%s", status, out)
+	}
+	if !strings.Contains(out, "commlock") || !strings.Contains(out, "GlobalSum") {
+		t.Errorf("missing commlock finding in output:\n%s", out)
+	}
+}
+
+// TestScratchVetUnit drives the cmd/go unit-checking protocol in
+// process: a crafted .cfg file naming the scratch package must produce
+// the same commlock finding and exit status 1.
+func TestScratchVetUnit(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "cmd", "hyadeslint", "testdata", "scratch")
+	cfg := map[string]interface{}{
+		"ID":         "hyades/cmd/hyadeslint/testdata/scratch",
+		"Compiler":   "source",
+		"Dir":        dir,
+		"ImportPath": "hyades/cmd/hyadeslint/testdata/scratch",
+		"GoVersion":  "go1.22",
+		"GoFiles":    []string{filepath.Join(dir, "scratch.go")},
+		"VetxOutput": filepath.Join(t.TempDir(), "scratch.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if status := run([]string{cfgPath}); status != 1 {
+		t.Fatalf("vet-unit exit status = %d, want 1", status)
+	}
+}
+
+// TestExitCodes: clean package -> 0, findings -> 1, parse errors -> 2
+// (on stderr, not as diagnostics), and a bad package does not abort
+// the rest of the run.
+func TestExitCodes(t *testing.T) {
+	var status int
+	out := capture(t, func() {
+		status = run([]string{"./internal/units"})
+	})
+	if status != 0 || out != "" {
+		t.Errorf("clean package: status %d output %q, want 0 and empty", status, out)
+	}
+
+	root := moduleRoot(t)
+	bad, err := os.MkdirTemp(filepath.Join(root, "cmd", "hyadeslint", "testdata"), "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(bad)
+	if err := os.WriteFile(filepath.Join(bad, "bad.go"), []byte("package bad\nfunc (\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(root, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The broken package reports status 2, and the scratch findings
+	// after it are still emitted.
+	out = capture(t, func() {
+		status = run([]string{"./" + filepath.ToSlash(rel), "./cmd/hyadeslint/testdata/scratch"})
+	})
+	if status != 2 {
+		t.Errorf("parse error: status = %d, want 2", status)
+	}
+	if !strings.Contains(out, "commlock") {
+		t.Errorf("bad package aborted the run; missing scratch finding:\n%s", out)
+	}
+}
+
+// fixtureCopy creates a throwaway package inside the module tree (the
+// loader refuses directories outside it) with one fixable finding.
+// It returns a loader pattern and the fixture file's absolute path.
+func fixtureCopy(t *testing.T) (pattern, file string) {
+	t.Helper()
+	root := moduleRoot(t)
+	dir, err := os.MkdirTemp(filepath.Join(root, "cmd", "hyadeslint", "testdata"), "fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Errorf("cleanup: %v", err)
+		}
+	})
+	file = filepath.Join(dir, "fixme.go")
+	src := "package fixme\n\nimport \"hyades/internal/units\"\n\nconst grain = units.Time(500)\n"
+	if err := os.WriteFile(file, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return "./" + filepath.ToSlash(rel), file
+}
+
+// TestFixApplies: -fix rewrites units.Time(500) into the
+// value-preserving 500 * units.Picosecond form, after which the
+// package is clean.
+func TestFixApplies(t *testing.T) {
+	pattern, file := fixtureCopy(t)
+	var status int
+	capture(t, func() { status = run([]string{"-fix", pattern}) })
+	if status != 1 {
+		t.Fatalf("fix run status = %d, want 1 (findings were present)", status)
+	}
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "500 * units.Picosecond") {
+		t.Fatalf("fix not applied:\n%s", got)
+	}
+	capture(t, func() { status = run([]string{pattern}) })
+	if status != 0 {
+		t.Errorf("fixed package still flagged (status %d):\n%s", status, got)
+	}
+}
+
+// TestFixDryRun: -fix -n reports but modifies nothing.
+func TestFixDryRun(t *testing.T) {
+	pattern, file := fixtureCopy(t)
+	before, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status int
+	capture(t, func() { status = run([]string{"-fix", "-n", pattern}) })
+	if status != 1 {
+		t.Fatalf("dry-run status = %d, want 1", status)
+	}
+	after, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("dry run modified the file:\n%s", after)
+	}
+}
+
+// TestSARIFOutput: -sarif emits a SARIF 2.1.0 document carrying the
+// scratch finding.
+func TestSARIFOutput(t *testing.T) {
+	var status int
+	out := capture(t, func() {
+		status = run([]string{"-sarif", "./cmd/hyadeslint/testdata/scratch"})
+	})
+	if status != 1 {
+		t.Fatalf("sarif run status = %d, want 1", status)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v\n%s", err, out)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape:\n%s", out)
+	}
+	found := false
+	for _, r := range doc.Runs[0].Results {
+		if r.RuleID == "commlock" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no commlock result in SARIF:\n%s", out)
+	}
+}

@@ -1,0 +1,17 @@
+// Package scratch is a deliberately broken fixture: main_test.go (and
+// the acceptance checklist) verify that hyadeslint flags the
+// rank-conditional global sum below in both standalone and
+// `go vet -vettool` modes.  It lives under testdata, so `./...`
+// patterns and the repository lint-clean gate never include it — it is
+// only reachable by naming the directory explicitly.
+package scratch
+
+import "hyades/internal/comm"
+
+// PartialSum deadlocks: only rank 0 enters the butterfly.
+func PartialSum(ep comm.Endpoint, x float64) float64 {
+	if ep.Rank() == 0 {
+		return ep.GlobalSum(x)
+	}
+	return x
+}

@@ -19,6 +19,7 @@ import (
 	"hyades/internal/comm"
 	"hyades/internal/gcm/grid"
 	"hyades/internal/gcm/kernel"
+	"hyades/internal/gcm/reduce"
 	"hyades/internal/gcm/solver"
 	"hyades/internal/gcm/tile"
 	"hyades/internal/units"
@@ -210,16 +211,11 @@ func (m *Model) Run(n int) {
 // cheap stability/activity diagnostic (uses one global sum).
 func (m *Model) TotalKE() float64 {
 	g := m.G
-	local := 0.0
-	for k := 0; k < g.NZ; k++ {
-		for j := 0; j < g.NY; j++ {
-			for i := 0; i < g.NX; i++ {
-				u := 0.5 * (m.S.U.At(i, j, k) + m.S.U.At(i+1, j, k))
-				v := 0.5 * (m.S.V.At(i, j, k) + m.S.V.At(i, j+1, k))
-				local += 0.5 * (u*u + v*v) * g.CellVolume(i, j, k)
-			}
-		}
-	}
+	local := reduce.Over3(g.NX, g.NY, g.NZ, func(i, j, k int) float64 {
+		u := 0.5 * (m.S.U.At(i, j, k) + m.S.U.At(i+1, j, k))
+		v := 0.5 * (m.S.V.At(i, j, k) + m.S.V.At(i, j+1, k))
+		return 0.5 * (u*u + v*v) * g.CellVolume(i, j, k)
+	})
 	return m.EP.GlobalSum(local)
 }
 
@@ -227,16 +223,12 @@ func (m *Model) TotalKE() float64 {
 // conservation diagnostic.
 func (m *Model) MeanTracer() float64 {
 	g := m.G
-	sum, vol := 0.0, 0.0
-	for k := 0; k < g.NZ; k++ {
-		for j := 0; j < g.NY; j++ {
-			for i := 0; i < g.NX; i++ {
-				cv := g.CellVolume(i, j, k)
-				sum += m.S.Theta.At(i, j, k) * cv
-				vol += cv
-			}
-		}
-	}
+	sum := reduce.Over3(g.NX, g.NY, g.NZ, func(i, j, k int) float64 {
+		return m.S.Theta.At(i, j, k) * g.CellVolume(i, j, k)
+	})
+	vol := reduce.Over3(g.NX, g.NY, g.NZ, func(i, j, k int) float64 {
+		return g.CellVolume(i, j, k)
+	})
 	return m.EP.GlobalSum(sum) / m.EP.GlobalSum(vol)
 }
 
@@ -244,23 +236,22 @@ func (m *Model) MeanTracer() float64 {
 // after the projection (global, via sum of squares).
 func (m *Model) MaxDivergence() float64 {
 	g := m.G
-	sum := 0.0
-	for j := 0; j < g.NY; j++ {
-		dx, dy := g.DXC(j), g.DYC(j)
-		for i := 0; i < g.NX; i++ {
-			if g.Depth.At(i, j) == 0 {
-				continue
-			}
-			var div float64
-			for k := 0; k < g.NZ; k++ {
-				dz := g.DZ[k]
-				div += dy*dz*(m.S.U.At(i+1, j, k)*g.HFacW.At(i+1, j, k)-m.S.U.At(i, j, k)*g.HFacW.At(i, j, k)) +
-					dz*(g.DXS(j+1)*m.S.V.At(i, j+1, k)*g.HFacS.At(i, j+1, k)-g.DXS(j)*m.S.V.At(i, j, k)*g.HFacS.At(i, j, k))
-			}
-			div /= dx * dy * g.Depth.At(i, j)
-			sum += div * div
+	// Dry columns contribute exactly 0.0, which leaves the running sum
+	// bit-identical to the loop that skipped them.
+	sum := reduce.Over2(g.NX, g.NY, func(i, j int) float64 {
+		if g.Depth.At(i, j) == 0 {
+			return 0
 		}
-	}
+		dx, dy := g.DXC(j), g.DYC(j)
+		var div float64
+		for k := 0; k < g.NZ; k++ {
+			dz := g.DZ[k]
+			div += dy*dz*(m.S.U.At(i+1, j, k)*g.HFacW.At(i+1, j, k)-m.S.U.At(i, j, k)*g.HFacW.At(i, j, k)) +
+				dz*(g.DXS(j+1)*m.S.V.At(i, j+1, k)*g.HFacS.At(i, j+1, k)-g.DXS(j)*m.S.V.At(i, j, k)*g.HFacS.At(i, j, k))
+		}
+		div /= dx * dy * g.Depth.At(i, j)
+		return div * div
+	})
 	total := m.EP.GlobalSum(sum)
 	n := float64(m.Cfg.Grid.NX * m.Cfg.Grid.NY)
 	if total <= 0 {

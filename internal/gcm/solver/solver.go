@@ -22,6 +22,7 @@ import (
 	"hyades/internal/gcm/field"
 	"hyades/internal/gcm/grid"
 	"hyades/internal/gcm/kernel"
+	"hyades/internal/gcm/reduce"
 	"hyades/internal/gcm/tile"
 )
 
@@ -134,12 +135,7 @@ func (sv *Solver) Apply(p, q *field.F2, c *kernel.Counters) {
 // dot returns the global inner product of two fields over wet columns.
 func (sv *Solver) dot(a, b *field.F2, c *kernel.Counters) float64 {
 	g := sv.G
-	local := 0.0
-	for j := 0; j < g.NY; j++ {
-		for i := 0; i < g.NX; i++ {
-			local += a.At(i, j) * b.At(i, j)
-		}
-	}
+	local := reduce.Dot2(a, b)
 	c.AddDS(int64(g.NX*g.NY) * 2)
 	return sv.H.EP.GlobalSum(local)
 }

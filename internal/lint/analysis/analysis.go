@@ -70,6 +70,26 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled in by the driver
+
+	// SuggestedFixes are machine-applicable rewrites that resolve the
+	// finding.  A driver in -fix mode applies the edits of every fix;
+	// other drivers ignore them.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained rewrite resolving a finding.
+// All edits of one fix are applied together or not at all.
+type SuggestedFix struct {
+	// Message describes the rewrite, e.g. "write 500 * units.Picosecond".
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+// Pos == End inserts; empty NewText deletes.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  []byte
 }
 
 // Position resolves the diagnostic's position against fset.

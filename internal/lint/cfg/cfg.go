@@ -1,0 +1,374 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies, using only the standard library.
+//
+// The graph is deliberately simple: a Block is a maximal run of
+// straight-line statements, and an Edge carries the branch statement
+// and arm index it came from, so dataflow clients (internal/lint/dataflow)
+// can attach per-arm facts — e.g. "this block executes only on the
+// then-arm of that if".  Control statements themselves are decomposed:
+// a block's Nodes list holds leaf statements plus the condition
+// expressions evaluated in the block, never an *ast.IfStmt or loop as a
+// whole, so a client walking Nodes visits every expression exactly once.
+//
+// Nested function literals are treated as opaque expressions: their
+// bodies are NOT part of the enclosing graph.  Build a separate graph
+// per literal if the client needs one.
+//
+// Supported control flow: if/else chains, for and range loops
+// (including init/cond/post), switch, type switch and select (one arm
+// per case, an implicit arm for a missing default), labeled break /
+// continue / goto / fallthrough, return, and panic(...) statements,
+// which are treated as terminators to Exit.  Statements after a
+// terminator start a fresh block with no predecessors, so unreachable
+// code is representable but visibly unreachable (no path from Entry).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	Exit  *Block // synthetic: every return/panic/fallthrough-to-end edge lands here
+	// Blocks lists every block, Entry and Exit included, in creation
+	// order (deterministic for a given AST).
+	Blocks []*Block
+}
+
+// A Block is a straight-line run of nodes with a single entry.
+type Block struct {
+	Index int
+	// Nodes holds the leaf statements executed in the block and the
+	// condition expressions evaluated in it (if/for conditions, switch
+	// tags and case expressions, range operands).
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// An Edge is one control transfer.
+type Edge struct {
+	From, To *Block
+	// Branch is the controlling statement (*ast.IfStmt, *ast.ForStmt,
+	// *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt or
+	// *ast.SelectStmt) when the edge is one arm of a multi-way
+	// transfer, nil for unconditional edges.
+	Branch ast.Node
+	// Arm is the 0-based arm index under Branch (if: 0 = then, 1 =
+	// else; loops: 0 = body, 1 = exit; switch/select: clause index,
+	// with one extra arm for a missing default), or -1 when Branch is
+	// nil.
+	Arm int
+}
+
+// New builds the graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: map[string]*Block{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	b.jump(b.g.Exit)
+	for _, p := range b.gotos {
+		if target, ok := b.labels[p.label]; ok {
+			b.edge(p.from, target, nil, -1)
+		}
+	}
+	return b.g
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range blk.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// breakable is one enclosing construct break (and possibly continue)
+// can target.
+type breakable struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil unless a loop
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g        *Graph
+	cur      *Block // nil after a terminator (dead position)
+	stack    []breakable
+	labels   map[string]*Block
+	gotos    []pendingGoto
+	fallInto *Block // fallthrough target while building a switch case
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, branch ast.Node, arm int) {
+	if from == nil {
+		return
+	}
+	e := &Edge{From: from, To: to, Branch: branch, Arm: arm}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// add appends a leaf node to the current block, reviving a dead
+// position into a fresh (unreachable) block.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump closes the current block with an unconditional edge to target
+// and leaves the position dead.
+func (b *builder) jump(to *Block) {
+	b.edge(b.cur, to, nil, -1)
+	b.cur = nil
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		if cond == nil { // dead position: revive so arms hang together
+			cond = b.newBlock()
+			b.cur = cond
+		}
+		merge := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then, s, 0)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els, s, 1)
+			b.cur = then
+			b.stmt(s.Body, "")
+			b.jump(merge)
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.jump(merge)
+		} else {
+			b.edge(cond, merge, s, 1)
+			b.cur = then
+			b.stmt(s.Body, "")
+			b.jump(merge)
+		}
+		b.cur = merge
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		body := b.newBlock()
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, body, s, 0)
+			b.edge(head, exit, s, 1)
+		} else {
+			b.edge(head, body, nil, -1)
+		}
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			contTo = post
+		}
+		b.stack = append(b.stack, breakable{label: label, breakTo: exit, continueTo: contTo})
+		b.cur = body
+		b.stmt(s.Body, "")
+		if post != nil {
+			b.jump(post)
+			b.cur = post
+			b.add(s.Post)
+		}
+		b.jump(head)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body, s, 0)
+		b.edge(head, exit, s, 1)
+		b.stack = append(b.stack, breakable{label: label, breakTo: exit, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.jump(head)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		b.switchLike(s, label, s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s, label, s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		b.switchLike(s, label, nil, nil, nil, s.Body)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			for i := len(b.stack) - 1; i >= 0; i-- {
+				if s.Label == nil || b.stack[i].label == s.Label.Name {
+					b.jump(b.stack[i].breakTo)
+					return
+				}
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			for i := len(b.stack) - 1; i >= 0; i-- {
+				if b.stack[i].continueTo != nil &&
+					(s.Label == nil || b.stack[i].label == s.Label.Name) {
+					b.jump(b.stack[i].continueTo)
+					return
+				}
+			}
+			b.cur = nil
+		case token.GOTO:
+			if b.cur != nil && s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			if b.fallInto != nil {
+				b.jump(b.fallInto)
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.LabeledStmt:
+		lbl := b.newBlock()
+		b.jump(lbl)
+		b.labels[s.Label.Name] = lbl
+		b.cur = lbl
+		b.stmt(s.Stmt, s.Label.Name)
+
+	default:
+		// Leaf statements: assignments, declarations, expression
+		// statements, send, inc/dec, defer, go, empty.
+		b.add(s)
+		if es, ok := s.(*ast.ExprStmt); ok && isPanic(es.X) {
+			b.jump(b.g.Exit)
+		}
+	}
+}
+
+// switchLike builds switch, type-switch and select: one condition
+// block fanning out to one arm per clause, plus an implicit arm to the
+// merge when there is no default clause.
+func (b *builder) switchLike(branch ast.Node, label string, init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	b.add(init)
+	b.add(tag)
+	b.add(assign)
+	cond := b.cur
+	if cond == nil {
+		cond = b.newBlock()
+		b.cur = cond
+	}
+	merge := b.newBlock()
+	var caseBlocks []*Block
+	var caseBodies [][]ast.Stmt
+	hasDefault := false
+	for _, cs := range body.List {
+		blk := b.newBlock()
+		caseBlocks = append(caseBlocks, blk)
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				cond.Nodes = append(cond.Nodes, e)
+			}
+			caseBodies = append(caseBodies, cs.Body)
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+				caseBodies = append(caseBodies, cs.Body)
+			} else {
+				caseBodies = append(caseBodies, append([]ast.Stmt{cs.Comm}, cs.Body...))
+			}
+		}
+	}
+	for i, blk := range caseBlocks {
+		b.edge(cond, blk, branch, i)
+	}
+	if !hasDefault {
+		b.edge(cond, merge, branch, len(caseBlocks))
+	}
+	b.stack = append(b.stack, breakable{label: label, breakTo: merge})
+	savedFall := b.fallInto
+	for i, blk := range caseBlocks {
+		b.fallInto = nil
+		if i+1 < len(caseBlocks) {
+			b.fallInto = caseBlocks[i+1]
+		}
+		b.cur = blk
+		b.stmts(caseBodies[i])
+		b.jump(merge)
+	}
+	b.fallInto = savedFall
+	b.stack = b.stack[:len(b.stack)-1]
+	b.cur = merge
+}
+
+// isPanic reports whether e is a call to the predeclared panic.
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

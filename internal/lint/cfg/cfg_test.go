@@ -1,0 +1,244 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src (a function body wrapped in a file) and returns the
+// graph of the first function declaration.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// blockWithCall finds the reachable block containing a call to name.
+func blockWithCall(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no reachable block calls %s", name)
+	return nil
+}
+
+func TestIfElse(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		a()
+	} else {
+		b()
+	}
+	c()`)
+	condBlk := blockWithCall(t, g, "cond")
+	if len(condBlk.Succs) != 2 {
+		t.Fatalf("cond block has %d successors, want 2", len(condBlk.Succs))
+	}
+	arms := map[int]bool{}
+	for _, e := range condBlk.Succs {
+		if e.Branch == nil {
+			t.Errorf("if edge missing Branch")
+		}
+		arms[e.Arm] = true
+	}
+	if !arms[0] || !arms[1] {
+		t.Errorf("if arms = %v, want {0,1}", arms)
+	}
+	merge := blockWithCall(t, g, "c")
+	if len(merge.Preds) != 2 {
+		t.Errorf("merge has %d preds, want 2", len(merge.Preds))
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		a()
+	}
+	c()`)
+	condBlk := blockWithCall(t, g, "cond")
+	if len(condBlk.Succs) != 2 {
+		t.Fatalf("cond block has %d successors, want 2 (then + skip)", len(condBlk.Succs))
+	}
+}
+
+func TestEarlyReturn(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		return
+	}
+	c()`)
+	after := blockWithCall(t, g, "c")
+	// Only the skip edge reaches c: the then-arm went to Exit.
+	if len(after.Preds) != 1 {
+		t.Fatalf("block after early return has %d preds, want 1", len(after.Preds))
+	}
+	e := after.Preds[0]
+	if e.Branch == nil || e.Arm != 1 {
+		t.Errorf("surviving edge = (branch %v, arm %d), want the skip arm 1", e.Branch, e.Arm)
+	}
+	if len(g.Exit.Preds) != 2 { // the return and the fallthrough off the end
+		t.Errorf("Exit has %d preds, want 2", len(g.Exit.Preds))
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := build(t, `
+	for i := 0; i < n(); i++ {
+		body()
+	}
+	after()`)
+	head := blockWithCall(t, g, "n")
+	bodyBlk := blockWithCall(t, g, "body")
+	afterBlk := blockWithCall(t, g, "after")
+	var bodyArm, exitArm bool
+	for _, e := range head.Succs {
+		if e.To == bodyBlk && e.Arm == 0 {
+			bodyArm = true
+		}
+		if e.Arm == 1 {
+			exitArm = true
+		}
+	}
+	if !bodyArm || !exitArm {
+		t.Errorf("loop head missing body/exit arms")
+	}
+	// A back edge must reach the head again (via the post block).
+	if len(head.Preds) < 2 {
+		t.Errorf("loop head has %d preds, want entry + back edge", len(head.Preds))
+	}
+	if len(afterBlk.Preds) != 1 {
+		t.Errorf("after-loop block has %d preds, want 1", len(afterBlk.Preds))
+	}
+}
+
+func TestRangeAndBreak(t *testing.T) {
+	g := build(t, `
+	for range xs() {
+		if stop() {
+			break
+		}
+		body()
+	}
+	after()`)
+	afterBlk := blockWithCall(t, g, "after")
+	// Exit arm of the range plus the break both land on after.
+	if len(afterBlk.Preds) != 2 {
+		t.Errorf("after-loop block has %d preds, want 2 (range exit + break)", len(afterBlk.Preds))
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	g := build(t, `
+	switch tag() {
+	case 1:
+		a()
+	case 2:
+		b()
+	}
+	after()`)
+	condBlk := blockWithCall(t, g, "tag")
+	// Two cases plus the implicit no-default arm.
+	if len(condBlk.Succs) != 3 {
+		t.Fatalf("switch cond has %d successors, want 3", len(condBlk.Succs))
+	}
+	arms := map[int]bool{}
+	for _, e := range condBlk.Succs {
+		arms[e.Arm] = true
+	}
+	if !arms[0] || !arms[1] || !arms[2] {
+		t.Errorf("switch arms = %v, want {0,1,2}", arms)
+	}
+	afterBlk := blockWithCall(t, g, "after")
+	if len(afterBlk.Preds) != 3 {
+		t.Errorf("post-switch block has %d preds, want 3", len(afterBlk.Preds))
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		panic("boom")
+	}
+	c()`)
+	after := blockWithCall(t, g, "c")
+	if len(after.Preds) != 1 {
+		t.Errorf("block after panic arm has %d preds, want 1", len(after.Preds))
+	}
+}
+
+func TestFuncLitOpaque(t *testing.T) {
+	g := build(t, `
+	f := func() {
+		inner()
+	}
+	f()`)
+	// The literal's body is not decomposed: no block's Nodes list holds
+	// the inner() ExprStmt directly (it stays inside the FuncLit node).
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "inner" {
+						t.Errorf("FuncLit body was decomposed into the outer graph")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	g := build(t, `
+	return
+	dead()`)
+	deadBlk := func() *Block {
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				found := false
+				ast.Inspect(n, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && id.Name == "dead" {
+						found = true
+					}
+					return true
+				})
+				if found {
+					return b
+				}
+			}
+		}
+		return nil
+	}()
+	if deadBlk == nil {
+		t.Fatal("dead() not represented")
+	}
+	if g.Reachable()[deadBlk] {
+		t.Errorf("statement after return is reachable")
+	}
+}

@@ -1,0 +1,100 @@
+// Package dataflow runs simple forward dataflow problems over the
+// control-flow graphs built by internal/lint/cfg.
+//
+// A client supplies a Problem: an entry fact, a meet operator, a block
+// transfer function and (the part most analyses here care about) an
+// edge transfer, which lets a fact change along one arm of a branch —
+// e.g. "on the then-edge of this if, record that the then-arm was
+// taken".  The engine iterates to a fixpoint with a worklist and
+// optimistic initialization: a predecessor that has not produced an
+// out-fact yet is ignored rather than treated as bottom, which gives
+// meet-over-reachable-paths precision for intersection-style lattices.
+//
+// Termination is the Problem's responsibility: facts must form a
+// lattice of finite height under Meet, and Transfer/EdgeFact must be
+// monotone.  Every analyzer in internal/lint uses finite sets drawn
+// from the function's AST, which satisfies both.
+package dataflow
+
+import "hyades/internal/lint/cfg"
+
+// A Fact is an arbitrary immutable dataflow value.  Implementations
+// must not mutate a Fact after returning it: the engine caches and
+// compares facts across iterations.
+type Fact interface{}
+
+// A Problem defines one forward dataflow analysis.
+type Problem interface {
+	// Entry is the fact holding at function entry.
+	Entry() Fact
+
+	// Meet combines two facts at a control-flow merge.
+	Meet(a, b Fact) Fact
+
+	// Transfer produces the fact after executing block b with fact in
+	// holding on entry.
+	Transfer(b *cfg.Block, in Fact) Fact
+
+	// EdgeFact adapts the out-fact of e.From for travel along e —
+	// typically adding a guard when e is one arm of an interesting
+	// branch.  Return out unchanged for uninteresting edges.
+	EdgeFact(e *cfg.Edge, out Fact) Fact
+
+	// Equal reports whether two facts are equivalent (fixpoint test).
+	Equal(a, b Fact) bool
+}
+
+// Forward computes the fixpoint of p over g and returns the in-fact of
+// every block reachable from g.Entry.  Unreachable blocks do not
+// appear in the result.
+func Forward(g *cfg.Graph, p Problem) map[*cfg.Block]Fact {
+	in := map[*cfg.Block]Fact{}
+	out := map[*cfg.Block]Fact{}
+
+	inQueue := map[*cfg.Block]bool{g.Entry: true}
+	queue := []*cfg.Block{g.Entry}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		inQueue[blk] = false
+
+		var f Fact
+		have := false
+		for _, e := range blk.Preds {
+			predOut, ok := out[e.From]
+			if !ok {
+				continue // optimistic: pred not yet computed
+			}
+			ef := p.EdgeFact(e, predOut)
+			if !have {
+				f, have = ef, true
+			} else {
+				f = p.Meet(f, ef)
+			}
+		}
+		if blk == g.Entry {
+			if have {
+				f = p.Meet(f, p.Entry())
+			} else {
+				f, have = p.Entry(), true
+			}
+		}
+		if !have {
+			continue // no reachable predecessor yet
+		}
+		in[blk] = f
+
+		newOut := p.Transfer(blk, f)
+		if old, ok := out[blk]; ok && p.Equal(old, newOut) {
+			continue
+		}
+		out[blk] = newOut
+		for _, e := range blk.Succs {
+			if !inQueue[e.To] {
+				inQueue[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return in
+}

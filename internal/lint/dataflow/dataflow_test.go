@@ -1,0 +1,212 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"hyades/internal/lint/cfg"
+)
+
+// The test problem is the guard analysis commlock uses: the fact at a
+// point is the set of (branch, arm) pairs every path agrees on, branches
+// whose condition calls dep() are "interesting", and merges intersect.
+
+type guard struct {
+	branch ast.Node
+	arm    int
+}
+
+type set map[guard]bool
+
+type guardProblem struct {
+	dep map[ast.Node]bool
+}
+
+func (p guardProblem) Entry() Fact { return set{} }
+
+func (p guardProblem) Meet(a, b Fact) Fact {
+	ga, gb := a.(set), b.(set)
+	out := set{}
+	for g := range ga {
+		if gb[g] {
+			out[g] = true
+		}
+	}
+	return out
+}
+
+func (p guardProblem) Transfer(b *cfg.Block, in Fact) Fact { return in }
+
+func (p guardProblem) EdgeFact(e *cfg.Edge, out Fact) Fact {
+	if e.Branch == nil || !p.dep[e.Branch] {
+		return out
+	}
+	g := out.(set)
+	n := make(set, len(g)+1)
+	for k := range g {
+		n[k] = true
+	}
+	n[guard{branch: e.Branch, arm: e.Arm}] = true
+	return n
+}
+
+func (p guardProblem) Equal(a, b Fact) bool {
+	ga, gb := a.(set), b.(set)
+	if len(ga) != len(gb) {
+		return false
+	}
+	for g := range ga {
+		if !gb[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// analyze builds the graph of f's body, marks every branch whose
+// condition mentions a call to dep() as interesting, runs Forward, and
+// returns the in-fact of the block calling the named function.
+func analyze(t *testing.T, body, at string) set {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.New(file.Decls[0].(*ast.FuncDecl).Body)
+
+	dep := map[ast.Node]bool{}
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			ifs, ok := e.Branch.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "dep" {
+						dep[ifs] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	facts := Forward(g, guardProblem{dep: dep})
+	for blk, fact := range facts {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == at {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return fact.(set)
+			}
+		}
+	}
+	t.Fatalf("no reachable block calls %s", at)
+	return nil
+}
+
+func arms(s set) []int {
+	var out []int
+	for g := range s {
+		out = append(out, g.arm)
+	}
+	return out
+}
+
+func TestGuardInsideArm(t *testing.T) {
+	s := analyze(t, `
+	if dep() {
+		a()
+	}
+	b()`, "a")
+	if len(s) != 1 || arms(s)[0] != 0 {
+		t.Errorf("inside then-arm: guards = %v, want exactly arm 0", s)
+	}
+}
+
+func TestMergeCancels(t *testing.T) {
+	s := analyze(t, `
+	if dep() {
+		a()
+	} else {
+		b()
+	}
+	c()`, "c")
+	if len(s) != 0 {
+		t.Errorf("after merge: guards = %v, want none", s)
+	}
+}
+
+func TestEarlyReturnKeepsGuard(t *testing.T) {
+	s := analyze(t, `
+	if dep() {
+		return
+	}
+	c()`, "c")
+	if len(s) != 1 || arms(s)[0] != 1 {
+		t.Errorf("after early return: guards = %v, want exactly the skip arm 1", s)
+	}
+}
+
+func TestUninterestingBranchAddsNothing(t *testing.T) {
+	s := analyze(t, `
+	if plain() {
+		a()
+	}
+	b()`, "a")
+	if len(s) != 0 {
+		t.Errorf("non-dep branch: guards = %v, want none", s)
+	}
+}
+
+func TestNestedGuards(t *testing.T) {
+	s := analyze(t, `
+	if dep() {
+		if dep() {
+			a()
+		}
+	}
+	b()`, "a")
+	if len(s) != 2 {
+		t.Errorf("nested arms: guards = %v, want two", s)
+	}
+}
+
+// TestLoopFixpoint: facts must converge with a back edge present; the
+// guard from a branch inside the loop cancels at the loop head.
+func TestLoopFixpoint(t *testing.T) {
+	s := analyze(t, `
+	for i := 0; i < n(); i++ {
+		if dep() {
+			a()
+		}
+		body()
+	}
+	after()`, "body")
+	if len(s) != 0 {
+		t.Errorf("loop body after inner merge: guards = %v, want none", s)
+	}
+	s = analyze(t, `
+	for i := 0; i < n(); i++ {
+		if dep() {
+			continue
+		}
+		body()
+	}
+	after()`, "body")
+	if len(s) != 1 || arms(s)[0] != 1 {
+		t.Errorf("after continue-guard: guards = %v, want the skip arm", s)
+	}
+}

@@ -1,0 +1,208 @@
+// Package emit renders hyadeslint diagnostics as text, JSON or SARIF.
+//
+// Every output format is byte-stable: findings are normalized — sorted
+// by (file, offset, analyzer, message) and deduplicated by (file,
+// offset, analyzer) — before rendering, paths are module-relative with
+// forward slashes, and the JSON encoders use struct types only, so two
+// runs over the same tree produce identical bytes.  CI archives the
+// SARIF form as an artifact and diffs it against a golden file in
+// tests.
+package emit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hyades/internal/lint/analysis"
+)
+
+// A Finding is one rendered diagnostic.
+type Finding struct {
+	File     string `json:"file"` // module-relative, forward slashes
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+
+	offset int // byte offset in file; sorting and dedup key
+}
+
+// Findings resolves diagnostics against fset, relativizing paths to
+// root.
+func Findings(fset *token.FileSet, root string, diags []analysis.Diagnostic) []Finding {
+	fs := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file := pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		fs = append(fs, Finding{
+			File:     file,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			offset:   pos.Offset,
+		})
+	}
+	return fs
+}
+
+// Normalize sorts by (file, offset, analyzer, message) and drops
+// duplicate (file, offset, analyzer) entries, keeping the first.
+func Normalize(fs []Finding) []Finding {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.offset != b.offset {
+			return a.offset < b.offset
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f.File == out[len(out)-1].File &&
+			f.offset == out[len(out)-1].offset &&
+			f.Analyzer == out[len(out)-1].Analyzer {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Text writes the classic one-line-per-finding form.
+func Text(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the -json schema.
+type jsonReport struct {
+	Version  int       `json:"version"`
+	Findings []Finding `json:"findings"`
+}
+
+// JSON writes a versioned findings document.
+func JSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(jsonReport{Version: 1, Findings: fs})
+}
+
+// Minimal SARIF 2.1.0 document structure (static analysis results
+// interchange format) — the slice of the schema CI dashboards consume.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF writes a SARIF 2.1.0 document.  The rule table covers every
+// analyzer in the suite (sorted by name), not just those with
+// findings, so the document shape is independent of what was found.
+func SARIF(w io.Writer, fs []Finding, analyzers []*analysis.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "hyadeslint",
+				InformationURI: "https://example.invalid/hyades/internal/lint",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	})
+}

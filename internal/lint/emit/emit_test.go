@@ -1,0 +1,120 @@
+package emit
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyades/internal/lint/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// sample is a fixed findings list exercising ordering (files out of
+// order, two analyzers at one position) and deduplication (an exact
+// (file, offset, analyzer) repeat that must be dropped).
+func sample() []Finding {
+	return Normalize([]Finding{
+		{File: "internal/gcm/gcm.go", Line: 88, Col: 3, Analyzer: "redorder",
+			Message: "manual floating-point accumulation onto total feeds a global sum", offset: 2300},
+		{File: "internal/comm/coupled.go", Line: 41, Col: 10, Analyzer: "dimcheck",
+			Message: "arithmetic mixes units.Time and units.Bandwidth through raw numeric conversions", offset: 905},
+		{File: "internal/comm/coupled.go", Line: 41, Col: 10, Analyzer: "commlock",
+			Message: "collective Barrier is not matched on every arm of the rank-dependent condition at line 39", offset: 905},
+		{File: "internal/comm/coupled.go", Line: 41, Col: 10, Analyzer: "commlock",
+			Message: "duplicate entry that Normalize must drop", offset: 905},
+	})
+}
+
+// ruleTable is a miniature analyzer suite for the SARIF rule list.
+func ruleTable() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		{Name: "redorder", Doc: "flag manual accumulations that feed a global sum"},
+		{Name: "commlock", Doc: "flag collectives guarded by rank-dependent control flow"},
+		{Name: "dimcheck", Doc: "flag arithmetic mixing incompatible unit dimensions"},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/lint/emit -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestNormalizeOrderAndDedup(t *testing.T) {
+	fs := sample()
+	if len(fs) != 3 {
+		t.Fatalf("Normalize kept %d findings, want 3 (one duplicate dropped)", len(fs))
+	}
+	// coupled.go sorts before gcm.go; at equal position commlock sorts
+	// before dimcheck.
+	if fs[0].Analyzer != "commlock" || fs[1].Analyzer != "dimcheck" || fs[2].Analyzer != "redorder" {
+		t.Errorf("order = %s, %s, %s", fs[0].Analyzer, fs[1].Analyzer, fs[2].Analyzer)
+	}
+	if fs[0].Message != "collective Barrier is not matched on every arm of the rank-dependent condition at line 39" {
+		t.Errorf("dedup kept the wrong duplicate: %q", fs[0].Message)
+	}
+}
+
+func TestTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Text(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.txt.golden", buf.Bytes())
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := JSON(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.json.golden", buf.Bytes())
+}
+
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := JSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"findings": []`)) {
+		t.Errorf("empty report must carry an empty array, not null:\n%s", buf.String())
+	}
+}
+
+func TestSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SARIF(&buf, sample(), ruleTable()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.sarif.golden", buf.Bytes())
+}
+
+// TestSARIFStableAcrossRuns: two renders of the same inputs are
+// byte-identical — the property CI relies on when diffing artifacts.
+func TestSARIFStableAcrossRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := SARIF(&a, sample(), ruleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SARIF(&b, sample(), ruleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("SARIF output not byte-stable across runs")
+	}
+}

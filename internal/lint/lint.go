@@ -11,6 +11,9 @@
 //	unitlit     — no unitless literals converted to units.Time/Bandwidth
 //	schedpast   — no provably-negative or unclamped-delta schedule delays
 //	maprange    — no map iteration in the event path
+//	commlock    — no collectives unmatched across rank-dependent branches
+//	dimcheck    — no arithmetic mixing units.Time/Bandwidth/Size dimensions
+//	redorder    — no manual float accumulations feeding GlobalSum
 //
 // Each rule can be locally waived with the annotation
 //
@@ -35,6 +38,9 @@ var Analyzers = []*analysis.Analyzer{
 	Unitlit,
 	Schedpast,
 	Maprange,
+	Commlock,
+	Dimcheck,
+	Redorder,
 }
 
 // simCorePackages hold simulation state or run inside the coroutine
@@ -70,9 +76,19 @@ func underAny(path string, prefixes []string) bool {
 	return false
 }
 
+// redorderPackages hold model code whose local reductions feed global
+// sums; redorder applies here.  internal/gcm/reduce itself is the
+// canonical implementation and contains no GlobalSum calls, so the
+// rule's own GlobalSum precondition keeps it clean without a carve-out.
+var redorderPackages = []string{
+	"hyades/internal/gcm",
+}
+
 // AnalyzersFor returns the analyzers that apply to the package with the
-// given import path.  unitlit and schedpast guard call sites anywhere
-// in the module; the other rules are scoped to the simulation core.
+// given import path.  unitlit, schedpast and commlock guard call sites
+// anywhere in the module; dimcheck everywhere except package units
+// (whose accessor implementations are the sanctioned raw conversions);
+// the other rules are scoped to the simulation core.
 func AnalyzersFor(importPath string) []*analysis.Analyzer {
 	var as []*analysis.Analyzer
 	if underAny(importPath, simCorePackages) {
@@ -81,6 +97,13 @@ func AnalyzersFor(importPath string) []*analysis.Analyzer {
 	as = append(as, Unitlit, Schedpast)
 	if underAny(importPath, eventPathPackages) {
 		as = append(as, Maprange)
+	}
+	as = append(as, Commlock)
+	if importPath != unitsPkgPath {
+		as = append(as, Dimcheck)
+	}
+	if underAny(importPath, redorderPackages) {
+		as = append(as, Redorder)
 	}
 	return as
 }

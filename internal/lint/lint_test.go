@@ -32,6 +32,18 @@ func TestMaprange(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Maprange, "maprange")
 }
 
+func TestCommlock(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Commlock, "commlock")
+}
+
+func TestDimcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Dimcheck, "dimcheck")
+}
+
+func TestRedorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Redorder, "redorder")
+}
+
 // TestAnalyzersForScope pins the scope table: determinism rules guard
 // the sim core, unit/schedule rules guard the whole module, and the
 // event-path rule guards only the dispatch-hot packages.
@@ -62,6 +74,27 @@ func TestAnalyzersForScope(t *testing.T) {
 	}
 	if !rep["unitlit"] || !rep["schedpast"] {
 		t.Errorf("unitlit/schedpast apply module-wide, got %v", rep)
+	}
+	// Communication-discipline rules: commlock and dimcheck run
+	// module-wide (dimcheck excepting the units package itself, which
+	// legitimately crosses its own dimensions), redorder only where the
+	// physics reductions live.
+	for _, m := range []map[string]bool{des, gcm, rep} {
+		if !m["commlock"] {
+			t.Errorf("commlock must apply module-wide, got %v", m)
+		}
+		if !m["dimcheck"] {
+			t.Errorf("dimcheck must apply module-wide, got %v", m)
+		}
+	}
+	if units := names("hyades/internal/units"); units["dimcheck"] {
+		t.Errorf("dimcheck must not run inside the units package, got %v", units)
+	}
+	if !gcm["redorder"] {
+		t.Errorf("gcm subpackages must get redorder, got %v", gcm)
+	}
+	if des["redorder"] || rep["redorder"] {
+		t.Errorf("redorder is scoped to the gcm subtree, got des=%v rep=%v", des, rep)
 	}
 }
 

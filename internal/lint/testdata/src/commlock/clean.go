@@ -1,0 +1,45 @@
+package commlock
+
+import "hyades/internal/comm"
+
+// rejoined: the branch only selects data; the collective runs after the
+// arms merge, so every rank reaches it.
+func rejoined(ep comm.Endpoint, x float64) float64 {
+	scale := 1.0
+	if ep.Rank() == 0 {
+		scale = 2.0
+	}
+	return ep.GlobalSum(x * scale)
+}
+
+// matchedExchange: each arm makes exactly one Exchange — the pairwise
+// send/receive shape of a gather is legal asymmetry.
+func matchedExchange(ep comm.Endpoint, payload []byte, layout comm.Block) []byte {
+	if ep.Rank() != 0 {
+		return ep.Exchange(0, payload, layout)
+	}
+	return ep.Exchange(1, payload, layout)
+}
+
+// dataBranch: branching on non-rank state never splits the ranks.
+func dataBranch(ep comm.Endpoint, converged bool, x float64) float64 {
+	if converged {
+		x *= 0.5
+	}
+	return ep.GlobalSum(x)
+}
+
+// fixedLoop: a trip count from N() is the same on every rank.
+func fixedLoop(ep comm.Endpoint, x float64) {
+	for i := 0; i < ep.N(); i++ {
+		ep.GlobalSum(x)
+	}
+}
+
+// waived: intentional asymmetry, locally allowed.
+func waived(ep comm.Endpoint, x float64) {
+	if ep.Rank() == 0 {
+		//lint:allow commlock fixture demonstrating the escape hatch
+		ep.GlobalSum(x)
+	}
+}

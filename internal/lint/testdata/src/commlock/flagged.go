@@ -1,0 +1,59 @@
+// Package commlock exercises the commlock analyzer: collectives that
+// only some ranks reach deadlock the synchronous primitives.
+package commlock
+
+import "hyades/internal/comm"
+
+// rootOnlySum is the classic one-armed collective.
+func rootOnlySum(ep comm.Endpoint, x float64) float64 {
+	if ep.Rank() == 0 {
+		return ep.GlobalSum(x) // want `collective GlobalSum is not matched on every arm of the rank-dependent condition`
+	}
+	return x
+}
+
+// earlyReturn: the guard survives the merge because the other arm left
+// the function — only rank 0 reaches the barrier.
+func earlyReturn(ep comm.Endpoint) {
+	me := ep.Rank()
+	if me != 0 {
+		return
+	}
+	ep.Barrier() // want `collective Barrier is not matched on every arm`
+}
+
+// derivedRank: taint flows through locals.
+func derivedRank(ep comm.Endpoint, x float64) {
+	id := ep.Rank()
+	twice := id * 2
+	if twice > 4 {
+		ep.GlobalSum(x) // want `collective GlobalSum is not matched on every arm`
+	}
+}
+
+// loopTrip: ranks make different numbers of collective calls.
+func loopTrip(ep comm.Endpoint) {
+	for i := 0; i < ep.Rank(); i++ {
+		ep.Barrier() // want `loop whose trip count is rank-dependent`
+	}
+}
+
+// mismatchedKinds: both arms call a collective, but not the same one —
+// rank 0 waits in the butterfly while everyone else sits in the
+// barrier.  Both sides are flagged.
+func mismatchedKinds(ep comm.Endpoint, x float64) {
+	if ep.Rank() == 0 {
+		ep.GlobalSum(x) // want `collective GlobalSum is not matched on every arm`
+	} else {
+		ep.Barrier() // want `collective Barrier is not matched on every arm`
+	}
+}
+
+// rankSwitch: a switch on the rank is a rank-dependent branch too.
+func rankSwitch(ep comm.Endpoint, x float64) {
+	switch ep.Rank() {
+	case 0:
+		ep.GlobalSum(x) // want `collective GlobalSum is not matched on every arm`
+	default:
+	}
+}

@@ -1,0 +1,24 @@
+package dimcheck
+
+import "hyades/internal/units"
+
+// frac is a dimensionless ratio of same-dimension values: legal.
+func frac(a, b units.Time) float64 {
+	return float64(a) / float64(b)
+}
+
+// accessors are the sanctioned bridges between dimensions.
+func viaAccessors(n int, d units.Time, bw units.Bandwidth) (units.Bandwidth, float64, units.Time) {
+	return units.Rate(n, d), d.Seconds(), bw.Transfer(n)
+}
+
+// scaleByCount divides by a raw count: only one side carries a unit.
+func scaleByCount(t units.Time, reps int) units.Time {
+	return t / units.Time(reps)
+}
+
+// waived cross conversion, locally allowed.
+func waived(t units.Time) units.Bandwidth {
+	//lint:allow dimcheck fixture demonstrating the escape hatch
+	return units.Bandwidth(t)
+}

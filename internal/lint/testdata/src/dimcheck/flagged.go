@@ -1,0 +1,25 @@
+// Package dimcheck exercises the dimcheck analyzer: conversions and
+// arithmetic that cross the Time/Bandwidth/Size dimensions.
+package dimcheck
+
+import "hyades/internal/units"
+
+// crossConvert rereads picoseconds as bytes per second.
+func crossConvert(t units.Time) units.Bandwidth {
+	return units.Bandwidth(t) // want `units\.Time value converted directly to units\.Bandwidth`
+}
+
+// backConvert is just as wrong in the other direction.
+func backConvert(bw units.Bandwidth) units.Time {
+	return units.Time(bw) // want `units\.Bandwidth value converted directly to units\.Time`
+}
+
+// rawMix divides raw base-grain counts of different dimensions.
+func rawMix(t units.Time, bw units.Bandwidth) float64 {
+	return float64(t) / float64(bw) // want `arithmetic mixes units\.Time and units\.Bandwidth through raw numeric conversions`
+}
+
+// sizeTime compares a byte count against a duration.
+func sizeTime(n units.Size, t units.Time) bool {
+	return int64(n) > int64(t) // want `arithmetic mixes units\.Size and units\.Time`
+}

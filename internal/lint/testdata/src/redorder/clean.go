@@ -1,0 +1,57 @@
+package redorder
+
+import (
+	"hyades/internal/comm"
+	"hyades/internal/gcm/reduce"
+)
+
+// viaReduce is the sanctioned route: the helper owns the order.
+func viaReduce(ep comm.Endpoint, xs []float64) float64 {
+	return ep.GlobalSum(reduce.Slice(xs))
+}
+
+// perColumn: an accumulator declared inside the outer loop resets each
+// iteration — local arithmetic, not a reduction.
+func perColumn(ep comm.Endpoint, cols [][]float64) float64 {
+	worst := 0.0
+	for _, col := range cols {
+		var s float64
+		for _, v := range col {
+			s += v
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return ep.GlobalSum(worst)
+}
+
+// counting: integer counters carry no rounding order.
+func counting(ep comm.Endpoint, xs []float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			n++
+		}
+	}
+	return ep.GlobalSum(float64(n))
+}
+
+// localOnly never feeds a global sum; its order is its own business.
+func localOnly(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// waived: compensated summation is order-aware by design.
+func waived(ep comm.Endpoint, xs []float64) float64 {
+	kahan := 0.0
+	for _, x := range xs {
+		//lint:allow redorder compensated summation fixture
+		kahan += x
+	}
+	return ep.GlobalSum(kahan)
+}

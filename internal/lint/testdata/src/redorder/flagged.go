@@ -1,0 +1,36 @@
+// Package redorder exercises the redorder analyzer: manual float
+// accumulations in functions that feed GlobalSum must route through
+// internal/gcm/reduce so the summation order stays canonical.
+package redorder
+
+import "hyades/internal/comm"
+
+// manualSum is the basic pattern: a function-scope accumulator fed in
+// a loop, handed to the global sum.
+func manualSum(ep comm.Endpoint, xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x // want `manual floating-point accumulation onto total feeds a global sum`
+	}
+	return ep.GlobalSum(total)
+}
+
+// nestedSum: the accumulator sits outside the whole nest.
+func nestedSum(ep comm.Endpoint, grid [][]float64) float64 {
+	var sum float64
+	for _, row := range grid {
+		for _, v := range row {
+			sum += v // want `manual floating-point accumulation onto sum`
+		}
+	}
+	return ep.GlobalSum(sum)
+}
+
+// residual: -= is an accumulation too.
+func residual(ep comm.Endpoint, xs, ys []float64) float64 {
+	r := 0.0
+	for i := range xs {
+		r -= xs[i] * ys[i] // want `manual floating-point accumulation onto r`
+	}
+	return ep.GlobalSum(r)
+}

@@ -15,6 +15,7 @@ import (
 const (
 	unitsPkgPath = "hyades/internal/units"
 	desPkgPath   = "hyades/internal/des"
+	commPkgPath  = "hyades/internal/comm"
 )
 
 // pkgPathIs reports whether pkg is importPath, or a testdata double of
@@ -95,4 +96,84 @@ func unparen(e ast.Expr) ast.Expr {
 		}
 		e = p.X
 	}
+}
+
+// collectiveNames are the Endpoint methods every rank must call in
+// lockstep.
+var collectiveNames = map[string]bool{
+	"GlobalSum": true,
+	"Barrier":   true,
+	"Exchange":  true,
+}
+
+// endpointIface locates the comm.Endpoint interface visible to the
+// package under analysis — declared in the package itself or anywhere
+// in its import graph.  Returns nil when comm is unreachable, in which
+// case the communication analyzers have nothing to check.
+func endpointIface(pass *analysis.Pass) *types.Interface {
+	lookup := func(p *types.Package) *types.Interface {
+		if p == nil || !pkgPathIs(p, commPkgPath) {
+			return nil
+		}
+		obj := p.Scope().Lookup("Endpoint")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := types.Unalias(obj.Type()).Underlying().(*types.Interface)
+		return iface
+	}
+	if iface := lookup(pass.Pkg); iface != nil {
+		return iface
+	}
+	seen := map[*types.Package]bool{}
+	queue := []*types.Package{pass.Pkg}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p == nil || seen[p] {
+			continue
+		}
+		seen[p] = true
+		if iface := lookup(p); iface != nil {
+			return iface
+		}
+		queue = append(queue, p.Imports()...)
+	}
+	return nil
+}
+
+// implementsEndpoint reports whether t (or *t) satisfies iface.
+func implementsEndpoint(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// endpointMethodCall reports whether call invokes the named method on a
+// value whose type implements the Endpoint interface, e.g.
+// ep.GlobalSum(x) or h.EP.Exchange(...).
+func endpointMethodCall(pass *analysis.Pass, iface *types.Interface, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return implementsEndpoint(tv.Type, iface)
+}
+
+// collectiveCall returns the collective's method name when call is a
+// GlobalSum/Barrier/Exchange invocation on an Endpoint value.
+func collectiveCall(pass *analysis.Pass, iface *types.Interface, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !collectiveNames[sel.Sel.Name] {
+		return "", false
+	}
+	if !endpointMethodCall(pass, iface, call, sel.Sel.Name) {
+		return "", false
+	}
+	return sel.Sel.Name, true
 }

@@ -87,6 +87,10 @@ type Bandwidth float64
 // MBps is one decimal megabyte (1e6 bytes) per second.
 const MBps Bandwidth = 1e6
 
+// Bps is one byte per second, Bandwidth's base grain — the named unit
+// for making small literal rates explicit.
+const Bps Bandwidth = 1
+
 // Transfer returns the time needed to move n bytes at rate bw.
 func (bw Bandwidth) Transfer(n int) Time {
 	if n <= 0 {

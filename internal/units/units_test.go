@@ -76,6 +76,15 @@ func TestRateInvertsTransfer(t *testing.T) {
 	}
 }
 
+func TestBpsGrain(t *testing.T) {
+	if MBps != 1_000_000*Bps {
+		t.Fatal("MBps must be one million base grains")
+	}
+	if got := (150 * Bps).Transfer(300); got != 2*Second {
+		t.Fatalf("300B at 150B/s = %v", got)
+	}
+}
+
 func TestRateDegenerate(t *testing.T) {
 	if Rate(100, 0) != 0 {
 		t.Fatal("rate over zero time")
