@@ -1,0 +1,170 @@
+package hyades
+
+// Chaos determinism: fault injection must not weaken the determinism
+// contract, and the reliable channel must hide faults from the model.
+// Two coupled runs with the same fault seed must agree bit for bit —
+// same model state, same event count, same final virtual clock — and
+// their model state must also match a fault-free run exactly: the
+// go-back-N layer masks drops by retransmission, so the physics never
+// sees them.  Only the *state* digest is compared against the
+// fault-free run (faults legitimately change timing and event counts;
+// they must never change an answer).
+
+import (
+	"crypto/sha256"
+	"errors"
+	"testing"
+
+	"hyades/internal/cluster"
+	"hyades/internal/comm"
+	"hyades/internal/fault"
+	"hyades/internal/gcm"
+	"hyades/internal/gcm/physics"
+	"hyades/internal/gcm/tile"
+	"hyades/internal/units"
+)
+
+// chaosFingerprint runs the small coupled configuration under the
+// given fault plan and returns a SHA-256 over every worker's
+// checkpointed state (state only — no clocks, no event counts), plus
+// the run's observables for same-seed comparison.
+func chaosFingerprint(t *testing.T, steps int, fc fault.Config) (digest [32]byte, events uint64, now units.Time, fs comm.FaultStats) {
+	t.Helper()
+	d := tile.Decomp{NXg: 16, NYg: 8, Px: 2, Py: 1, PeriodicX: true}
+	cfg := gcm.DefaultCoupledConfig(d)
+	cfg.Ocean.Grid.NX, cfg.Ocean.Grid.NY = 16, 8
+	cfg.Ocean.Grid.NZ = 4
+	cfg.Ocean.Grid.DZ = []float64{250, 500, 1000, 2250}
+	cfg.Atmos.Grid.NX, cfg.Atmos.Grid.NY = 16, 8
+	cfg.CoupleEvery = 5
+
+	tiles := cfg.Ocean.Decomp.Tiles()
+	nWorkers := 2 * tiles
+	ccfg := cluster.DefaultConfig(nWorkers, 1)
+	ccfg.Fault = fc
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	lib, err := comm.NewHyades(cl, comm.DefaultHyadesConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coupled := make([]*gcm.Coupled, nWorkers)
+	var buildErr error
+	cl.Start(func(w *cluster.Worker) {
+		c := cfg
+		if w.Rank < tiles {
+			ph := physics.New(physics.Default())
+			c.Atmos.Forcing = ph
+			c.Physics = ph
+		}
+		cp, err := gcm.NewCoupled(c, lib.Bind(w))
+		if err != nil {
+			buildErr = err
+			return
+		}
+		coupled[w.Rank] = cp
+		cp.Run(steps)
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+
+	h := sha256.New()
+	for r, cp := range coupled {
+		if cp == nil {
+			t.Fatalf("worker %d did not build", r)
+		}
+		if err := cp.M.Checkpoint(h); err != nil {
+			t.Fatalf("worker %d: checkpoint: %v", r, err)
+		}
+	}
+	copy(digest[:], h.Sum(nil))
+	return digest, cl.Eng.Events(), cl.Eng.Now(), lib.FaultStats()
+}
+
+// TestChaosRunIsDeterministic is the acceptance test for the fault
+// subsystem: same seed, same faults, same answer — and the same answer
+// as no faults at all.
+func TestChaosRunIsDeterministic(t *testing.T) {
+	const steps = 12
+	fc := fault.Config{Seed: 42, DropRate: 1e-3}
+
+	d1, e1, t1, fs1 := chaosFingerprint(t, steps, fc)
+	d2, e2, t2, fs2 := chaosFingerprint(t, steps, fc)
+	if fs1.Retransmits == 0 {
+		t.Fatalf("chaos run exercised no retransmissions (drops=%d); the test is vacuous", fs1.FaultDropped)
+	}
+	if e1 != e2 || t1 != t2 {
+		t.Errorf("same-seed chaos runs diverge: events %d vs %d, clock %v vs %v", e1, e2, t1, t2)
+	}
+	if d1 != d2 {
+		t.Errorf("same-seed chaos runs produce different model state: %x vs %x", d1, d2)
+	}
+	if fs1 != fs2 {
+		t.Errorf("same-seed chaos runs disagree on fault counters:\n%+v\n%+v", fs1, fs2)
+	}
+
+	d0, _, t0, fs0 := chaosFingerprint(t, steps, fault.Config{})
+	if d0 != d1 {
+		t.Errorf("faults leaked into the physics: chaos state %x, fault-free state %x", d1, d0)
+	}
+	// The fault-free run pays zero recovery overhead: the reliable
+	// channel is not even enabled.
+	if fs0 != (comm.FaultStats{}) {
+		t.Errorf("fault-free run shows nonzero fault counters: %+v", fs0)
+	}
+	if t1 <= t0 {
+		t.Errorf("retransmissions cost no virtual time: chaos %v vs fault-free %v", t1, t0)
+	}
+}
+
+// TestPeerUnreachableSurfaces pins the failure mode: a permanently
+// severed link must surface as comm.ErrPeerUnreachable from
+// Cluster.Run within bounded virtual time — never a hang.
+func TestPeerUnreachableSurfaces(t *testing.T) {
+	ccfg := cluster.DefaultConfig(2, 1)
+	ccfg.Fault = fault.Config{
+		Outages: []fault.Outage{{Link: "inject(0)", From: 0}},
+	}
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	lib, err := comm.NewHyades(cl, comm.DefaultHyadesConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start(func(w *cluster.Worker) {
+		ep := lib.Bind(w)
+		ep.GlobalSum(float64(w.Rank))
+	})
+	err = cl.Run()
+	if err == nil {
+		t.Fatal("severed link produced no error")
+	}
+	if !errors.Is(err, comm.ErrPeerUnreachable) {
+		t.Fatalf("error does not wrap ErrPeerUnreachable: %v", err)
+	}
+	var pe *comm.PeerUnreachableError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error carries no *PeerUnreachableError: %v", err)
+	}
+	if pe.SrcNode != 0 || pe.DstNode != 1 {
+		t.Errorf("diagnostics blame nodes %d -> %d, want 0 -> 1", pe.SrcNode, pe.DstNode)
+	}
+	if pe.Retries == 0 {
+		t.Errorf("no retries recorded before giving up: %+v", pe)
+	}
+	// Bounded: the retry budget's backoff schedule sums to well under a
+	// simulated minute.
+	if cl.Eng.Now() > units.Minute {
+		t.Errorf("failure declared only at %v of virtual time", cl.Eng.Now())
+	}
+}

@@ -43,4 +43,19 @@ go build ./...
 echo "== go test -race -short"
 go test -race -short ./...
 
+echo "== chaos (fault injection + reliable delivery)"
+# The chaos determinism test under the race detector, then a driver
+# smoke run with a 1% packet-drop rate: it must exit cleanly and
+# report a nonzero retransmit count (the reliable channel is working,
+# not just lucky).
+go test -race -run 'TestChaosRunIsDeterministic|TestPeerUnreachableSurfaces' .
+chaos_out=$(go run ./cmd/hyades -model gyre -nodes 2 -ppn 1 -steps 2 -warmup 1 -drop-rate 1e-2)
+echo "$chaos_out" | tail -n 5
+retx=$(echo "$chaos_out" | awk '/^retransmits/ {print $(NF-2)}')
+retx=${retx:-0}
+if [ "$retx" -eq 0 ]; then
+    echo "chaos smoke: drop-rate 1e-2 produced zero retransmits" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"hyades/internal/comm"
+	"hyades/internal/fault"
 
 	"hyades/internal/gcm"
 	"hyades/internal/gcm/physics"
@@ -37,7 +38,23 @@ func main() {
 	py := flag.Int("py", 0, "tiles in y")
 	saveTo := flag.String("checkpoint", "", "write a checkpoint here after a -serial run")
 	restoreFrom := flag.String("restore", "", "restore a -serial run from this checkpoint before stepping")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault plan")
+	dropRate := flag.Float64("drop-rate", 0, "per-packet silent drop probability on every fabric link")
+	corruptRate := flag.Float64("corrupt-rate", 0, "per-packet corruption probability on every fabric link")
+	linkOutage := flag.String("link-outage", "", "comma-separated LINK[:FROM_US[-UNTIL_US]] outage windows (LINK may end in * as a prefix wildcard)")
 	flag.Parse()
+
+	fcfg := fault.Config{Seed: *faultSeed, DropRate: *dropRate, CorruptRate: *corruptRate}
+	if *linkOutage != "" {
+		outages, err := fault.ParseOutages(*linkOutage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fcfg.Outages = outages
+	}
+	if fcfg.Enabled() && (*serial || *netName != "") {
+		log.Fatal("fault injection models the Arctic fabric: drop -serial / -net to use it")
+	}
 
 	workers := *nodes * *ppn
 	if *serial {
@@ -97,7 +114,8 @@ func main() {
 		machine = prm.Name
 		res, err = gcm.RunParallelNet(prm, cfg, *warmup, *steps)
 	} else {
-		res, err = gcm.RunParallel(*nodes, *ppn, cfg, *warmup, *steps)
+		res, err = gcm.RunParallelOpts(*nodes, *ppn, cfg, *warmup, *steps,
+			gcm.ParallelOpts{Fault: fcfg})
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -113,6 +131,16 @@ func main() {
 	t.Addf("global-sum time (all workers)|%v", res.GsumTime)
 	comm := res.ExchangeTime + res.GsumTime
 	t.Addf("communication fraction|%.1f%%", 100*float64(comm)/float64(comm+res.ComputeTime))
+	if fcfg.Enabled() {
+		fs := res.Fault
+		t.Addf("fault drops / corruptions / outage drops|%d / %d / %d",
+			fs.FaultDropped, fs.FaultCorrupted, fs.OutageDropped)
+		t.Addf("retransmits / timeouts|%d / %d", fs.Retransmits, fs.Timeouts)
+		t.Addf("dup suppressed / gap dropped|%d / %d", fs.DupSuppressed, fs.GapDropped)
+		t.Addf("adaptive fail-overs|%d", fs.FailedOver)
+		t.Addf("goodput|%.1f%% of %d wire bytes",
+			report.Goodput(res.Net.PayloadBytes, res.Net.WireBytes), res.Net.WireBytes)
+	}
 	fmt.Print(t)
 }
 

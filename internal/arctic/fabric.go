@@ -2,9 +2,11 @@ package arctic
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"hyades/internal/des"
+	"hyades/internal/fault"
 	"hyades/internal/units"
 )
 
@@ -23,6 +25,9 @@ type Config struct {
 	// RandomUpSeed seeds the adaptive up-route generator used for
 	// packets with the RandomUp flag set.
 	RandomUpSeed int64
+	// Faults, when non-nil, injects deterministic link faults: drops,
+	// corruption, degradation windows and outages (package fault).
+	Faults *fault.Plan
 }
 
 // DefaultConfig returns the published Arctic parameters for n endpoints.
@@ -41,6 +46,19 @@ type Stats struct {
 	WireBytes      int64 // wire bytes delivered
 	Dropped        int64 // packets dropped at a router for bad CRC
 	CorruptArrived int64 // corrupted packets that reached an endpoint
+	FaultDropped   int64 // packets silently dropped by an injected link fault
+	FaultCorrupted int64 // packets corrupted in flight by an injected fault
+	OutageDropped  int64 // packets lost to a link outage window
+	FailedOver     int64 // up-phase hops re-routed around a downed up-link
+}
+
+// LinkStats is the per-link fault counter snapshot (see Fabric.LinkStats).
+type LinkStats struct {
+	Name          string
+	Transmitted   int64 // packets that started crossing the link
+	FaultDropped  int64
+	Corrupted     int64
+	OutageDropped int64
 }
 
 // link is one directed link with two-priority FIFO queueing.
@@ -54,6 +72,15 @@ type link struct {
 	// exactly one of nextRouter/endpoint is set.
 	deliver func(t *transit)
 	final   bool // link terminates at an endpoint: wait for the tail
+
+	// flt is the link's fault-injection state (nil = pristine link).
+	flt   *fault.Link
+	stats LinkStats
+}
+
+// down reports whether the link is inside an injected outage window.
+func (l *link) down() bool {
+	return l.flt != nil && l.flt.Down(l.fab.eng.Now())
 }
 
 // transit is a packet in flight.
@@ -79,6 +106,7 @@ type Fabric struct {
 	routers [][]*router // [stage][index]
 	inject  []*link     // endpoint -> leaf router
 	eject   []*link     // leaf router -> endpoint
+	links   []*link     // every link in creation order, for LinkStats
 	rx      []func(*Packet)
 	rng     *rand.Rand
 	stats   Stats
@@ -171,7 +199,13 @@ func replaceDigit(v, stage, q int) int {
 }
 
 func (f *Fabric) newLink(name string) *link {
-	return &link{fab: f, name: name}
+	l := &link{fab: f, name: name}
+	l.stats.Name = name
+	if f.cfg.Faults != nil {
+		l.flt = f.cfg.Faults.Link(name)
+	}
+	f.links = append(f.links, l)
+	return l
 }
 
 // Engine returns the simulation engine the fabric runs on.
@@ -182,6 +216,18 @@ func (f *Fabric) Config() Config { return f.cfg }
 
 // Stats returns a snapshot of the fabric counters.
 func (f *Fabric) Stats() Stats { return f.stats }
+
+// LinkStats returns per-link counters for every link that saw at least
+// one injected fault, in deterministic link-creation order.
+func (f *Fabric) LinkStats() []LinkStats {
+	var out []LinkStats
+	for _, l := range f.links {
+		if l.stats.FaultDropped > 0 || l.stats.Corrupted > 0 || l.stats.OutageDropped > 0 {
+			out = append(out, l.stats)
+		}
+	}
+	return out
+}
 
 // Attach registers the receive handler for an endpoint.  The handler
 // runs in engine context at the packet's delivery time.
@@ -226,6 +272,7 @@ func (f *Fabric) Inject(src int, p *Packet) {
 	if p.Dst < 0 || p.Dst >= f.cfg.Endpoints {
 		panic(fmt.Sprintf("arctic: inject to invalid endpoint %d", p.Dst))
 	}
+	p.Seal()
 	t := &transit{pkt: p, upRemaining: int(p.UpSteps)}
 	f.inject[src].enqueue(t)
 }
@@ -246,7 +293,26 @@ func (f *Fabric) routerInput(r *router) func(*transit) {
 			q := digit(int(t.pkt.UpDigits), r.stage)
 			t.upRemaining--
 			next = r.up[q]
+			if next != nil && next.down() {
+				// Adaptive fail-over: in a fat tree every up port leads
+				// to a router that still covers the destination's
+				// subtree, so a faulted up-link can be routed around.
+				// Scan the remaining ports in deterministic order; if
+				// every up-link is down the packet stays on the chosen
+				// one and is lost to the outage (counted there).
+				for i := 1; i < Radix; i++ {
+					alt := r.up[(q+i)%Radix]
+					if alt != nil && !alt.down() {
+						next = alt
+						f.stats.FailedOver++
+						break
+					}
+				}
+			}
 		} else {
+			// The down path is fully determined by the destination
+			// digits (Fig. 1): there is exactly one route, so a downed
+			// down-link surfaces as packet loss, never as misrouting.
 			d := digit(t.pkt.Dst, r.stage)
 			next = r.down[d]
 		}
@@ -302,15 +368,46 @@ func (l *link) startNext() {
 	}
 	l.busy = true
 	f := l.fab
-	full := f.cfg.LinkBandwidth.Transfer(t.pkt.WireBytes())
+	l.stats.Transmitted++
+	bw, lat := f.cfg.LinkBandwidth, f.cfg.RouterLatency
+	if l.flt != nil {
+		now := f.eng.Now()
+		if l.flt.Down(now) {
+			// Whole-link outage: the packet vanishes at the head of the
+			// wire.  Try the next queued packet immediately (it too will
+			// be lost while the outage lasts, in FIFO order).
+			l.stats.OutageDropped++
+			f.stats.OutageDropped++
+			f.eng.Schedule(0, l.startNext)
+			return
+		}
+		if bwScale, latScale := l.flt.Scale(now); bwScale != 1 || latScale != 1 {
+			bw = units.Bandwidth(float64(bw) * bwScale)
+			lat = units.Time(math.Round(float64(lat) * latScale))
+		}
+		switch l.flt.Transmit(now) {
+		case fault.Drop:
+			// The packet occupies the wire for its full length but its
+			// tail never arrives anywhere.
+			l.stats.FaultDropped++
+			f.stats.FaultDropped++
+			f.eng.Schedule(bw.Transfer(t.pkt.WireBytes()), l.startNext)
+			return
+		case fault.Corrupt:
+			t.pkt.Corrupt()
+			l.stats.Corrupted++
+			f.stats.FaultCorrupted++
+		}
+	}
+	full := bw.Transfer(t.pkt.WireBytes())
 	// Virtual cut-through: the downstream hop sees the packet head after
 	// the router latency plus the header serialization; the link itself
 	// stays occupied for the full wire size.  The final hop into an
 	// endpoint completes only when the tail arrives.
-	head := f.cfg.RouterLatency + f.cfg.LinkBandwidth.Transfer(HeaderBytes)
+	head := lat + bw.Transfer(HeaderBytes)
 	handoff := head
 	if l.final {
-		handoff = f.cfg.RouterLatency + full
+		handoff = lat + full
 	}
 	f.eng.Schedule(handoff, func() { l.deliver(t) })
 	f.eng.Schedule(full, l.startNext)

@@ -96,10 +96,40 @@ type Packet struct {
 	Rmem       bool
 	RmemOffset int
 
+	// Rel carries the reliable-channel header when the go-back-N layer
+	// is active.  Like Bulk it is simulator bookkeeping riding alongside
+	// the wire words; its wire cost is accounted in the tag space.
+	Rel *RelHeader
+
 	// crc is the checksum computed at injection time.  corrupted marks
-	// packets damaged by fault injection after the CRC was sealed.
+	// packets damaged by fault injection after the CRC was sealed;
+	// sealed records whether crc is valid at all.
 	crc       uint32
+	sealed    bool
 	corrupted bool
+}
+
+// RelHeader is the go-back-N protocol state attached to a packet by the
+// StarT-X reliability layer.
+type RelHeader struct {
+	Seq    uint64   // per-(src,dst,priority) sequence number of data packets
+	Ack    bool     // this packet is a cumulative acknowledgement, not data
+	AckSeq uint64   // with Ack: everything below AckSeq has been received
+	Chan   Priority // which priority stream the sequence number belongs to
+}
+
+// Clone returns a fresh copy of the packet for retransmission: same
+// routing, payload and sequence state, but pristine (uncorrupted) and
+// re-sealed, as the NIU re-reads the data from host memory.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.corrupted = false
+	if p.Rel != nil {
+		rel := *p.Rel
+		q.Rel = &rel
+	}
+	q.Seal()
+	return &q
 }
 
 // payloadWords returns the modelled payload size in words, honouring
@@ -173,6 +203,7 @@ func (p *Packet) Encode() ([]uint32, error) {
 	words = append(words, p.header0(), p.header1())
 	words = append(words, p.Payload...)
 	p.crc = crcOfWords(words)
+	p.sealed = true
 	words = append(words, p.crc)
 	return words, nil
 }
@@ -201,6 +232,7 @@ func Decode(words []uint32) (*Packet, error) {
 		Tag:       uint16(h1 >> 6 & 0x7ff),
 		Payload:   append([]uint32(nil), words[HeaderWords:HeaderWords+size]...),
 		crc:       crc,
+		sealed:    true,
 	}
 	p.Dst = dstFromDownRoute(p.DownRoute)
 	return p, nil
@@ -217,9 +249,35 @@ func crcOfWords(words []uint32) uint32 {
 	return crc32.ChecksumIEEE(buf)
 }
 
-// checkCRC re-verifies the sealed CRC, as every router stage and
-// endpoint does in hardware.  Fault-injected packets fail.
-func (p *Packet) checkCRC() bool { return !p.corrupted }
+// bodyWords returns the wire words the CRC covers: headers and payload,
+// without the trailer itself.
+func (p *Packet) bodyWords() []uint32 {
+	words := make([]uint32, 0, HeaderWords+len(p.Payload))
+	words = append(words, p.header0(), p.header1())
+	return append(words, p.Payload...)
+}
+
+// Seal computes and stores the CRC over the packet's current wire
+// words.  The fabric seals every packet at injection time; Encode seals
+// as a side effect of serialization.
+func (p *Packet) Seal() {
+	p.crc = crcOfWords(p.bodyWords())
+	p.sealed = true
+}
+
+// checkCRC re-verifies the CRC, as every router stage and endpoint does
+// in hardware.  The corrupted flag is the fast path for fault-injected
+// damage; a sealed packet additionally recomputes the checksum over the
+// wire words, so contents mutated after sealing are caught too.
+func (p *Packet) checkCRC() bool {
+	if p.corrupted {
+		return false
+	}
+	if !p.sealed {
+		return true
+	}
+	return crcOfWords(p.bodyWords()) == p.crc
+}
 
 // Corrupt flips the packet into the damaged state used by fault
 // injection tests: its CRC no longer matches its contents.

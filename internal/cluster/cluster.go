@@ -13,9 +13,11 @@ import (
 
 	"hyades/internal/arctic"
 	"hyades/internal/des"
+	"hyades/internal/fault"
 	"hyades/internal/node"
 	"hyades/internal/pci"
 	"hyades/internal/startx"
+	"hyades/internal/units"
 )
 
 // Config selects the machine to build.
@@ -27,6 +29,17 @@ type Config struct {
 	PCI    pci.Config
 	NIU    startx.Config
 	Node   node.Config
+
+	// Fault selects the deterministic fault plan to inject into the
+	// fabric.  When it enables any fault the NIUs' go-back-N reliable
+	// channel is switched on with it, so link faults are masked (or
+	// surface as ErrPeerUnreachable) instead of wedging the run.
+	Fault fault.Config
+
+	// Watchdog bounds any single blocking wait in virtual time; a wait
+	// exceeding it panics with the full parked-waiter map (see
+	// des.SetWatchdog).  Zero disables it.
+	Watchdog units.Time
 }
 
 // DefaultConfig returns the published Hyades machine with the given SMP
@@ -41,6 +54,9 @@ func DefaultConfig(nodes, procsPerNode int) Config {
 		PCI:          pci.DefaultConfig(),
 		NIU:          startx.DefaultConfig(),
 		Node:         nodeCfg,
+		// An hour of virtual time is ~20x the longest production run the
+		// paper analyses; any single wait that long is a protocol bug.
+		Watchdog: units.Hour,
 	}
 }
 
@@ -61,7 +77,12 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: %d processors per node out of range", cfg.ProcsPerNode)
 	}
 	eng := des.NewEngine()
+	eng.SetWatchdog(cfg.Watchdog)
 	cfg.Arctic.Endpoints = cfg.Nodes
+	if cfg.Fault.Enabled() {
+		cfg.Arctic.Faults = fault.NewPlan(cfg.Fault)
+		cfg.NIU.Reliable = true
+	}
 	fab, err := arctic.New(eng, cfg.Arctic)
 	if err != nil {
 		return nil, err
@@ -107,10 +128,31 @@ func (c *Cluster) Start(body func(w *Worker)) []*Worker {
 // Run executes the simulation until all activity drains.  It returns an
 // error if processes remain blocked (a deadlock in the modelled
 // program).
-func (c *Cluster) Run() error {
+func (c *Cluster) Run() (err error) {
+	// The kernel surfaces watchdog trips and in-process panics by
+	// panicking from engine context; turn both into errors so callers
+	// get a diagnosis (with the waiter map) instead of a crash.
+	defer func() {
+		if err != nil {
+			return
+		}
+		switch r := recover().(type) {
+		case nil:
+		case *des.WatchdogError:
+			err = fmt.Errorf("cluster: %w", r)
+		case *des.ProcPanic:
+			err = fmt.Errorf("cluster: %w", r)
+		default:
+			panic(r)
+		}
+	}()
 	c.Eng.Run()
+	if err := c.Eng.Err(); err != nil {
+		return fmt.Errorf("cluster: simulation failed at %v: %w", c.Eng.Now(), err)
+	}
 	if n := c.Eng.Blocked(); n != 0 {
-		return fmt.Errorf("cluster: deadlock, %d processes still blocked", n)
+		return fmt.Errorf("cluster: deadlock, %d processes still blocked:\n%s",
+			n, des.FormatWaiters(c.Eng.Waiters()))
 	}
 	return nil
 }

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"hyades/internal/arctic"
+	"hyades/internal/des"
 	"hyades/internal/units"
 )
 
@@ -90,6 +93,44 @@ func TestDeadlockDetected(t *testing.T) {
 	})
 	if err := cl.Run(); err == nil {
 		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestWatchdogTurnsHangIntoDiagnosis(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.Watchdog = 200 * units.Microsecond
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Start(func(w *Worker) {
+		if w.Rank == 0 {
+			// Rank 1 never sends; rank 0 parks far past the limit while
+			// rank 1 keeps the clock moving with delays.
+			w.Node.NIU.PIORecv(w.Proc, arctic.Low)
+			return
+		}
+		for i := 0; i < 10; i++ {
+			w.Proc.Delay(100 * units.Microsecond)
+		}
+	})
+	err = cl.Run()
+	if err == nil {
+		t.Fatal("watchdog did not trip")
+	}
+	var wd *des.WatchdogError
+	if !errors.As(err, &wd) {
+		t.Fatalf("error is not a watchdog diagnosis: %v", err)
+	}
+	if wd.Limit != cfg.Watchdog {
+		t.Errorf("reported limit %v, want %v", wd.Limit, cfg.Watchdog)
+	}
+	if !strings.Contains(err.Error(), "rank0") {
+		t.Errorf("culprit dump names no rank: %v", err)
+	}
+	if len(wd.Waiters) == 0 {
+		t.Errorf("no parked-waiter set attached: %+v", wd)
 	}
 }
 

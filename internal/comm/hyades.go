@@ -125,9 +125,9 @@ func NewHyades(cl *cluster.Cluster, cfg HyadesConfig) (*Hyades, error) {
 	h := &Hyades{cl: cl, cfg: cfg}
 	for _, nd := range cl.Nodes {
 		nc := &nodeComm{
-			pioLock: des.NewSemaphore(cl.Eng, 1),
-			viLock:  des.NewSemaphore(cl.Eng, 1),
-			pioSig:  des.NewSignal(cl.Eng),
+			pioLock: des.NewSemaphore(cl.Eng, fmt.Sprintf("node%d.piolock", nd.ID), 1),
+			viLock:  des.NewSemaphore(cl.Eng, fmt.Sprintf("node%d.vilock", nd.ID), 1),
+			pioSig:  des.NewSignal(cl.Eng, fmt.Sprintf("node%d.piosig", nd.ID)),
 			pioBox:  make(map[matchKey]*des.Mailbox[startx.Message]),
 			viBox:   make(map[matchKey]*des.Mailbox[startx.Transfer]),
 			partial: des.NewMailbox[float64](cl.Eng, "gsum.partial"),
@@ -137,6 +137,11 @@ func NewHyades(cl *cluster.Cluster, cfg HyadesConfig) (*Hyades, error) {
 			nc.results = append(nc.results, des.NewMailbox[float64](cl.Eng, "gsum.result"))
 		}
 		nd.NIU.OnPIODeliver = nc.pioSig.Broadcast
+		// An exhausted retransmit budget stops the run with a typed
+		// error instead of leaving the peer's receive parked forever.
+		nd.NIU.OnUnreachable = func(u startx.UnreachableInfo) {
+			cl.Eng.Fail(unreachableError(cl.Cfg.ProcsPerNode, u))
+		}
 		h.nodes = append(h.nodes, nc)
 	}
 	return h, nil
@@ -241,7 +246,21 @@ func (ep *HyadesEndpoint) pioWaitKey(key matchKey) startx.Message {
 		m, ok := ep.w.Node.NIU.TryPIORecv(ep.w.Proc, arctic.Low)
 		ep.nc.pioLock.Release()
 		if !ok {
-			ep.nc.pioSig.Wait(ep.w.Proc, snapshot)
+			// Park with the engine watchdog as an explicit deadline so a
+			// tripped wait names the rank and the exact match key it
+			// starved on, not just the shared delivery signal.
+			if wd := eng.WatchdogLimit(); wd > 0 {
+				if !ep.nc.pioSig.WaitDeadline(ep.w.Proc, snapshot, wd) {
+					panic(&des.WatchdogError{
+						Limit: wd,
+						Culprit: fmt.Sprintf("rank %d pioWait(class=%d srcNode=%d srcCPU=%d seq=%d)",
+							ep.w.Rank, key.class, key.srcNode, key.srcCPU, key.seq),
+						Waiters: eng.Waiters(),
+					})
+				}
+			} else {
+				ep.nc.pioSig.Wait(ep.w.Proc, snapshot)
+			}
 			continue
 		}
 		got := keyOfTag(m.Tag, m.Src)
@@ -270,7 +289,20 @@ func (ep *HyadesEndpoint) viWait(srcRank int) startx.Transfer {
 			ep.nc.viLock.Release()
 			return t
 		}
-		t := ep.w.Node.NIU.VIRecv(ep.w.Proc)
+		var t startx.Transfer
+		if wd := eng.WatchdogLimit(); wd > 0 {
+			var ok bool
+			if t, ok = ep.w.Node.NIU.VIRecvDeadline(ep.w.Proc, wd); !ok {
+				panic(&des.WatchdogError{
+					Limit: wd,
+					Culprit: fmt.Sprintf("rank %d viWait(srcRank=%d) on node %d",
+						ep.w.Rank, srcRank, ep.w.Node.ID),
+					Waiters: eng.Waiters(),
+				})
+			}
+		} else {
+			t = ep.w.Node.NIU.VIRecv(ep.w.Proc)
+		}
 		ep.nc.viLock.Release()
 		got := keyOfTag(t.Tag, t.Src)
 		got.class = clsExchData

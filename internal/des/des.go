@@ -26,15 +26,21 @@ package des
 import (
 	"container/heap"
 	"fmt"
+	"runtime/debug"
+	"strings"
 
 	"hyades/internal/units"
 )
 
-// event is a scheduled activity.
+// event is a scheduled activity.  idx tracks the event's heap slot so a
+// cancelled timer can be removed outright: a lazily-cancelled event
+// would still advance the virtual clock to its expiry when popped,
+// corrupting every run that armed (and then cancelled) a long timeout.
 type event struct {
 	at  units.Time
 	seq uint64 // tie-break: FIFO among simultaneous events
 	fn  func()
+	idx int
 }
 
 type eventHeap []*event
@@ -46,13 +52,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.idx = -1
 	*h = old[:n-1]
 	return e
 }
@@ -74,6 +89,16 @@ type Engine struct {
 	// from the event path.
 	procs   []*Proc
 	stopped bool
+
+	// watchdog bounds any single blocking wait; see SetWatchdog.
+	watchdog units.Time
+	// failed stops the run loop with a recorded cause; see Fail.
+	failed error
+	// procFailure carries a panic out of a process goroutine so wake
+	// can re-raise it in engine context, where Run's caller can
+	// recover it (a raw panic in the baton goroutine would kill the
+	// whole OS process instead).
+	procFailure *ProcPanic
 }
 
 // NewEngine returns an empty kernel at virtual time zero.
@@ -120,7 +145,7 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= limit.
 func (e *Engine) RunUntil(limit units.Time) {
-	for !e.events.empty() && !e.stopped {
+	for !e.events.empty() && !e.stopped && e.failed == nil {
 		if e.events.peek().at > limit {
 			return
 		}
@@ -131,6 +156,136 @@ func (e *Engine) RunUntil(limit units.Time) {
 		ev.fn()
 	}
 }
+
+// Fail records a fatal simulation error and stops the run loop at the
+// current virtual time.  The modelled system uses it to surface
+// unrecoverable protocol failures (an unreachable peer, an exhausted
+// retry budget) as an error from the driver instead of a silent wedge.
+// Only the first failure is kept.
+func (e *Engine) Fail(err error) {
+	if e.failed == nil {
+		e.failed = err
+	}
+}
+
+// Err returns the error recorded by Fail, if any.
+func (e *Engine) Err() error { return e.failed }
+
+// SetWatchdog arms the blocking-wait watchdog: any single park on a
+// mailbox, semaphore or signal that lasts longer than d of virtual time
+// panics (from engine context, so Run's caller can recover) with a
+// *WatchdogError carrying the full set of parked waiters.  A wedged
+// protocol thereby becomes a crash with a who-waits-on-whom map instead
+// of a silently parked process.  d = 0 disables the watchdog.
+func (e *Engine) SetWatchdog(d units.Time) { e.watchdog = d }
+
+// WatchdogLimit returns the configured watchdog bound (0 = disabled).
+func (e *Engine) WatchdogLimit() units.Time { return e.watchdog }
+
+// WaitInfo describes one blocked process for watchdog/deadlock dumps.
+type WaitInfo struct {
+	Proc  string     // process name
+	On    string     // facility it is parked on
+	Since units.Time // virtual time the park began
+}
+
+// Waiters returns the currently blocked processes in spawn order.
+func (e *Engine) Waiters() []WaitInfo {
+	var ws []WaitInfo
+	for _, p := range e.procs {
+		if p.blocked {
+			ws = append(ws, WaitInfo{Proc: p.name, On: p.waitOn, Since: p.waitStart})
+		}
+	}
+	return ws
+}
+
+// FormatWaiters renders a waiter dump, one process per line.
+func FormatWaiters(ws []WaitInfo) string {
+	var b strings.Builder
+	for _, w := range ws {
+		on := w.On
+		if on == "" {
+			on = "<unnamed>"
+		}
+		fmt.Fprintf(&b, "  %s waits on %s since %v\n", w.Proc, on, w.Since)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// WatchdogError is the panic payload of a tripped wait watchdog.
+type WatchdogError struct {
+	Limit   units.Time // the configured bound that was exceeded
+	Culprit string     // the wait that tripped
+	Waiters []WaitInfo // everyone parked at trip time
+}
+
+// Error implements error.
+func (w *WatchdogError) Error() string {
+	return fmt.Sprintf("des: watchdog: %s exceeded the %v wait limit; parked waiters:\n%s",
+		w.Culprit, w.Limit, FormatWaiters(w.Waiters))
+}
+
+// ProcPanic wraps a panic raised inside a simulated process.  The
+// kernel re-raises it from engine context so that the caller of Run can
+// recover and report it; Value is the original panic payload and Stack
+// the goroutine stack captured at the panic site.
+type ProcPanic struct {
+	Proc  string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (p *ProcPanic) Error() string {
+	return fmt.Sprintf("des: process %s panicked: %v", p.Proc, p.Value)
+}
+
+// Unwrap exposes the original payload when it was itself an error.
+func (p *ProcPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Timer is a cancellable one-shot activity created by Engine.After.
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
+
+// After schedules fn at now+d and returns a handle that can cancel it.
+// Unlike Schedule, a cancelled After is removed from the event queue
+// outright: it neither runs nor drags the virtual clock to its expiry.
+func (e *Engine) After(d units.Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	t := &Timer{eng: e}
+	ev := &event{at: e.now + d, seq: e.seq}
+	ev.fn = func() {
+		t.ev = nil
+		fn()
+	}
+	t.ev = ev
+	e.events.push(ev)
+	return t
+}
+
+// Cancel removes the timer from the event queue.  It is a no-op if the
+// timer already fired or was already cancelled.
+func (t *Timer) Cancel() {
+	if t.ev == nil {
+		return
+	}
+	heap.Remove(&t.eng.events, t.ev.idx)
+	t.ev = nil
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t.ev != nil }
 
 // Step executes a single event and reports whether one was available.
 func (e *Engine) Step() bool {
@@ -195,6 +350,11 @@ type Proc struct {
 	yield   chan struct{}
 	blocked bool
 	dead    bool
+
+	// waitOn/waitStart describe the current park for watchdog and
+	// deadlock dumps; set by the blocking primitives.
+	waitOn    string
+	waitStart units.Time
 }
 
 // Spawn creates a process running fn and schedules its first activation
@@ -216,10 +376,18 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				if _, ok := r.(stopSignal); !ok {
-					panic(r) // real bug: re-raise
+				if _, ok := r.(stopSignal); ok {
+					return // killed by Engine.Close
 				}
-				return // killed by Engine.Close
+				// Real bug in simulation code: capture it and hand the
+				// baton back so wake re-raises in engine context, where
+				// the caller of Run can recover and report it.  A raw
+				// re-panic here would crash the whole OS process from a
+				// bare goroutine, unrecoverable by any test.
+				p.dead = true
+				e.dropProc(p)
+				e.procFailure = &ProcPanic{Proc: p.name, Value: r, Stack: debug.Stack()}
+				p.yield <- struct{}{}
 			}
 		}()
 		if !<-p.resume {
@@ -244,6 +412,10 @@ func (p *Proc) wake() {
 	p.blocked = false
 	p.resume <- true
 	<-p.yield
+	if f := p.eng.procFailure; f != nil {
+		p.eng.procFailure = nil
+		panic(f)
+	}
 }
 
 // kill unwinds a blocked process.  Called from Engine.Close only.
@@ -263,6 +435,48 @@ func (p *Proc) block() {
 	if !<-p.resume {
 		panic(stopSignal{})
 	}
+}
+
+// park blocks p on the named facility, arming the engine's watchdog if
+// one is configured.  The watchdog timer fires in engine context, so
+// its panic unwinds Run rather than the baton goroutine.
+func (p *Proc) park(on string) {
+	p.waitOn, p.waitStart = on, p.eng.now
+	var wd *Timer
+	if limit := p.eng.watchdog; limit > 0 {
+		wd = p.eng.After(limit, func() {
+			panic(&WatchdogError{
+				Limit:   limit,
+				Culprit: fmt.Sprintf("%s (parked on %s)", p.name, on),
+				Waiters: p.eng.Waiters(),
+			})
+		})
+	}
+	p.block()
+	if wd != nil {
+		wd.Cancel()
+	}
+	p.waitOn = ""
+}
+
+// parkDeadline blocks p on the named facility for at most d; it returns
+// true if p was woken normally and false if the deadline elapsed.
+// onExpire must detach p from the facility's waiter list and report
+// whether p was still parked there (guarding against a wake and an
+// expiry landing on the same timestamp).
+func (p *Proc) parkDeadline(on string, d units.Time, onExpire func() bool) bool {
+	p.waitOn, p.waitStart = on, p.eng.now
+	expired := false
+	t := p.eng.After(d, func() {
+		if onExpire() {
+			expired = true
+			p.wake()
+		}
+	})
+	p.block()
+	t.Cancel()
+	p.waitOn = ""
+	return !expired
 }
 
 // Engine returns the kernel this process runs on.
@@ -311,15 +525,50 @@ func (m *Mailbox[T]) Send(v T) {
 }
 
 // Recv dequeues the oldest item, blocking the calling process until one
-// is available.
+// is available.  The park is subject to the engine watchdog.
 func (m *Mailbox[T]) Recv(p *Proc) T {
 	for len(m.items) == 0 {
 		m.waiters = append(m.waiters, p)
-		p.block()
+		p.park(m.name)
 	}
 	v := m.items[0]
 	m.items = m.items[1:]
 	return v
+}
+
+// RecvDeadline dequeues the oldest item, blocking for at most d of
+// virtual time.  It returns the zero value and false if the deadline
+// elapses first; a wake and an expiry on the same timestamp resolve in
+// event order, deterministically.  Deadline waits manage their own
+// bound, so the engine watchdog does not apply to them.
+func (m *Mailbox[T]) RecvDeadline(p *Proc, d units.Time) (T, bool) {
+	deadline := m.eng.now + d
+	for len(m.items) == 0 {
+		if m.eng.now >= deadline {
+			var zero T
+			return zero, false
+		}
+		m.waiters = append(m.waiters, p)
+		if !p.parkDeadline(m.name, deadline-m.eng.now, func() bool { return m.dropWaiter(p) }) {
+			var zero T
+			return zero, false
+		}
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// dropWaiter removes p from the waiter list, reporting whether it was
+// still parked there.
+func (m *Mailbox[T]) dropWaiter(p *Proc) bool {
+	for i, w := range m.waiters {
+		if w == p {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // TryRecv dequeues the oldest item without blocking.
@@ -341,20 +590,23 @@ func (m *Mailbox[T]) Len() int { return len(m.items) }
 // §4.2).
 type Semaphore struct {
 	eng     *Engine
+	name    string
 	count   int
 	waiters []*Proc
 }
 
-// NewSemaphore creates a semaphore with an initial count.
-func NewSemaphore(e *Engine, initial int) *Semaphore {
-	return &Semaphore{eng: e, count: initial}
+// NewSemaphore creates a semaphore with an initial count.  The name
+// identifies it in watchdog and deadlock dumps.
+func NewSemaphore(e *Engine, name string, initial int) *Semaphore {
+	return &Semaphore{eng: e, name: name, count: initial}
 }
 
 // Acquire decrements the semaphore, blocking while the count is zero.
+// The park is subject to the engine watchdog.
 func (s *Semaphore) Acquire(p *Proc) {
 	for s.count == 0 {
 		s.waiters = append(s.waiters, p)
-		p.block()
+		p.park(s.name)
 	}
 	s.count--
 }
@@ -379,12 +631,14 @@ func (s *Semaphore) Count() int { return s.count }
 // DES analogue of a condition variable with a generation counter.
 type Signal struct {
 	eng     *Engine
+	name    string
 	seq     uint64
 	waiters []*Proc
 }
 
-// NewSignal creates a signal on engine e.
-func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+// NewSignal creates a signal on engine e.  The name identifies it in
+// watchdog and deadlock dumps.
+func NewSignal(e *Engine, name string) *Signal { return &Signal{eng: e, name: name} }
 
 // Seq returns the current generation, to be snapshotted before testing
 // the guarded predicate.
@@ -403,13 +657,38 @@ func (s *Signal) Broadcast() {
 }
 
 // Wait blocks the process until the generation advances past the
-// snapshot.  If it already has, Wait returns immediately.
+// snapshot.  If it already has, Wait returns immediately.  The park is
+// subject to the engine watchdog.
 func (s *Signal) Wait(p *Proc, snapshot uint64) {
 	if s.seq != snapshot {
 		return
 	}
 	s.waiters = append(s.waiters, p)
-	p.block()
+	p.park(s.name)
+}
+
+// WaitDeadline is Wait with a virtual-time bound: it returns true if
+// the generation advanced (or had already advanced) and false if d
+// elapsed first.  Deadline waits manage their own bound, so the engine
+// watchdog does not apply to them.
+func (s *Signal) WaitDeadline(p *Proc, snapshot uint64, d units.Time) bool {
+	if s.seq != snapshot {
+		return true
+	}
+	s.waiters = append(s.waiters, p)
+	return p.parkDeadline(s.name, d, func() bool { return s.dropWaiter(p) })
+}
+
+// dropWaiter removes p from the waiter list, reporting whether it was
+// still parked there.
+func (s *Signal) dropWaiter(p *Proc) bool {
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Resource models a serially-reusable facility (a bus, a link) with

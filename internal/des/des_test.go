@@ -188,7 +188,7 @@ func TestMailboxTryRecv(t *testing.T) {
 
 func TestSemaphoreMutualExclusion(t *testing.T) {
 	e := NewEngine()
-	sem := NewSemaphore(e, 1)
+	sem := NewSemaphore(e, "sem", 1)
 	inside := 0
 	maxInside := 0
 	for i := 0; i < 5; i++ {
@@ -214,7 +214,7 @@ func TestSemaphoreMutualExclusion(t *testing.T) {
 
 func TestSemaphoreCounting(t *testing.T) {
 	e := NewEngine()
-	sem := NewSemaphore(e, 2)
+	sem := NewSemaphore(e, "sem", 2)
 	done := 0
 	for i := 0; i < 4; i++ {
 		e.Spawn("w", func(p *Proc) {
@@ -381,7 +381,7 @@ func TestSignalNoLostWakeups(t *testing.T) {
 	f := func(seed int64, nWaiters uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		e := NewEngine()
-		sig := NewSignal(e)
+		sig := NewSignal(e, "sig")
 		n := int(nWaiters)%8 + 1
 		done := 0
 		for i := 0; i < n; i++ {
@@ -418,7 +418,7 @@ func TestSignalNoLostWakeups(t *testing.T) {
 
 func TestSignalImmediateReturnOnStaleSnapshot(t *testing.T) {
 	e := NewEngine()
-	sig := NewSignal(e)
+	sig := NewSignal(e, "sig")
 	returned := false
 	e.Spawn("w", func(p *Proc) {
 		snap := sig.Seq()

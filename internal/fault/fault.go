@@ -1,0 +1,337 @@
+// Package fault is the deterministic fault-injection subsystem for the
+// Arctic fabric model.
+//
+// A Plan is built once from a Config and consulted by the network layer
+// at every link transmission.  All randomness comes from a splitmix64
+// generator seeded from the config — never the global math/rand state,
+// never the wall clock — so a fault-injected run is exactly as
+// reproducible as a pristine one: same seed, same faults, same virtual
+// timeline, bit for bit.  Each link draws from its own stream (derived
+// from the plan seed and the link name), so adding a link to the
+// topology or reordering link construction does not perturb the faults
+// seen by the others.
+//
+// Four composable fault models are supported:
+//
+//   - per-link packet drop (the packet occupies the wire, then vanishes)
+//   - per-link packet corruption (the CRC check at the next router
+//     stage fires and the stage discards the packet)
+//   - transient link degradation (bandwidth/latency scaling over a
+//     virtual-time window)
+//   - whole-link outage (nothing gets through during the window)
+//
+// The package is part of the simulation event path: the determinism
+// analyzers (detsource, maprange, ...) apply to it in full.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hyades/internal/units"
+)
+
+// PRNG is a splitmix64 generator: 64 bits of state, one add and three
+// xor-shift-multiply mixes per draw.  It is tiny, splittable (any seed
+// gives an independent-looking stream) and fully deterministic, which is
+// exactly what a reproducible fault plan needs.  It is registered with
+// the detsource analyzer as an approved determinism source.
+type PRNG struct {
+	state uint64
+}
+
+// NewPRNG returns a generator seeded with seed.
+func NewPRNG(seed uint64) *PRNG { return &PRNG{state: seed} }
+
+// Uint64 returns the next 64 draws bits of the stream.
+func (r *PRNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a draw uniform in [0, 1): the top 53 bits of Uint64
+// scaled by 2^-53, the usual IEEE-double construction.
+func (r *PRNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Outage takes a link down for a virtual-time window.  Until <= 0 means
+// "forever" (a permanently failed link).
+type Outage struct {
+	Link  string     // link name or trailing-* prefix pattern
+	From  units.Time // window start (inclusive)
+	Until units.Time // window end (exclusive); <= 0 = forever
+}
+
+// active reports whether the outage covers virtual time t.
+func (o Outage) active(t units.Time) bool {
+	if t < o.From {
+		return false
+	}
+	return o.Until <= 0 || t < o.Until
+}
+
+// Degradation scales a link's bandwidth and latency over a virtual-time
+// window, modelling a flaky cable or a congested retimer rather than a
+// hard failure.  Scales of 1 (or 0, meaning "unset") leave the
+// respective figure alone.
+type Degradation struct {
+	Link           string
+	From           units.Time
+	Until          units.Time // <= 0 = forever
+	BandwidthScale float64    // multiplies the link rate (0 < s <= 1 slows it)
+	LatencyScale   float64    // multiplies the hop latency (s >= 1 slows it)
+}
+
+func (d Degradation) active(t units.Time) bool {
+	if t < d.From {
+		return false
+	}
+	return d.Until <= 0 || t < d.Until
+}
+
+// Config selects the faults to inject.  The zero value injects nothing.
+type Config struct {
+	Seed         uint64  // stream seed; runs with equal seeds see equal faults
+	DropRate     float64 // per-packet, per-link silent-drop probability
+	CorruptRate  float64 // per-packet, per-link corruption probability
+	Outages      []Outage
+	Degradations []Degradation
+}
+
+// Enabled reports whether the config injects any fault at all.  The
+// cluster layer uses it to gate the reliability protocol: a fault-free
+// run carries zero protocol overhead and its packet counts and timings
+// are identical to a build without this package.
+func (c Config) Enabled() bool {
+	return c.DropRate > 0 || c.CorruptRate > 0 || len(c.Outages) > 0 || len(c.Degradations) > 0
+}
+
+// Plan is a compiled Config: per-link PRNG streams plus the static
+// outage/degradation windows.  Build one with NewPlan and share it
+// across the fabric; it is not safe for concurrent use outside the DES
+// baton discipline.
+type Plan struct {
+	cfg Config
+	// links caches per-link state by name.  Insertion-ordered slice, not
+	// a map: Plan is on the event path and bans map iteration.
+	links []*Link
+}
+
+// NewPlan compiles cfg.
+func NewPlan(cfg Config) *Plan { return &Plan{cfg: cfg} }
+
+// Config returns the plan's originating configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Link returns the fault state for the named link, creating it on first
+// use.  The fabric calls this once per link at construction time, so
+// the linear scan never runs hot.
+func (p *Plan) Link(name string) *Link {
+	for _, l := range p.links {
+		if l.name == name {
+			return l
+		}
+	}
+	l := &Link{
+		name: name,
+		rng:  NewPRNG(streamSeed(p.cfg.Seed, name)),
+		plan: p,
+	}
+	for _, o := range p.cfg.Outages {
+		if matchLink(o.Link, name) {
+			l.outages = append(l.outages, o)
+		}
+	}
+	for _, d := range p.cfg.Degradations {
+		if matchLink(d.Link, name) {
+			l.degradations = append(l.degradations, d)
+		}
+	}
+	p.links = append(p.links, l)
+	return l
+}
+
+// streamSeed derives an independent per-link seed from the plan seed
+// and the link name: FNV-1a over the name, mixed with the seed through
+// one splitmix step so that nearby seeds do not yield nearby streams.
+func streamSeed(seed uint64, name string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	return NewPRNG(seed ^ h).Uint64()
+}
+
+// matchLink reports whether pattern selects the link name.  A pattern
+// is an exact name, or a prefix ending in '*' ("L1.*" selects every
+// first-level link), or "*" for all links.
+func matchLink(pattern, name string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(name, pattern[:len(pattern)-1])
+	}
+	return pattern == name
+}
+
+// Verdict is the fate the plan assigns to one packet transmission.
+type Verdict int
+
+const (
+	// Deliver: the packet crosses the link unharmed.
+	Deliver Verdict = iota
+	// Drop: the packet occupies the wire but never arrives.
+	Drop
+	// Corrupt: the packet arrives with a bad CRC and is discarded at
+	// the next router stage.
+	Corrupt
+)
+
+// Link is the per-link fault state.
+type Link struct {
+	name         string
+	rng          *PRNG
+	plan         *Plan
+	outages      []Outage
+	degradations []Degradation
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Down reports whether the link is in an outage window at time t.
+func (l *Link) Down(t units.Time) bool {
+	for _, o := range l.outages {
+		if o.active(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Transmit draws the fate of one packet crossing the link at time t.
+// It always consumes exactly two draws from the link's stream (drop,
+// then corrupt), so the verdict sequence of one link is independent of
+// the rates chosen for any other — changing a rate changes which side
+// of the threshold each draw lands on, never the draws themselves.
+func (l *Link) Transmit(t units.Time) Verdict {
+	dropDraw := l.rng.Float64()
+	corruptDraw := l.rng.Float64()
+	if l.Down(t) {
+		return Drop
+	}
+	if cfg := l.plan.cfg; cfg.DropRate > 0 && dropDraw < cfg.DropRate {
+		return Drop
+	} else if cfg.CorruptRate > 0 && corruptDraw < cfg.CorruptRate {
+		return Corrupt
+	}
+	return Deliver
+}
+
+// Scale returns the bandwidth and latency multipliers in effect at t
+// (1, 1 when the link is healthy).  Overlapping degradation windows
+// compose multiplicatively.
+func (l *Link) Scale(t units.Time) (bandwidth, latency float64) {
+	bandwidth, latency = 1, 1
+	for _, d := range l.degradations {
+		if !d.active(t) {
+			continue
+		}
+		if d.BandwidthScale > 0 {
+			bandwidth *= d.BandwidthScale
+		}
+		if d.LatencyScale > 0 {
+			latency *= d.LatencyScale
+		}
+	}
+	return bandwidth, latency
+}
+
+// ParseOutage parses the -link-outage flag grammar:
+//
+//	LINK            whole-run outage on LINK
+//	LINK:FROM       outage from FROM microseconds onward
+//	LINK:FROM-UNTIL outage over [FROM, UNTIL) microseconds
+//
+// LINK may use the trailing-* prefix wildcard.
+func ParseOutage(s string) (Outage, error) {
+	link, window, hasWindow := strings.Cut(s, ":")
+	if link == "" {
+		return Outage{}, fmt.Errorf("fault: empty link name in outage %q", s)
+	}
+	o := Outage{Link: link}
+	if !hasWindow {
+		return o, nil
+	}
+	from, until, hasUntil := strings.Cut(window, "-")
+	fromUS, err := strconv.ParseFloat(from, 64)
+	if err != nil {
+		return Outage{}, fmt.Errorf("fault: bad outage window start in %q: %v", s, err)
+	}
+	o.From = units.Micros(fromUS)
+	if hasUntil {
+		untilUS, err := strconv.ParseFloat(until, 64)
+		if err != nil {
+			return Outage{}, fmt.Errorf("fault: bad outage window end in %q: %v", s, err)
+		}
+		if untilUS <= fromUS {
+			return Outage{}, fmt.Errorf("fault: empty outage window in %q", s)
+		}
+		o.Until = units.Micros(untilUS)
+	}
+	return o, nil
+}
+
+// ParseOutages parses a comma-separated list of outage specs.  Link
+// names themselves contain commas — up(s0,1,p0) — so only commas
+// outside parentheses separate specs.
+func ParseOutages(s string) ([]Outage, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Outage
+	for _, part := range splitTopLevel(s) {
+		o, err := ParseOutage(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// splitTopLevel splits s at commas that are not enclosed in
+// parentheses.  An unbalanced close resets the depth rather than going
+// negative, so a malformed name still splits somewhere and the
+// resulting fragment fails in ParseOutage with a useful message.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}

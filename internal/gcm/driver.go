@@ -3,8 +3,10 @@ package gcm
 import (
 	"fmt"
 
+	"hyades/internal/arctic"
 	"hyades/internal/cluster"
 	"hyades/internal/comm"
+	"hyades/internal/fault"
 	"hyades/internal/gcm/solver"
 	"hyades/internal/netmodel"
 	"hyades/internal/units"
@@ -22,6 +24,11 @@ type Result struct {
 	ComputeTime, ExchangeTime, GsumTime units.Time // summed over workers
 
 	MeanNi float64 // mean CG iterations per step
+
+	// Fault/recovery accounting (Hyades runs only; whole run, not just
+	// the timed region — retransmission counters are not resettable).
+	Fault comm.FaultStats
+	Net   arctic.Stats
 }
 
 // TotalFlops returns all floating-point work in the timed region.
@@ -44,12 +51,34 @@ func (r *Result) PerStep() units.Time {
 	return r.Elapsed / units.Time(r.Steps)
 }
 
+// ParallelOpts tunes a Hyades cluster run beyond the machine shape.
+type ParallelOpts struct {
+	// Fault selects the deterministic fault plan.  Enabling any fault
+	// also switches on the NIUs' reliable channel (see cluster.Config).
+	Fault fault.Config
+
+	// Watchdog overrides the cluster's virtual-time wait limit when
+	// nonzero (zero keeps the cluster default).
+	Watchdog units.Time
+}
+
 // RunParallel executes cfg for the given number of timed steps (plus
 // warm-up steps excluded from the timing) on a simulated Hyades
 // cluster with the given SMP count and processors per SMP.  The
 // decomposition must produce exactly nodes*ppn tiles.
 func RunParallel(nodes, ppn int, cfg Config, warmup, steps int) (*Result, error) {
-	cl, err := cluster.New(cluster.DefaultConfig(nodes, ppn))
+	return RunParallelOpts(nodes, ppn, cfg, warmup, steps, ParallelOpts{})
+}
+
+// RunParallelOpts is RunParallel with fault injection and watchdog
+// control.  The returned Result carries the fault/recovery counters.
+func RunParallelOpts(nodes, ppn int, cfg Config, warmup, steps int, opts ParallelOpts) (*Result, error) {
+	ccfg := cluster.DefaultConfig(nodes, ppn)
+	ccfg.Fault = opts.Fault
+	if opts.Watchdog != 0 {
+		ccfg.Watchdog = opts.Watchdog
+	}
+	cl, err := cluster.New(ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +91,13 @@ func RunParallel(nodes, ppn int, cfg Config, warmup, steps int) (*Result, error)
 		cl.Start(func(w *cluster.Worker) { body(w.Rank, lib.Bind(w)) })
 		return cl.Run()
 	}
-	return runOn(cl.Processors(), launch, cfg, warmup, steps)
+	res, err := runOn(cl.Processors(), launch, cfg, warmup, steps)
+	if err != nil {
+		return nil, err
+	}
+	res.Fault = lib.FaultStats()
+	res.Net = cl.Fabric.Stats()
+	return res, nil
 }
 
 // RunParallelNet executes cfg over a modelled commodity interconnect

@@ -14,7 +14,12 @@ import (
 //
 // Explicitly seeded generators stay legal: rand.New(rand.NewSource(s))
 // is the sanctioned pattern (see the Arctic fabric's adaptive-routing
-// RNG), because the seed is part of the simulation's input.
+// RNG), because the seed is part of the simulation's input.  The
+// fault-injection plan's splitmix64 generator (fault.NewPRNG) is the
+// other registered source: it is seeded exclusively from fault.Config
+// and never touches math/rand, so the rule's ban on the global source
+// covers fault plans too — a plan drawing from rand.Float64 is flagged
+// like any other sim-core code.
 var Detsource = &analysis.Analyzer{
 	Name: "detsource",
 	Doc:  "forbid time.Now/time.Since and unseeded math/rand in simulation packages",

@@ -47,6 +47,7 @@ var Analyzers = []*analysis.Analyzer{
 // discipline; detsource and nogoroutine apply here.
 var simCorePackages = []string{
 	"hyades/internal/des",
+	"hyades/internal/fault",
 	"hyades/internal/arctic",
 	"hyades/internal/startx",
 	"hyades/internal/pci",
@@ -63,6 +64,7 @@ var simCorePackages = []string{
 // here.
 var eventPathPackages = []string{
 	"hyades/internal/des",
+	"hyades/internal/fault",
 	"hyades/internal/arctic",
 	"hyades/internal/comm",
 }

@@ -61,6 +61,12 @@ func TestAnalyzersForScope(t *testing.T) {
 			t.Errorf("des: missing analyzer %s", want)
 		}
 	}
+	flt := names("hyades/internal/fault")
+	for _, want := range []string{"detsource", "nogoroutine", "maprange"} {
+		if !flt[want] {
+			t.Errorf("fault: missing analyzer %s (fault plans run on the event path)", want)
+		}
+	}
 	gcm := names("hyades/internal/gcm/solver")
 	if !gcm["detsource"] || !gcm["nogoroutine"] {
 		t.Errorf("gcm subpackages must get the sim-core rules, got %v", gcm)

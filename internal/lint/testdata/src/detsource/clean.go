@@ -18,6 +18,18 @@ func goodMethods(t0, t1 time.Time, rng *rand.Rand) (time.Duration, float64) {
 	return t1.Sub(t0), rng.Float64()
 }
 
+// goodFaultPlan is the sanctioned fault-plan shape: a self-contained
+// splitmix64 step seeded from configuration, the same construction as
+// internal/fault's PRNG.  No process-global state is consulted.
+func goodFaultPlan(seed uint64, dropRate float64) bool {
+	seed += 0x9e3779b97f4a7c15
+	z := seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < dropRate
+}
+
 // goodAllowed shows the audited escape hatch.
 func goodAllowed() int64 {
 	//lint:allow detsource fixture exercising the escape hatch

@@ -22,3 +22,11 @@ func bad() (int64, int) {
 func badRef() func() time.Time {
 	return time.Now // want `time\.Now reads the wall clock`
 }
+
+// badFaultPlan mimics a fault-injection plan written against the
+// process-global source: the drop decision would depend on whatever
+// else consumed the global stream, so chaos runs would not replay.
+// The registered pattern is internal/fault's seeded splitmix64 PRNG.
+func badFaultPlan(dropRate float64) bool {
+	return rand.Float64() < dropRate // want `rand\.Float64 draws from the process-global source`
+}

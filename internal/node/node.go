@@ -10,6 +10,8 @@
 package node
 
 import (
+	"fmt"
+
 	"hyades/internal/des"
 	"hyades/internal/pci"
 	"hyades/internal/startx"
@@ -71,7 +73,7 @@ func New(e *des.Engine, id int, cfg Config, busCfg pci.Config) *Node {
 		Eng:     e,
 		Cfg:     cfg,
 		Bus:     pci.NewBus(e, busCfg),
-		NIULock: des.NewSemaphore(e, 1),
+		NIULock: des.NewSemaphore(e, fmt.Sprintf("node%d.niulock", id), 1),
 		Shared:  make(map[int]*des.Mailbox[[]byte]),
 		Sums:    des.NewMailbox[float64](e, "sums"),
 	}

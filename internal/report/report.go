@@ -180,6 +180,16 @@ func fieldRange(f *field.F2) (lo, hi float64) {
 	return lo, hi
 }
 
+// Goodput returns delivered payload bytes as a percentage of wire
+// bytes — the efficiency metric for fault-injection runs, where
+// retransmissions and ACK traffic inflate the wire count.
+func Goodput(payloadBytes, wireBytes int64) float64 {
+	if wireBytes <= 0 {
+		return 0
+	}
+	return 100 * float64(payloadBytes) / float64(wireBytes)
+}
+
 // Micros formats a time-like microsecond count compactly.
 func Micros(us float64) string {
 	switch {

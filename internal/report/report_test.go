@@ -117,3 +117,15 @@ func TestMicrosFormatting(t *testing.T) {
 		}
 	}
 }
+
+func TestGoodput(t *testing.T) {
+	if g := Goodput(75, 100); g != 75 {
+		t.Errorf("Goodput(75, 100) = %g, want 75", g)
+	}
+	if g := Goodput(0, 0); g != 0 {
+		t.Errorf("Goodput(0, 0) = %g, want 0 (no division by zero)", g)
+	}
+	if g := Goodput(10, -1); g != 0 {
+		t.Errorf("Goodput(10, -1) = %g, want 0", g)
+	}
+}

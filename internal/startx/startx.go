@@ -54,6 +54,21 @@ const (
 type Config struct {
 	TxLatency units.Time // NIU transmit pipeline, register to first link
 	RxLatency units.Time // NIU receive pipeline, last link to visible data
+
+	// Reliable switches on the go-back-N reliable channel (see
+	// reliable.go).  Off by default: a fault-free fabric delivers every
+	// packet, and the paper's software layer assumes exactly that.
+	Reliable bool
+	// RelTimeout is the initial retransmit timeout (0 = default).
+	RelTimeout units.Time
+	// RelBackoffCap bounds the exponentially backed-off timeout.
+	RelBackoffCap units.Time
+	// RelRetryBudget is the number of consecutive fruitless timeouts
+	// tolerated before the peer is declared unreachable.
+	RelRetryBudget int
+	// RelWindow is the go-back-N window: the maximum number of
+	// unacknowledged packets per (destination, priority) stream.
+	RelWindow int
 }
 
 // DefaultConfig returns the calibrated StarT-X pipeline latencies.
@@ -104,6 +119,19 @@ type NIU struct {
 	// wake pollers without modelling every idle status read.
 	OnPIODeliver func()
 
+	// Rel counts reliable-channel protocol events (all zero unless
+	// Config.Reliable is set).
+	Rel RelStats
+
+	// OnUnreachable, if set, observes an exhausted retry budget; when
+	// nil the NIU fails the engine with the diagnostic instead.
+	OnUnreachable func(UnreachableInfo)
+
+	// relTxStreams / relRxStreams are the go-back-N per-stream states,
+	// indexed 2*endpoint+priority (see reliable.go).
+	relTxStreams []*relStream
+	relRxStreams []relRxStream
+
 	// windows holds the registered remote-memory regions.
 	windows map[int]*rmemWindow
 }
@@ -123,6 +151,20 @@ type dmaJob struct {
 
 // New attaches a NIU for endpoint ep to fabric fab and bus.
 func New(e *des.Engine, bus *pci.Bus, fab *arctic.Fabric, ep int, cfg Config) *NIU {
+	if cfg.Reliable {
+		if cfg.RelTimeout <= 0 {
+			cfg.RelTimeout = DefaultRelTimeout
+		}
+		if cfg.RelBackoffCap <= 0 {
+			cfg.RelBackoffCap = DefaultRelBackoffCap
+		}
+		if cfg.RelRetryBudget <= 0 {
+			cfg.RelRetryBudget = DefaultRelRetryBudget
+		}
+		if cfg.RelWindow <= 0 {
+			cfg.RelWindow = DefaultRelWindow
+		}
+	}
 	n := &NIU{
 		eng: e, bus: bus, fab: fab, ep: ep, cfg: cfg,
 		rxHi: des.NewMailbox[Message](e, fmt.Sprintf("niu%d.rxHi", ep)),
@@ -172,7 +214,7 @@ func (n *NIU) PIOSend(p *des.Proc, dst int, tag int, words []uint32, pri arctic.
 		Payload: append([]uint32(nil), words...),
 	}
 	n.fab.RouteFor(pkt, n.ep, dst)
-	n.eng.Schedule(n.cfg.TxLatency, func() { n.fab.Inject(n.ep, pkt) })
+	n.eng.Schedule(n.cfg.TxLatency, func() { n.inject(pkt) })
 }
 
 // PIORecv blocks until a PIO message of the given priority is available,
@@ -260,7 +302,7 @@ func (n *NIU) pumpTx() {
 	}
 	n.fab.RouteFor(pkt, n.ep, job.dst)
 	inject := end - n.eng.Now() + n.cfg.TxLatency
-	n.eng.Schedule(inject, func() { n.fab.Inject(n.ep, pkt) })
+	n.eng.Schedule(inject, func() { n.inject(pkt) })
 	n.eng.ScheduleAt(end, n.pumpTx)
 }
 
@@ -271,6 +313,12 @@ func (n *NIU) VIRecv(p *des.Proc) Transfer {
 	return n.rxVI.Recv(p)
 }
 
+// VIRecvDeadline is VIRecv with a virtual-time bound; ok is false if
+// the deadline elapsed with no completed transfer.
+func (n *NIU) VIRecvDeadline(p *des.Proc, d units.Time) (Transfer, bool) {
+	return n.rxVI.RecvDeadline(p, d)
+}
+
 // VIPending reports the number of completed transfers awaiting pickup.
 func (n *NIU) VIPending() int { return n.rxVI.Len() }
 
@@ -279,6 +327,9 @@ func (n *NIU) VIPending() int { return n.rxVI.Len() }
 func (n *NIU) receive(pkt *arctic.Packet) {
 	if pkt.Corrupted() {
 		n.CorruptSeen++
+	}
+	if n.cfg.Reliable && !n.relAdmit(pkt) {
+		return
 	}
 	if pkt.Tag&viTagFlag != 0 {
 		// VI path: DMA the quantum into the VI region; the transfer
