@@ -12,6 +12,7 @@ import (
 
 	"hyades/internal/bench"
 	"hyades/internal/cluster"
+	"hyades/internal/comm"
 	"hyades/internal/gcm"
 	"hyades/internal/gcm/physics"
 	"hyades/internal/gcm/solver"
@@ -60,8 +61,8 @@ func BenchmarkFig7Bandwidth(b *testing.B) {
 	}
 }
 
-// BenchmarkGlobalSum regenerates the §4.2 global-sum latencies.
-func BenchmarkGlobalSum(b *testing.B) {
+// BenchmarkSec42GlobalSum regenerates the §4.2 global-sum latencies.
+func BenchmarkSec42GlobalSum(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l16, err := bench.Gsum(bench.HyadesRunner{PPN: 1}, 16, 8)
 		if err != nil {
@@ -240,6 +241,140 @@ func BenchmarkAblationMPIvsCustom(b *testing.B) {
 		b.ReportMetric(mpi.Micros(), "us_mpistart")
 		b.ReportMetric(mpi.Micros()/custom.Micros(), "generalityTax_x")
 	}
+}
+
+// ---- Hot-path microbenchmarks ----
+//
+// Unlike the figure benchmarks above, which rebuild a machine every
+// iteration (so allocs/op is dominated by construction), these run b.N
+// operations inside one simulated machine: ns/op and allocs/op measure
+// the per-operation cost of the communication hot path itself, and the
+// simulated_us metric reports the virtual time per operation.
+
+// BenchmarkExchange measures one pairwise 1-KiB VI-mode exchange.
+func BenchmarkExchange(b *testing.B) {
+	b.ReportAllocs()
+	cl, err := cluster.New(cluster.DefaultConfig(2, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	lib, err := comm.NewHyades(cl, comm.DefaultHyadesConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var elapsed units.Time
+	cl.Start(func(w *cluster.Worker) {
+		ep := lib.Bind(w)
+		peer := 1 - w.Rank
+		buf := make([]byte, 1024)
+		layout := comm.Contiguous(1024, true)
+		ep.Exchange(peer, buf, layout) // warm-up
+		ep.Barrier()
+		start := ep.Now()
+		for i := 0; i < b.N; i++ {
+			ep.Exchange(peer, buf, layout)
+		}
+		if w.Rank == 0 {
+			elapsed = ep.Now() - start
+		}
+	})
+	if err := cl.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(elapsed.Micros()/float64(b.N), "simulated_us")
+}
+
+// BenchmarkGlobalSum measures one 16-way butterfly global sum.
+func BenchmarkGlobalSum(b *testing.B) {
+	b.ReportAllocs()
+	cl, err := cluster.New(cluster.DefaultConfig(16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	lib, err := comm.NewHyades(cl, comm.DefaultHyadesConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var elapsed units.Time
+	cl.Start(func(w *cluster.Worker) {
+		ep := lib.Bind(w)
+		ep.GlobalSum(1) // warm-up alignment
+		start := ep.Now()
+		for i := 0; i < b.N; i++ {
+			ep.GlobalSum(float64(i))
+		}
+		if w.Rank == 0 {
+			elapsed = ep.Now() - start
+		}
+	})
+	if err := cl.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(elapsed.Micros()/float64(b.N), "simulated_us")
+}
+
+// BenchmarkCoupledStep measures one step of a 16-rank coupled
+// ocean–atmosphere run, across host worker-pool sizes: "inline" runs
+// every compute phase on the DES baton, "pool1" pays the pool's
+// handoff with no parallelism, "poolMax" uses GOMAXPROCS workers.  The
+// inline/poolMax ratio of ns/op is the wall-clock speedup of the
+// parallel execution layer (simulated time is identical by contract).
+func BenchmarkCoupledStep(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"inline", -1}, {"pool1", 1}, {"poolMax", 0}} {
+		b.Run(c.name, func(b *testing.B) { benchCoupledSteps(b, c.workers) })
+	}
+}
+
+func benchCoupledSteps(b *testing.B, workers int) {
+	b.ReportAllocs()
+	d := tile.Decomp{NXg: 32, NYg: 16, Px: 4, Py: 2, PeriodicX: true}
+	cfg := gcm.DefaultCoupledConfig(d)
+	cfg.Ocean.Grid.NX, cfg.Ocean.Grid.NY = 32, 16
+	cfg.Ocean.Grid.NZ = 4
+	cfg.Ocean.Grid.DZ = []float64{250, 500, 1000, 2250}
+	cfg.Atmos.Grid.NX, cfg.Atmos.Grid.NY = 32, 16
+	cfg.CoupleEvery = 5
+
+	tiles := cfg.Ocean.Decomp.Tiles()
+	nWorkers := 2 * tiles
+	ccfg := cluster.DefaultConfig(nWorkers, 1)
+	ccfg.Workers = workers
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	lib, err := comm.NewHyades(cl, comm.DefaultHyadesConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buildErr error
+	cl.Start(func(w *cluster.Worker) {
+		c := cfg
+		if w.Rank < tiles {
+			ph := physics.New(physics.Default())
+			c.Atmos.Forcing = ph
+			c.Physics = ph
+		}
+		cp, err := gcm.NewCoupled(c, lib.Bind(w))
+		if err != nil {
+			buildErr = err
+			return
+		}
+		cp.Run(b.N)
+	})
+	if err := cl.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if buildErr != nil {
+		b.Fatal(buildErr)
+	}
+	b.ReportMetric(cl.Eng.Now().Millis()/float64(b.N), "simulated_ms")
 }
 
 func measureMPIAllreduce(b *testing.B, n, reps int) units.Time {

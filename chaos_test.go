@@ -28,7 +28,7 @@ import (
 // given fault plan and returns a SHA-256 over every worker's
 // checkpointed state (state only — no clocks, no event counts), plus
 // the run's observables for same-seed comparison.
-func chaosFingerprint(t *testing.T, steps int, fc fault.Config) (digest [32]byte, events uint64, now units.Time, fs comm.FaultStats) {
+func chaosFingerprint(t *testing.T, steps int, fc fault.Config, workers int) (digest [32]byte, events uint64, now units.Time, fs comm.FaultStats) {
 	t.Helper()
 	d := tile.Decomp{NXg: 16, NYg: 8, Px: 2, Py: 1, PeriodicX: true}
 	cfg := gcm.DefaultCoupledConfig(d)
@@ -42,6 +42,7 @@ func chaosFingerprint(t *testing.T, steps int, fc fault.Config) (digest [32]byte
 	nWorkers := 2 * tiles
 	ccfg := cluster.DefaultConfig(nWorkers, 1)
 	ccfg.Fault = fc
+	ccfg.Workers = workers
 	cl, err := cluster.New(ccfg)
 	if err != nil {
 		t.Fatal(err)
@@ -95,8 +96,8 @@ func TestChaosRunIsDeterministic(t *testing.T) {
 	const steps = 12
 	fc := fault.Config{Seed: 42, DropRate: 1e-3}
 
-	d1, e1, t1, fs1 := chaosFingerprint(t, steps, fc)
-	d2, e2, t2, fs2 := chaosFingerprint(t, steps, fc)
+	d1, e1, t1, fs1 := chaosFingerprint(t, steps, fc, 0)
+	d2, e2, t2, fs2 := chaosFingerprint(t, steps, fc, 0)
 	if fs1.Retransmits == 0 {
 		t.Fatalf("chaos run exercised no retransmissions (drops=%d); the test is vacuous", fs1.FaultDropped)
 	}
@@ -110,7 +111,7 @@ func TestChaosRunIsDeterministic(t *testing.T) {
 		t.Errorf("same-seed chaos runs disagree on fault counters:\n%+v\n%+v", fs1, fs2)
 	}
 
-	d0, _, t0, fs0 := chaosFingerprint(t, steps, fault.Config{})
+	d0, _, t0, fs0 := chaosFingerprint(t, steps, fault.Config{}, 0)
 	if d0 != d1 {
 		t.Errorf("faults leaked into the physics: chaos state %x, fault-free state %x", d1, d0)
 	}
@@ -121,6 +122,31 @@ func TestChaosRunIsDeterministic(t *testing.T) {
 	}
 	if t1 <= t0 {
 		t.Errorf("retransmissions cost no virtual time: chaos %v vs fault-free %v", t1, t0)
+	}
+}
+
+// TestChaosDeterminismAcrossWorkerCounts crosses the two contracts:
+// under an active fault plan, runs with no pool and with a two-worker
+// pool must agree on every observable — state, event count, virtual
+// clock and the full fault-counter set.  Recovery (timeouts,
+// retransmissions, duplicate suppression) happens entirely in engine
+// events, so the host worker count must not be able to perturb it.
+func TestChaosDeterminismAcrossWorkerCounts(t *testing.T) {
+	const steps = 12
+	fc := fault.Config{Seed: 42, DropRate: 1e-3}
+	d1, e1, t1, fs1 := chaosFingerprint(t, steps, fc, -1)
+	d2, e2, t2, fs2 := chaosFingerprint(t, steps, fc, 2)
+	if fs1.Retransmits == 0 {
+		t.Fatalf("chaos run exercised no retransmissions; the test is vacuous")
+	}
+	if e1 != e2 || t1 != t2 {
+		t.Errorf("worker pool perturbs fault recovery: events %d vs %d, clock %v vs %v", e1, e2, t1, t2)
+	}
+	if d1 != d2 {
+		t.Errorf("worker pool changes faulted model state: %x vs %x", d1, d2)
+	}
+	if fs1 != fs2 {
+		t.Errorf("worker pool changes fault counters:\n%+v\n%+v", fs1, fs2)
 	}
 }
 

@@ -49,6 +49,12 @@ echo "== chaos (fault injection + reliable delivery)"
 # report a nonzero retransmit count (the reliable channel is working,
 # not just lucky).
 go test -race -run 'TestChaosRunIsDeterministic|TestPeerUnreachableSurfaces' .
+
+echo "== determinism across worker counts (race)"
+# The worker-pool determinism matrix under the race detector: digests,
+# event counts and virtual clocks must be bit-identical for inline,
+# single-worker and GOMAXPROCS pools, with and without fault injection.
+go test -race -run 'TestDeterminismAcrossWorkerCounts|TestChaosDeterminismAcrossWorkerCounts' .
 chaos_out=$(go run ./cmd/hyades -model gyre -nodes 2 -ppn 1 -steps 2 -warmup 1 -drop-rate 1e-2)
 echo "$chaos_out" | tail -n 5
 retx=$(echo "$chaos_out" | awk '/^retransmits/ {print $(NF-2)}')
@@ -57,5 +63,17 @@ if [ "$retx" -eq 0 ]; then
     echo "chaos smoke: drop-rate 1e-2 produced zero retransmits" >&2
     exit 1
 fi
+
+echo "== bench (hot-path benchmarks, artifact)"
+# Short-benchtime run of the hot-path microbenchmarks, converted to a
+# JSON artifact.  benchtime is kept tiny so the gate stays fast; the
+# artifact records allocs/op and the simulated-time metrics plus the
+# core count of the machine that produced them, giving future changes
+# a perf trajectory to compare against.
+bench_out="${HYADES_BENCH_JSON:-BENCH_pr5.json}"
+go test -run '^$' -bench '^(BenchmarkExchange|BenchmarkGlobalSum|BenchmarkCoupledStep)$' \
+    -benchmem -benchtime 1x . |
+    go run ./cmd/benchjson "benchtime 1x gate run" > "$bench_out"
+echo "wrote $bench_out"
 
 echo "CI OK"

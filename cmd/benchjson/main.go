@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document suitable for committing as a benchmark artifact.
+//
+// It reads the benchmark output on stdin and writes JSON to stdout:
+//
+//	go test -bench . -benchmem | go run ./cmd/benchjson > BENCH.json
+//
+// Each benchmark line becomes an entry with its iteration count and a
+// metrics map keyed by unit (ns/op, B/op, allocs/op, plus any custom
+// units reported via b.ReportMetric, e.g. simulated_us).  The document
+// also records the host's core count and GOMAXPROCS so that readers can
+// judge whether parallel-speedup numbers are meaningful on the machine
+// that produced them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// document is the full artifact written to stdout.
+type document struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	HostCores  int      `json:"host_cores"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	doc := document{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		HostCores:  runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: []result{},
+	}
+	if len(os.Args) > 1 {
+		doc.Note = strings.Join(os.Args[1:], " ")
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `go test -bench` result line of the form
+//
+//	BenchmarkName-8   100   43122 ns/op   37.26 simulated_us   165 allocs/op
+//
+// Lines that are not benchmark results (headers, PASS, ok ...) are
+// rejected with ok=false.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value / unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

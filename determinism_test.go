@@ -12,6 +12,7 @@ package hyades
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"runtime"
 	"testing"
 
 	"hyades/internal/cluster"
@@ -25,8 +26,9 @@ import (
 // coupledFingerprint runs a small coupled configuration to completion
 // and fingerprints everything observable: a SHA-256 over every
 // worker's checkpointed state in rank order, the kernel's event count,
-// and the final virtual time.
-func coupledFingerprint(t *testing.T, steps int) (digest [32]byte, events uint64, now units.Time) {
+// and the final virtual time.  workers sizes the host worker pool
+// (cluster.Config.Workers: 0 = GOMAXPROCS, negative = inline).
+func coupledFingerprint(t testing.TB, steps, workers int) (digest [32]byte, events uint64, now units.Time) {
 	t.Helper()
 	d := tile.Decomp{NXg: 16, NYg: 8, Px: 2, Py: 1, PeriodicX: true}
 	cfg := gcm.DefaultCoupledConfig(d)
@@ -38,7 +40,9 @@ func coupledFingerprint(t *testing.T, steps int) (digest [32]byte, events uint64
 
 	tiles := cfg.Ocean.Decomp.Tiles()
 	nWorkers := 2 * tiles
-	cl, err := cluster.New(cluster.DefaultConfig(nWorkers, 1))
+	ccfg := cluster.DefaultConfig(nWorkers, 1)
+	ccfg.Workers = workers
+	cl, err := cluster.New(ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,8 +99,8 @@ func coupledFingerprint(t *testing.T, steps int) (digest [32]byte, events uint64
 // identical coupled runs must agree bit for bit.
 func TestCoupledRunIsDeterministic(t *testing.T) {
 	const steps = 12
-	d1, e1, t1 := coupledFingerprint(t, steps)
-	d2, e2, t2 := coupledFingerprint(t, steps)
+	d1, e1, t1 := coupledFingerprint(t, steps, 0)
+	d2, e2, t2 := coupledFingerprint(t, steps, 0)
 	if e1 == 0 {
 		t.Fatal("no events were scheduled; the simulation did not run")
 	}
@@ -108,5 +112,33 @@ func TestCoupledRunIsDeterministic(t *testing.T) {
 	}
 	if d1 != d2 {
 		t.Errorf("state digests differ between identical runs: %x vs %x", d1, d2)
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts is the acceptance test for the
+// parallel execution layer: the host worker pool is a wall-clock
+// optimization only, so runs with no pool, one worker, two workers and
+// GOMAXPROCS workers must agree bit for bit — same state digest, same
+// event count, same final virtual clock.  Because the digest folds in
+// the event count and clock, equality also proves the pool adds zero
+// simulated events and zero simulated time.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	const steps = 12
+	base, be, bt := coupledFingerprint(t, steps, -1) // inline, no pool
+	if be == 0 {
+		t.Fatal("no events were scheduled; the simulation did not run")
+	}
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, w := range counts {
+		d, e, now := coupledFingerprint(t, steps, w)
+		if e != be {
+			t.Errorf("workers=%d: event count %d differs from inline %d", w, e, be)
+		}
+		if now != bt {
+			t.Errorf("workers=%d: final clock %v differs from inline %v", w, now, bt)
+		}
+		if d != base {
+			t.Errorf("workers=%d: state digest %x differs from inline %x", w, d, base)
+		}
 	}
 }

@@ -73,6 +73,10 @@ type link struct {
 	deliver func(t *transit)
 	final   bool // link terminates at an endpoint: wait for the tail
 
+	// startNextFn is the method value of startNext, bound once at link
+	// creation so re-arming the link schedules no closure.
+	startNextFn func()
+
 	// flt is the link's fault-injection state (nil = pristine link).
 	flt   *fault.Link
 	stats LinkStats
@@ -83,10 +87,14 @@ func (l *link) down() bool {
 	return l.flt != nil && l.flt.Down(l.fab.eng.Now())
 }
 
-// transit is a packet in flight.
+// transit is a packet in flight.  Transits are recycled through the
+// fabric's freelist; deliverFn is bound once per transit object (not
+// per hop) and survives recycling.
 type transit struct {
 	pkt         *Packet
-	upRemaining int // up hops left before the packet turns downwards
+	upRemaining int   // up hops left before the packet turns downwards
+	link        *link // link currently transmitting this transit
+	deliverFn   func()
 }
 
 // router is one Arctic switch.  Its forwarding behaviour is folded into
@@ -110,6 +118,28 @@ type Fabric struct {
 	rx      []func(*Packet)
 	rng     *rand.Rand
 	stats   Stats
+	free    []*transit // recycled transit objects
+}
+
+// newTransit pops the freelist or allocates; the bound deliverFn is
+// created once per object and reused across journeys.
+func (f *Fabric) newTransit(p *Packet, upRemaining int) *transit {
+	if n := len(f.free); n > 0 {
+		t := f.free[n-1]
+		f.free = f.free[:n-1]
+		t.pkt, t.upRemaining = p, upRemaining
+		return t
+	}
+	t := &transit{pkt: p, upRemaining: upRemaining}
+	t.deliverFn = func() { t.link.deliver(t) }
+	return t
+}
+
+// recycle returns a finished transit (delivered or dropped) to the
+// freelist.
+func (f *Fabric) recycle(t *transit) {
+	t.pkt, t.link = nil, nil
+	f.free = append(f.free, t)
 }
 
 // New builds a fabric for cfg on engine e.
@@ -183,7 +213,11 @@ func New(e *des.Engine, cfg Config) (*Fabric, error) {
 		out := f.newLink(fmt.Sprintf("eject(%d)", ep))
 		out.final = true
 		epCopy := ep
-		out.deliver = func(t *transit) { f.deliverToEndpoint(epCopy, t.pkt) }
+		out.deliver = func(t *transit) {
+			pkt := t.pkt
+			f.recycle(t)
+			f.deliverToEndpoint(epCopy, pkt)
+		}
 		f.eject[ep] = out
 		// The leaf router's down port for this endpoint is the eject
 		// link; down-phase forwarding finds it there.
@@ -200,6 +234,7 @@ func replaceDigit(v, stage, q int) int {
 
 func (f *Fabric) newLink(name string) *link {
 	l := &link{fab: f, name: name}
+	l.startNextFn = l.startNext
 	l.stats.Name = name
 	if f.cfg.Faults != nil {
 		l.flt = f.cfg.Faults.Link(name)
@@ -273,8 +308,7 @@ func (f *Fabric) Inject(src int, p *Packet) {
 		panic(fmt.Sprintf("arctic: inject to invalid endpoint %d", p.Dst))
 	}
 	p.Seal()
-	t := &transit{pkt: p, upRemaining: int(p.UpSteps)}
-	f.inject[src].enqueue(t)
+	f.inject[src].enqueue(f.newTransit(p, int(p.UpSteps)))
 }
 
 // routerInput returns the forwarding action for packets whose head has
@@ -286,6 +320,7 @@ func (f *Fabric) routerInput(r *router) func(*transit) {
 			// Paper §2.2: correctness is verified at every router
 			// stage; a corrupted packet cannot propagate silently.
 			f.stats.Dropped++
+			f.recycle(t)
 			return
 		}
 		var next *link
@@ -378,7 +413,8 @@ func (l *link) startNext() {
 			// be lost while the outage lasts, in FIFO order).
 			l.stats.OutageDropped++
 			f.stats.OutageDropped++
-			f.eng.Schedule(0, l.startNext)
+			f.recycle(t)
+			f.eng.Schedule(0, l.startNextFn)
 			return
 		}
 		if bwScale, latScale := l.flt.Scale(now); bwScale != 1 || latScale != 1 {
@@ -391,7 +427,8 @@ func (l *link) startNext() {
 			// tail never arrives anywhere.
 			l.stats.FaultDropped++
 			f.stats.FaultDropped++
-			f.eng.Schedule(bw.Transfer(t.pkt.WireBytes()), l.startNext)
+			f.eng.Schedule(bw.Transfer(t.pkt.WireBytes()), l.startNextFn)
+			f.recycle(t)
 			return
 		case fault.Corrupt:
 			t.pkt.Corrupt()
@@ -409,8 +446,9 @@ func (l *link) startNext() {
 	if l.final {
 		handoff = lat + full
 	}
-	f.eng.Schedule(handoff, func() { l.deliver(t) })
-	f.eng.Schedule(full, l.startNext)
+	t.link = l
+	f.eng.Schedule(handoff, t.deliverFn)
+	f.eng.Schedule(full, l.startNextFn)
 }
 
 // Levels reports the number of router stages.

@@ -238,30 +238,54 @@ func Decode(words []uint32) (*Packet, error) {
 	return p, nil
 }
 
+// crcTable is the shared IEEE polynomial table (crc32.MakeTable returns
+// the package-internal table for the IEEE polynomial, so this allocates
+// nothing of its own).
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// crcUpdateWord folds one little-endian wire word into a running CRC.
+// This is the standard byte-at-a-time reflected CRC-32 — bit-identical
+// to crc32.Update over the word's four bytes — open-coded because
+// passing even a stack buffer through hash/crc32 makes it escape, and
+// Seal/checkCRC run on every packet at every router stage.
+func crcUpdateWord(crc, w uint32) uint32 {
+	crc = ^crc
+	crc = crcTable[byte(crc)^byte(w)] ^ (crc >> 8)
+	crc = crcTable[byte(crc)^byte(w>>8)] ^ (crc >> 8)
+	crc = crcTable[byte(crc)^byte(w>>16)] ^ (crc >> 8)
+	crc = crcTable[byte(crc)^byte(w>>24)] ^ (crc >> 8)
+	return ^crc
+}
+
 // crcOfWords computes the IEEE CRC-32 of a word sequence.  The real
 // Arctic link layer uses a hardware CRC; any strong checksum preserves
 // the software-visible behaviour (a 1-bit good/bad status).
 func crcOfWords(words []uint32) uint32 {
-	buf := make([]byte, 0, len(words)*4)
+	var crc uint32
 	for _, w := range words {
-		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+		crc = crcUpdateWord(crc, w)
 	}
-	return crc32.ChecksumIEEE(buf)
+	return crc
 }
 
-// bodyWords returns the wire words the CRC covers: headers and payload,
-// without the trailer itself.
-func (p *Packet) bodyWords() []uint32 {
-	words := make([]uint32, 0, HeaderWords+len(p.Payload))
-	words = append(words, p.header0(), p.header1())
-	return append(words, p.Payload...)
+// wireCRC computes the checksum over the words the CRC trailer covers —
+// headers and payload — incrementally, without materializing the wire
+// image.  Seal runs at every injection and checkCRC at every router
+// stage, so this is the fabric's hottest per-packet path.
+func (p *Packet) wireCRC() uint32 {
+	crc := crcUpdateWord(0, p.header0())
+	crc = crcUpdateWord(crc, p.header1())
+	for _, w := range p.Payload {
+		crc = crcUpdateWord(crc, w)
+	}
+	return crc
 }
 
 // Seal computes and stores the CRC over the packet's current wire
 // words.  The fabric seals every packet at injection time; Encode seals
 // as a side effect of serialization.
 func (p *Packet) Seal() {
-	p.crc = crcOfWords(p.bodyWords())
+	p.crc = p.wireCRC()
 	p.sealed = true
 }
 
@@ -276,7 +300,7 @@ func (p *Packet) checkCRC() bool {
 	if !p.sealed {
 		return true
 	}
-	return crcOfWords(p.bodyWords()) == p.crc
+	return p.wireCRC() == p.crc
 }
 
 // Corrupt flips the packet into the damaged state used by fault

@@ -10,6 +10,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 
 	"hyades/internal/arctic"
 	"hyades/internal/des"
@@ -40,6 +41,13 @@ type Config struct {
 	// exceeding it panics with the full parked-waiter map (see
 	// des.SetWatchdog).  Zero disables it.
 	Watchdog units.Time
+
+	// Workers sizes the host worker pool that executes the simulated
+	// ranks' offloaded compute phases in parallel (des.Pool).  Zero
+	// means GOMAXPROCS; 1 still attaches a single-worker pool (the
+	// virtual schedule is identical for every value); negative disables
+	// the pool entirely so phases run inline on the baton.
+	Workers int
 }
 
 // DefaultConfig returns the published Hyades machine with the given SMP
@@ -66,6 +74,7 @@ type Cluster struct {
 	Eng    *des.Engine
 	Fabric *arctic.Fabric
 	Nodes  []*node.Node
+	Pool   *des.Pool // host worker pool for offloaded compute (nil if disabled)
 }
 
 // New builds the machine on a fresh engine.
@@ -88,6 +97,14 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{Cfg: cfg, Eng: eng, Fabric: fab}
+	if cfg.Workers >= 0 {
+		workers := cfg.Workers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		c.Pool = des.NewPool(workers)
+		eng.SetPool(c.Pool)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := node.New(eng, i, cfg.Node, cfg.PCI)
 		n.AttachNIU(startx.New(eng, n.Bus, fab, i, cfg.NIU))
@@ -157,5 +174,11 @@ func (c *Cluster) Run() (err error) {
 	return nil
 }
 
-// Close releases the engine's process goroutines.
-func (c *Cluster) Close() { c.Eng.Close() }
+// Close releases the engine's process goroutines and the host worker
+// pool.
+func (c *Cluster) Close() {
+	c.Eng.Close()
+	if c.Pool != nil {
+		c.Pool.Close()
+	}
+}

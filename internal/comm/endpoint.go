@@ -63,6 +63,14 @@ type Endpoint interface {
 	// Busy charges d of processor time (numerical computation).
 	Busy(d units.Time)
 
+	// Exec runs fn — a pure compute phase touching only this worker's
+	// own model state, with modeled cost d known up front — and charges
+	// d of processor time.  Implementations may execute fn on a host
+	// worker pool while the simulation advances other activities; the
+	// phase is always complete before Exec returns, and the virtual
+	// schedule is identical to Busy(d) regardless of the worker count.
+	Exec(d units.Time, fn func())
+
 	// Now returns the current virtual time.
 	Now() units.Time
 
@@ -118,6 +126,12 @@ func (s *Serial) Barrier() {}
 func (s *Serial) Busy(d units.Time) {
 	s.Clock += d
 	s.S.ComputeTime += d
+}
+
+// Exec implements Endpoint: a serial run computes inline.
+func (s *Serial) Exec(d units.Time, fn func()) {
+	fn()
+	s.Busy(d)
 }
 
 // Now implements Endpoint.

@@ -183,6 +183,16 @@ func (ep *HyadesEndpoint) Busy(d units.Time) {
 	ep.stats.ComputeTime += d
 }
 
+// Exec implements Endpoint: the phase runs on the cluster's worker
+// pool (if one is attached) while the baton meters the modeled time.
+func (ep *HyadesEndpoint) Exec(d units.Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	ep.w.Proc.Exec(d, fn)
+	ep.stats.ComputeTime += d
+}
+
 // nodeOf maps a rank to its SMP.
 func (ep *HyadesEndpoint) nodeOf(rank int) int { return rank / ep.h.cl.Cfg.ProcsPerNode }
 

@@ -90,6 +90,17 @@ type Engine struct {
 	procs   []*Proc
 	stopped bool
 
+	// free is the event freelist.  Every Schedule used to allocate an
+	// event; recycling fired (and cancelled) events makes scheduling
+	// allocation-free in steady state — the dominant allocation of the
+	// communication hot paths.
+	free []*event
+
+	// pool, when set, executes offloaded compute phases (Proc.Exec) on
+	// host worker goroutines while the baton keeps metering virtual
+	// time.  Nil means Exec runs inline.
+	pool *Pool
+
 	// watchdog bounds any single blocking wait; see SetWatchdog.
 	watchdog units.Time
 	// failed stops the run loop with a recorded cause; see Fail.
@@ -115,6 +126,27 @@ func (e *Engine) Now() units.Time { return e.now }
 // determinism regression tests.
 func (e *Engine) Events() uint64 { return e.seq }
 
+// newEvent takes an event from the freelist (or allocates one) and
+// stamps it with the next sequence number.
+func (e *Engine) newEvent(at units.Time, fn func()) *event {
+	e.seq++
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+		return ev
+	}
+	return &event{at: at, seq: e.seq, fn: fn}
+}
+
+// recycle returns a fired or cancelled event to the freelist.  The
+// closure is dropped so recycling never retains captured state.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // Schedule runs fn at now+d.  A non-positive d means "as soon as
 // possible", i.e. at the current time but after already-queued
 // simultaneous events.
@@ -122,8 +154,7 @@ func (e *Engine) Schedule(d units.Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.seq++
-	e.events.push(&event{at: e.now + d, seq: e.seq, fn: fn})
+	e.events.push(e.newEvent(e.now+d, fn))
 }
 
 // ScheduleAt runs fn at absolute time t (clamped to the present).
@@ -131,8 +162,7 @@ func (e *Engine) ScheduleAt(t units.Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	e.events.push(&event{at: t, seq: e.seq, fn: fn})
+	e.events.push(e.newEvent(t, fn))
 }
 
 // Run executes events until the event queue is empty.  Processes blocked
@@ -154,6 +184,7 @@ func (e *Engine) RunUntil(limit units.Time) {
 			e.now = ev.at
 		}
 		ev.fn()
+		e.recycle(ev)
 	}
 }
 
@@ -262,9 +293,8 @@ func (e *Engine) After(d units.Time, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	e.seq++
 	t := &Timer{eng: e}
-	ev := &event{at: e.now + d, seq: e.seq}
+	ev := e.newEvent(e.now+d, nil)
 	ev.fn = func() {
 		t.ev = nil
 		fn()
@@ -280,8 +310,9 @@ func (t *Timer) Cancel() {
 	if t.ev == nil {
 		return
 	}
-	heap.Remove(&t.eng.events, t.ev.idx)
+	ev := heap.Remove(&t.eng.events, t.ev.idx).(*event)
 	t.ev = nil
+	t.eng.recycle(ev)
 }
 
 // Active reports whether the timer is still pending.
@@ -297,6 +328,7 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 	}
 	ev.fn()
+	e.recycle(ev)
 	return true
 }
 
@@ -342,6 +374,14 @@ func (e *Engine) dropProc(p *Proc) {
 // stopSignal is the panic payload used to unwind a killed process.
 type stopSignal struct{}
 
+// waiterList is a blocking facility that can detach a parked process —
+// the deadline-expiry hook of parkDeadline.  Implemented by Mailbox and
+// Signal; an interface rather than a closure so arming a deadline wait
+// allocates nothing.
+type waiterList interface {
+	dropWaiter(p *Proc) bool
+}
+
 // Proc is a simulated thread of control.
 type Proc struct {
 	eng     *Engine
@@ -351,10 +391,26 @@ type Proc struct {
 	blocked bool
 	dead    bool
 
+	// wakeFn is the bound wake method, created once at spawn: the
+	// blocking primitives schedule it directly instead of allocating a
+	// fresh closure per wake-up.
+	wakeFn func()
+
 	// waitOn/waitStart describe the current park for watchdog and
 	// deadlock dumps; set by the blocking primitives.
 	waitOn    string
 	waitStart units.Time
+
+	// Park-expiry state: wdEv is the armed watchdog/deadline event
+	// (nil when idle), wdFireFn the bound expiry handler, wdFacility
+	// the facility to detach from on a deadline expiry (nil for a
+	// watchdog park, whose expiry panics instead), expired the outcome
+	// flag parkDeadline reads back.  One event object cycles through
+	// the engine freelist instead of a Timer + closures per park.
+	wdEv       *event
+	wdFireFn   func()
+	wdFacility waiterList
+	expired    bool
 }
 
 // Spawn creates a process running fn and schedules its first activation
@@ -367,6 +423,8 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan bool),
 		yield:  make(chan struct{}),
 	}
+	p.wakeFn = p.wake
+	p.wdFireFn = p.wdFire
 	e.procs = append(e.procs, p)
 	// The kernel's coroutine baton: the one legitimate raw goroutine
 	// in the simulation core.  It runs only while holding the baton
@@ -399,7 +457,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.yield <- struct{}{}
 	}()
 	p.blocked = true
-	e.Schedule(0, func() { p.wake() })
+	e.Schedule(0, p.wakeFn)
 	return p
 }
 
@@ -437,46 +495,75 @@ func (p *Proc) block() {
 	}
 }
 
+// armWd schedules the process's expiry event at now+d; disarmWd removes
+// and recycles it if it has not fired.  The event's fn is the bound
+// wdFireFn, so arming a park costs no allocation in steady state.
+func (p *Proc) armWd(d units.Time) {
+	if d < 0 {
+		d = 0
+	}
+	ev := p.eng.newEvent(p.eng.now+d, p.wdFireFn)
+	p.wdEv = ev
+	p.eng.events.push(ev)
+}
+
+func (p *Proc) disarmWd() {
+	if p.wdEv == nil {
+		return
+	}
+	ev := heap.Remove(&p.eng.events, p.wdEv.idx).(*event)
+	p.wdEv = nil
+	p.eng.recycle(ev)
+}
+
+// wdFire is the park-expiry handler (engine context).  A watchdog park
+// (no facility) panics with the waiter map; a deadline park detaches
+// from its facility and wakes the process — unless a wake on the same
+// timestamp already claimed it, in which case expiry yields.
+func (p *Proc) wdFire() {
+	p.wdEv = nil
+	fac := p.wdFacility
+	if fac == nil {
+		panic(&WatchdogError{
+			Limit:   p.eng.watchdog,
+			Culprit: fmt.Sprintf("%s (parked on %s)", p.name, p.waitOn),
+			Waiters: p.eng.Waiters(),
+		})
+	}
+	if fac.dropWaiter(p) {
+		p.expired = true
+		p.wake()
+	}
+}
+
 // park blocks p on the named facility, arming the engine's watchdog if
-// one is configured.  The watchdog timer fires in engine context, so
+// one is configured.  The watchdog event fires in engine context, so
 // its panic unwinds Run rather than the baton goroutine.
 func (p *Proc) park(on string) {
 	p.waitOn, p.waitStart = on, p.eng.now
-	var wd *Timer
 	if limit := p.eng.watchdog; limit > 0 {
-		wd = p.eng.After(limit, func() {
-			panic(&WatchdogError{
-				Limit:   limit,
-				Culprit: fmt.Sprintf("%s (parked on %s)", p.name, on),
-				Waiters: p.eng.Waiters(),
-			})
-		})
+		p.armWd(limit)
 	}
 	p.block()
-	if wd != nil {
-		wd.Cancel()
-	}
+	p.disarmWd()
 	p.waitOn = ""
 }
 
 // parkDeadline blocks p on the named facility for at most d; it returns
-// true if p was woken normally and false if the deadline elapsed.
-// onExpire must detach p from the facility's waiter list and report
+// true if p was woken normally and false if the deadline elapsed.  fac
+// detaches p from the facility's waiter list on expiry, reporting
 // whether p was still parked there (guarding against a wake and an
 // expiry landing on the same timestamp).
-func (p *Proc) parkDeadline(on string, d units.Time, onExpire func() bool) bool {
+func (p *Proc) parkDeadline(on string, d units.Time, fac waiterList) bool {
 	p.waitOn, p.waitStart = on, p.eng.now
-	expired := false
-	t := p.eng.After(d, func() {
-		if onExpire() {
-			expired = true
-			p.wake()
-		}
-	})
+	p.expired = false
+	p.wdFacility = fac
+	p.armWd(d)
 	p.block()
-	t.Cancel()
+	p.disarmWd()
+	p.wdFacility = nil
 	p.waitOn = ""
-	return !expired
+	return !p.expired
 }
 
 // Engine returns the kernel this process runs on.
@@ -492,7 +579,7 @@ func (p *Proc) Now() units.Time { return p.eng.now }
 // yields the baton without advancing the clock (other simultaneous
 // events run first).
 func (p *Proc) Delay(d units.Time) {
-	p.eng.Schedule(d, func() { p.wake() })
+	p.eng.Schedule(d, p.wakeFn)
 	p.block()
 }
 
@@ -520,7 +607,7 @@ func (m *Mailbox[T]) Send(v T) {
 	if len(m.waiters) > 0 {
 		w := m.waiters[0]
 		m.waiters = m.waiters[1:]
-		m.eng.Schedule(0, func() { w.wake() })
+		m.eng.Schedule(0, w.wakeFn)
 	}
 }
 
@@ -549,7 +636,7 @@ func (m *Mailbox[T]) RecvDeadline(p *Proc, d units.Time) (T, bool) {
 			return zero, false
 		}
 		m.waiters = append(m.waiters, p)
-		if !p.parkDeadline(m.name, deadline-m.eng.now, func() bool { return m.dropWaiter(p) }) {
+		if !p.parkDeadline(m.name, deadline-m.eng.now, m) {
 			var zero T
 			return zero, false
 		}
@@ -618,7 +705,7 @@ func (s *Semaphore) Release() {
 	if len(s.waiters) > 0 {
 		w := s.waiters[0]
 		s.waiters = s.waiters[1:]
-		s.eng.Schedule(0, func() { w.wake() })
+		s.eng.Schedule(0, w.wakeFn)
 	}
 }
 
@@ -651,8 +738,7 @@ func (s *Signal) Broadcast() {
 	waiters := s.waiters
 	s.waiters = nil
 	for _, w := range waiters {
-		w := w
-		s.eng.Schedule(0, func() { w.wake() })
+		s.eng.Schedule(0, w.wakeFn)
 	}
 }
 
@@ -676,7 +762,7 @@ func (s *Signal) WaitDeadline(p *Proc, snapshot uint64, d units.Time) bool {
 		return true
 	}
 	s.waiters = append(s.waiters, p)
-	return p.parkDeadline(s.name, d, func() bool { return s.dropWaiter(p) })
+	return p.parkDeadline(s.name, d, s)
 }
 
 // dropWaiter removes p from the waiter list, reporting whether it was

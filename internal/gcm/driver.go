@@ -60,6 +60,12 @@ type ParallelOpts struct {
 	// Watchdog overrides the cluster's virtual-time wait limit when
 	// nonzero (zero keeps the cluster default).
 	Watchdog units.Time
+
+	// Workers sizes the host worker pool running the ranks' offloaded
+	// compute phases: 0 means GOMAXPROCS, 1 a single pool worker,
+	// negative runs everything inline on the DES baton.  Every value
+	// produces the identical virtual schedule (see cluster.Config).
+	Workers int
 }
 
 // RunParallel executes cfg for the given number of timed steps (plus
@@ -75,6 +81,7 @@ func RunParallel(nodes, ppn int, cfg Config, warmup, steps int) (*Result, error)
 func RunParallelOpts(nodes, ppn int, cfg Config, warmup, steps int, opts ParallelOpts) (*Result, error) {
 	ccfg := cluster.DefaultConfig(nodes, ppn)
 	ccfg.Fault = opts.Fault
+	ccfg.Workers = opts.Workers
 	if opts.Watchdog != 0 {
 		ccfg.Watchdog = opts.Watchdog
 	}

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"hyades/internal/comm"
+	"hyades/internal/gcm/field"
 	"hyades/internal/gcm/grid"
 	"hyades/internal/gcm/kernel"
 	"hyades/internal/gcm/reduce"
@@ -131,11 +132,13 @@ func New(cfg Config, ep comm.Endpoint) (*Model, error) {
 	m.Solver = solver.New(g, h, cfg.SolverTol, cfg.SolverMaxIter)
 	if cfg.FpsMFlops > 0 {
 		rate := cfg.FpsMFlops * 1e6
-		m.C.ChargePS = func(f int64) { ep.Busy(units.Seconds(float64(f) / rate)) }
+		m.C.TimePS = func(f int64) units.Time { return units.Seconds(float64(f) / rate) }
+		m.C.ChargePS = func(f int64) { ep.Busy(m.C.TimePS(f)) }
 	}
 	if cfg.FdsMFlops > 0 {
 		rate := cfg.FdsMFlops * 1e6
-		m.C.ChargeDS = func(f int64) { ep.Busy(units.Seconds(float64(f) / rate)) }
+		m.C.TimeDS = func(f int64) units.Time { return units.Seconds(float64(f) / rate) }
+		m.C.ChargeDS = func(f int64) { ep.Busy(m.C.TimeDS(f)) }
 	}
 	if cfg.Init != nil {
 		cfg.Init(g, m.S)
@@ -175,25 +178,76 @@ func (m *Model) exchangeState() {
 	m.Halo.Update3(m.S.Salt, kernel.Halo)
 }
 
+// exec runs phase — pure compute over this tile's own state, with the
+// modeled cost d fixed up front — through the endpoint's Exec, which
+// may fan it onto the host worker pool.  The charge hooks are
+// suspended for the duration: the phase's flops are still counted, but
+// its time is charged by Exec rather than from inside the sweep.
+func (m *Model) exec(d units.Time, phase func()) {
+	ps, ds := m.C.SuspendCharges()
+	m.EP.Exec(d, phase)
+	m.C.RestoreCharges(ps, ds)
+}
+
+// psTime/dsTime convert flop counts at the configured phase rates; a
+// zero rate (pure numerics runs) charges zero time, matching the
+// disabled charge hooks.
+func (m *Model) psTime(f int64) units.Time {
+	if m.C.TimePS == nil {
+		return 0
+	}
+	return m.C.TimePS(f)
+}
+
+func (m *Model) dsTime(f int64) units.Time {
+	if m.C.TimeDS == nil {
+		return 0
+	}
+	return m.C.TimeDS(f)
+}
+
 // Step advances the model one time step through the PS/DS sequence of
 // Fig. 6.
+//
+// Sweeps with analytically-known cost are grouped into phases and
+// handed to Endpoint.Exec, so the per-rank compute runs off the DES
+// baton (in parallel on the host, when a worker pool is attached)
+// while the virtual clock advances by exactly the modeled time.
+// Data-dependent work — the forcing package, convective adjustment and
+// everything that communicates — stays on the baton, where its cost is
+// charged as it accrues.
 func (m *Model) Step() {
 	p := &m.Cfg.Kernel
+	g, s, c := m.G, m.S, &m.C
 	// ---- PS: prognostic step ----
-	kernel.ComputeGTracers(m.G, m.S, p, &m.C)
+	m.exec(m.psTime(kernel.ComputeGTracersOps(g)), func() {
+		kernel.ComputeGTracers(g, s, p, c)
+	})
 	if m.Cfg.Forcing != nil {
-		m.Cfg.Forcing.AddTendencies(m.G, m.S, p, &m.C)
+		m.Cfg.Forcing.AddTendencies(g, s, p, c)
 	}
-	kernel.StepTracers(m.G, m.S, p, &m.C)
-	kernel.ConvectiveAdjust(m.G, m.S, p, &m.C)
-	kernel.Hydrostatic(m.G, m.S, p, &m.C)
-	kernel.ComputeGMomentum(m.G, m.S, p, &m.C)
-	kernel.StepMomentum(m.G, m.S, p, &m.C)
+	m.exec(m.psTime(kernel.StepTracersOps(g)), func() {
+		kernel.StepTracers(g, s, p, c)
+	})
+	kernel.ConvectiveAdjust(g, s, p, c)
+	m.exec(m.psTime(kernel.HydrostaticOps(g, p))+
+		m.psTime(kernel.ComputeGMomentumOps(g))+
+		m.psTime(kernel.StepMomentumOps(g)), func() {
+		kernel.Hydrostatic(g, s, p, c)
+		kernel.ComputeGMomentum(g, s, p, c)
+		kernel.StepMomentum(g, s, p, c)
+	})
 	// ---- DS: diagnostic step (surface pressure) ----
-	rhs := m.Solver.BuildRHS(m.S, p.Dt, &m.C)
-	m.Solver.Solve(m.S.Ps, rhs, &m.C)
-	solver.CorrectVelocities(m.G, m.S, p.Dt, &m.C)
-	kernel.Continuity(m.G, m.S, &m.C)
+	var rhs *field.F2
+	m.exec(m.dsTime(solver.BuildRHSOps(g)), func() {
+		rhs = m.Solver.BuildRHS(s, p.Dt, c)
+	})
+	m.Solver.Solve(s.Ps, rhs, c)
+	m.exec(m.dsTime(solver.CorrectVelocitiesOps(g))+
+		m.psTime(kernel.ContinuityOps(g)), func() {
+		solver.CorrectVelocities(g, s, p.Dt, c)
+		kernel.Continuity(g, s, c)
+	})
 	m.S.Rotate()
 	m.Steps++
 	// The step's single halo-exchange point: state for the next step.

@@ -24,6 +24,7 @@ import (
 	"hyades/internal/gcm/eos"
 	"hyades/internal/gcm/field"
 	"hyades/internal/gcm/grid"
+	"hyades/internal/units"
 )
 
 // Halo is the lateral overlap width required for single-exchange
@@ -139,6 +140,14 @@ type Counters struct {
 
 	ChargePS func(flops int64)
 	ChargeDS func(flops int64)
+
+	// TimePS/TimeDS convert a flop count into modeled processor time
+	// at the phase rates (the same conversion the charge hooks use).
+	// The parallel driver needs them to charge an offloaded phase's
+	// cost *up front*: a phase handed to the worker pool must advance
+	// the virtual clock by a duration fixed at submission time.
+	TimePS func(flops int64) units.Time
+	TimeDS func(flops int64) units.Time
 }
 
 // AddPS records prognostic-step work.
@@ -157,11 +166,72 @@ func (c *Counters) AddDS(f int64) {
 	}
 }
 
+// SuspendCharges detaches the charge hooks around an offloaded compute
+// phase whose time is charged up front (comm.Endpoint.Exec): charging
+// from inside the phase would advance virtual time off the baton.
+// Flop accumulation continues unchanged.  Returns the hooks for
+// RestoreCharges.
+func (c *Counters) SuspendCharges() (ps, ds func(int64)) {
+	ps, ds = c.ChargePS, c.ChargeDS
+	c.ChargePS, c.ChargeDS = nil, nil
+	return ps, ds
+}
+
+// RestoreCharges reattaches hooks detached by SuspendCharges.
+func (c *Counters) RestoreCharges(ps, ds func(int64)) {
+	c.ChargePS, c.ChargeDS = ps, ds
+}
+
 // Forcing adds external tendencies (wind stress, heating, the
 // atmospheric physics package) into the current G buffers.  AddingNil
 // is allowed: a nil Forcing means an unforced fluid.
 type Forcing interface {
 	AddTendencies(g *grid.Local, s *State, p *Params, c *Counters)
+}
+
+// The *Ops helpers below are the analytic flop counts of the
+// state-independent sweeps.  Each kernel accounts exactly its helper's
+// value, and the parallel driver evaluates the same helper *before*
+// running the kernel to fix the phase's modeled duration at submission
+// time.  Data-dependent routines (ConvectiveAdjust, Forcing
+// implementations with conditional terms) deliberately have no helper:
+// their cost is only known after execution, so they stay on the baton.
+
+// ComputeGTracersOps returns ComputeGTracers' flop count:
+// ~96 flops per swept cell for the twelve face-flux evaluations plus
+// the volume divisions (hand count of the loop body).
+func ComputeGTracersOps(g *grid.Local) int64 {
+	m := Halo - 1
+	return int64(g.NZ*(g.NY+2*m)*(g.NX+2*m)) * 96
+}
+
+// StepTracersOps returns StepTracers' flop count.
+func StepTracersOps(g *grid.Local) int64 {
+	m := Halo - 1
+	return int64(g.NZ*(g.NY+2*m)*(g.NX+2*m)) * 10
+}
+
+// HydrostaticOps returns Hydrostatic's flop count.
+func HydrostaticOps(g *grid.Local, p *Params) int64 {
+	m := Halo - 1
+	return int64(g.NZ*(g.NY+2*m)*(g.NX+2*m)) * int64(4+p.EOS.FlopsPerCell())
+}
+
+// ComputeGMomentumOps returns ComputeGMomentum's flop count.
+func ComputeGMomentumOps(g *grid.Local) int64 {
+	m := 1
+	return int64(g.NZ*(g.NY+2*m)*(g.NX+2*m+1)) * 110
+}
+
+// StepMomentumOps returns StepMomentum's flop count.
+func StepMomentumOps(g *grid.Local) int64 {
+	m := 1
+	return int64(g.NZ*(g.NY+2*m)*(g.NX+2*m+1)) * 16
+}
+
+// ContinuityOps returns Continuity's flop count.
+func ContinuityOps(g *grid.Local) int64 {
+	return int64(g.NZ*g.NY*g.NX) * 12
 }
 
 // abCoeffs returns the Adams-Bashforth-2 weights; the first step falls
@@ -258,9 +328,7 @@ func ComputeGTracers(g *grid.Local, s *State, p *Params, c *Counters) {
 			}
 		}
 	}
-	// ~96 flops per wet cell for the twelve face-flux evaluations plus
-	// the volume divisions (hand count of the loop body).
-	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m)) * 96)
+	c.AddPS(ComputeGTracersOps(g))
 }
 
 // StepTracers applies AB2 extrapolation and advances theta and salt on
@@ -280,7 +348,7 @@ func StepTracers(g *grid.Local, s *State, p *Params, c *Counters) {
 			}
 		}
 	}
-	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m)) * 10)
+	c.AddPS(StepTracersOps(g))
 }
 
 // Hydrostatic integrates buoyancy downward into the hydrostatic
@@ -304,7 +372,7 @@ func Hydrostatic(g *grid.Local, s *State, p *Params, c *Counters) {
 			}
 		}
 	}
-	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m)) * int64(4+p.EOS.FlopsPerCell()))
+	c.AddPS(HydrostaticOps(g, p))
 }
 
 // ComputeGMomentum evaluates the velocity tendencies on margin
@@ -395,7 +463,7 @@ func ComputeGMomentum(g *grid.Local, s *State, p *Params, c *Counters) {
 			}
 		}
 	}
-	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m+1)) * 110)
+	c.AddPS(ComputeGMomentumOps(g))
 }
 
 // vertLap is the vertical friction term with free-slip at the top and
@@ -453,7 +521,7 @@ func StepMomentum(g *grid.Local, s *State, p *Params, c *Counters) {
 			}
 		}
 	}
-	c.AddPS(int64(g.NZ*(g.NY+2*m)*(g.NX+2*m+1)) * 16)
+	c.AddPS(StepMomentumOps(g))
 }
 
 // Continuity diagnoses w from the non-divergence constraint (paper
@@ -478,7 +546,7 @@ func Continuity(g *grid.Local, s *State, c *Counters) {
 			}
 		}
 	}
-	c.AddPS(int64(g.NZ*g.NY*g.NX) * 12)
+	c.AddPS(ContinuityOps(g))
 }
 
 // ConvectiveAdjust removes static instability by mixing adjacent

@@ -53,6 +53,9 @@ type Solver struct {
 	// operator diagonal (also the Jacobi preconditioner).
 	tW, tS, diag *field.F2
 	r, z, p, q   *field.F2
+	// rhs is the reusable right-hand-side buffer BuildRHS returns —
+	// scratch, not state, so one allocation serves every step.
+	rhs *field.F2
 
 	// LastIters and LastResidual report the most recent solve.
 	LastIters    int
@@ -73,6 +76,7 @@ func New(g *grid.Local, h *tile.Halo, tol float64, maxIter int) *Solver {
 	sv.z = field.NewF2(nx, ny, 1)
 	sv.p = field.NewF2(nx, ny, 1)
 	sv.q = field.NewF2(nx, ny, 1)
+	sv.rhs = field.NewF2(nx, ny, 1)
 	// Transmissibilities on faces [0..nx] x [0..ny] (one halo row).
 	for j := -1; j <= ny; j++ {
 		dx, dy := g.DXC(j), g.DYC(j)
@@ -90,11 +94,55 @@ func New(g *grid.Local, h *tile.Halo, tol float64, maxIter int) *Solver {
 	return sv
 }
 
+// The *Ops helpers mirror each local routine's exact flop accounting;
+// the parallel driver uses them to fix an offloaded segment's modeled
+// duration at submission time (see exec).
+
+// BuildRHSOps returns BuildRHS's flop count.
+func BuildRHSOps(g *grid.Local) int64 {
+	return int64(g.NX*g.NY) * int64(12*g.NZ+6)
+}
+
+// ApplyOps returns Apply's flop count.
+func ApplyOps(g *grid.Local) int64 {
+	return int64(g.NX*g.NY) * 12
+}
+
+// CorrectVelocitiesOps returns CorrectVelocities' flop count.
+func CorrectVelocitiesOps(g *grid.Local) int64 {
+	return int64(g.NZ*(g.NY+1)*(g.NX+1)) * 8
+}
+
+// precondOps returns the selected preconditioner's flop count.
+func (sv *Solver) precondOps() int64 {
+	if sv.Pre == PrecondJacobi {
+		return int64(sv.G.NX * sv.G.NY)
+	}
+	return int64(sv.G.NX*sv.G.NY) * 10
+}
+
+// exec runs a local solver segment — pure per-tile compute of known
+// flop count — off the DES baton through the endpoint's Exec, with the
+// charge hooks suspended (the time is charged up front instead).
+// Without a time converter (pure numerics runs) the segment runs
+// inline under whatever hooks are installed.
+func (sv *Solver) exec(c *kernel.Counters, flops int64, fn func()) {
+	if c.TimeDS == nil {
+		fn()
+		return
+	}
+	ps, ds := c.SuspendCharges()
+	sv.H.EP.Exec(c.TimeDS(flops), fn)
+	c.RestoreCharges(ps, ds)
+}
+
 // BuildRHS computes div(U*)/dt from the provisional velocities into a
-// fresh field.  Land columns get zero.
+// reused scratch field (valid until the next BuildRHS call).  Land
+// columns get zero.
 func (sv *Solver) BuildRHS(s *kernel.State, dt float64, c *kernel.Counters) *field.F2 {
 	g := sv.G
-	b := field.NewF2(g.NX, g.NY, 1)
+	b := sv.rhs
+	b.Fill(0)
 	for j := 0; j < g.NY; j++ {
 		dy := g.DYC(j)
 		for i := 0; i < g.NX; i++ {
@@ -147,19 +195,21 @@ func (sv *Solver) Solve(x, b *field.F2, c *kernel.Counters) int {
 	g := sv.G
 	// r = b - A(x)
 	sv.H.Update2(x, 1)
-	sv.Apply(x, sv.q, c)
-	for j := 0; j < g.NY; j++ {
-		for i := 0; i < g.NX; i++ {
-			if sv.diag.At(i, j) == 0 {
-				sv.r.Set(i, j, 0)
-				continue
+	sv.exec(c, ApplyOps(g)+int64(g.NX*g.NY)+sv.precondOps(), func() {
+		sv.Apply(x, sv.q, c)
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				if sv.diag.At(i, j) == 0 {
+					sv.r.Set(i, j, 0)
+					continue
+				}
+				sv.r.Set(i, j, b.At(i, j)-sv.q.At(i, j))
 			}
-			sv.r.Set(i, j, b.At(i, j)-sv.q.At(i, j))
 		}
-	}
-	c.AddDS(int64(g.NX * g.NY))
-	sv.precondition(sv.r, sv.z, c)
-	sv.p.CopyFrom(sv.z)
+		c.AddDS(int64(g.NX * g.NY))
+		sv.precondition(sv.r, sv.z, c)
+		sv.p.CopyFrom(sv.z)
+	})
 	rz := sv.dot(sv.r, sv.z, c)
 	rz0 := rz
 	iters := 0
@@ -173,29 +223,35 @@ func (sv *Solver) Solve(x, b *field.F2, c *kernel.Counters) int {
 		// preconditioner slot.
 		sv.H.Update2(sv.p, 1)
 		sv.H.Update2(sv.r, 1)
-		sv.Apply(sv.p, sv.q, c)
+		sv.exec(c, ApplyOps(g), func() {
+			sv.Apply(sv.p, sv.q, c)
+		})
 		pq := sv.dot(sv.p, sv.q, c) // global sum 1
 		if pq == 0 {
 			break
 		}
 		alpha := rz / pq
-		for j := 0; j < g.NY; j++ {
-			for i := 0; i < g.NX; i++ {
-				x.Add(i, j, alpha*sv.p.At(i, j))
-				sv.r.Add(i, j, -alpha*sv.q.At(i, j))
+		sv.exec(c, int64(g.NX*g.NY)*4+sv.precondOps(), func() {
+			for j := 0; j < g.NY; j++ {
+				for i := 0; i < g.NX; i++ {
+					x.Add(i, j, alpha*sv.p.At(i, j))
+					sv.r.Add(i, j, -alpha*sv.q.At(i, j))
+				}
 			}
-		}
-		c.AddDS(int64(g.NX*g.NY) * 4)
-		sv.precondition(sv.r, sv.z, c)
+			c.AddDS(int64(g.NX*g.NY) * 4)
+			sv.precondition(sv.r, sv.z, c)
+		})
 		rzNew := sv.dot(sv.r, sv.z, c) // global sum 2
 		beta := rzNew / rz
 		rz = rzNew
-		for j := 0; j < g.NY; j++ {
-			for i := 0; i < g.NX; i++ {
-				sv.p.Set(i, j, sv.z.At(i, j)+beta*sv.p.At(i, j))
+		sv.exec(c, int64(g.NX*g.NY)*2, func() {
+			for j := 0; j < g.NY; j++ {
+				for i := 0; i < g.NX; i++ {
+					sv.p.Set(i, j, sv.z.At(i, j)+beta*sv.p.At(i, j))
+				}
 			}
-		}
-		c.AddDS(int64(g.NX*g.NY) * 2)
+			c.AddDS(int64(g.NX*g.NY) * 2)
+		})
 	}
 	sv.H.Update2(x, 1)
 	sv.LastIters = iters

@@ -13,9 +13,11 @@ import (
 // shared state without locks.  A raw goroutine escapes that discipline
 // — it races with the holder of the baton and injects host-scheduler
 // nondeterminism into virtual time.  Concurrency in simulation code
-// must go through Engine.Spawn; the single legitimate raw goroutine
-// (the kernel's own baton launch in des.Spawn) carries the
-// //lint:allow nogoroutine annotation.
+// must go through Engine.Spawn; the two legitimate raw-goroutine sites
+// — the kernel's own baton launch in des.Spawn and the compute-offload
+// worker launch in des.NewPool, whose workers synchronize with the
+// baton through task/done channels — carry the //lint:allow nogoroutine
+// annotation.
 var Nogoroutine = &analysis.Analyzer{
 	Name: "nogoroutine",
 	Doc:  "forbid raw go statements in sim-core packages; use Engine.Spawn",

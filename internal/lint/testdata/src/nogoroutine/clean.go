@@ -13,3 +13,20 @@ func goodAllowed() {
 	go close(done)
 	<-done
 }
+
+// goodPool is the worker-pool pattern: the second sanctioned launch
+// site.  Workers drain a task channel and signal completion over a
+// done channel, so the baton re-establishes happens-before by waiting
+// on done before simulation state becomes observable.
+func goodPool(n int) chan func() {
+	tasks := make(chan func())
+	for i := 0; i < n; i++ {
+		//lint:allow nogoroutine fixture double of the compute-offload worker launch
+		go func() {
+			for fn := range tasks {
+				fn()
+			}
+		}()
+	}
+	return tasks
+}

@@ -15,3 +15,18 @@ func badFuncLit(work func()) {
 		work()
 	}()
 }
+
+// badPool shows that the worker-pool shape is NOT sanctioned by shape
+// alone: without the //lint:allow annotation a pool-style launch is
+// still flagged.
+func badPool(n int) chan func() {
+	tasks := make(chan func())
+	for i := 0; i < n; i++ {
+		go func() { // want `raw go statement escapes the coroutine baton`
+			for fn := range tasks {
+				fn()
+			}
+		}()
+	}
+	return tasks
+}

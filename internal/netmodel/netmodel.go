@@ -191,6 +191,17 @@ func (ep *Endpoint) Busy(d units.Time) {
 	ep.stats.ComputeTime += d
 }
 
+// Exec implements comm.Endpoint.  The commodity-interconnect clusters
+// attach no worker pool, so the phase runs inline with the same
+// virtual footprint as Busy.
+func (ep *Endpoint) Exec(d units.Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	ep.proc.Exec(d, fn)
+	ep.stats.ComputeTime += d
+}
+
 // msgCost returns the per-side software cost for a message size.
 func (c *Cluster) msgCost(n int) units.Time {
 	if n <= 16 && c.Prm.SmallMessage > 0 {

@@ -249,6 +249,12 @@ func (n *NIU) relAdmit(pkt *arctic.Packet) bool {
 	}
 }
 
+// relAckPayload is the shared wire padding of every ACK packet.  The
+// acknowledgement itself rides in the out-of-band RelHeader; the
+// payload words are never read and nothing in the stack mutates packet
+// payloads, so all ACKs can alias one zero buffer.
+var relAckPayload = make([]uint32, arctic.MinPayloadWords)
+
 // sendAck injects a cumulative acknowledgement for stream (dst's view:
 // this endpoint, chan) as a minimal high-priority packet.  ACKs are
 // themselves unsequenced and unprotected: a lost ACK is recovered by
@@ -256,7 +262,7 @@ func (n *NIU) relAdmit(pkt *arctic.Packet) bool {
 func (n *NIU) sendAck(dst int, ch arctic.Priority, ackSeq uint64) {
 	ack := &arctic.Packet{
 		Pri:     arctic.High,
-		Payload: make([]uint32, arctic.MinPayloadWords),
+		Payload: relAckPayload,
 		Rel:     &arctic.RelHeader{Ack: true, AckSeq: ackSeq, Chan: ch},
 	}
 	n.fab.RouteFor(ack, n.ep, dst)

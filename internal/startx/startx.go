@@ -200,6 +200,8 @@ func (n *NIU) PIORecvCost(payloadWords int) units.Time {
 
 // PIOSend transmits a PIO-mode message, stalling the calling processor
 // for the mmap-write overhead.  The payload must be 2..22 words.
+// Ownership of words transfers to the NIU (the register writes consume
+// it); callers must pass a buffer they will not mutate afterwards.
 func (n *NIU) PIOSend(p *des.Proc, dst int, tag int, words []uint32, pri arctic.Priority) {
 	if len(words) < arctic.MinPayloadWords || len(words) > arctic.MaxPayloadWords {
 		panic(fmt.Sprintf("startx: PIO payload %d words", len(words)))
@@ -211,7 +213,7 @@ func (n *NIU) PIOSend(p *des.Proc, dst int, tag int, words []uint32, pri arctic.
 	pkt := &arctic.Packet{
 		Pri:     pri,
 		Tag:     uint16(tag),
-		Payload: append([]uint32(nil), words...),
+		Payload: words,
 	}
 	n.fab.RouteFor(pkt, n.ep, dst)
 	n.eng.Schedule(n.cfg.TxLatency, func() { n.inject(pkt) })
