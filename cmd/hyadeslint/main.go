@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"hyades/internal/lint"
+	"hyades/internal/lint/allocbudget"
 	"hyades/internal/lint/analysis"
 	"hyades/internal/lint/emit"
 	"hyades/internal/lint/load"
@@ -47,17 +48,31 @@ func main() {
 
 // options are the standalone-mode switches.
 type options struct {
-	jsonOut  bool
-	sarifOut bool
-	fix      bool
-	dryRun   bool
+	jsonOut     bool
+	sarifOut    bool
+	fix         bool
+	dryRun      bool
+	writeBudget bool
+	analyzers   map[string]bool // nil: the full applicable suite
 }
 
 func run(args []string) int {
 	var patterns []string
 	var cfgFile string
 	var opt options
-	for _, arg := range args {
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		// Value flags accept both "-flag value" and "-flag=value".
+		value := func() (string, bool) {
+			if j := strings.IndexByte(arg, '='); j >= 0 {
+				return arg[j+1:], true
+			}
+			if i+1 < len(args) {
+				i++
+				return args[i], true
+			}
+			return "", false
+		}
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
 			return printVersion()
@@ -74,6 +89,39 @@ func run(args []string) int {
 			opt.fix = true
 		case arg == "-n" || arg == "--n":
 			opt.dryRun = true
+		case arg == "-list" || arg == "--list":
+			for _, a := range lint.Analyzers {
+				fmt.Println(a.Name)
+			}
+			return 0
+		case arg == "-writebudget" || arg == "--writebudget":
+			opt.writeBudget = true
+		case strings.HasPrefix(arg, "-analyzers") || strings.HasPrefix(arg, "--analyzers"):
+			v, ok := value()
+			if !ok {
+				fmt.Fprintln(os.Stderr, "hyadeslint: -analyzers needs a comma-separated list (see -list)")
+				return 2
+			}
+			byName := map[string]bool{}
+			for _, a := range lint.Analyzers {
+				byName[a.Name] = true
+			}
+			opt.analyzers = map[string]bool{}
+			for _, name := range strings.Split(v, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				if !byName[name] {
+					fmt.Fprintf(os.Stderr, "hyadeslint: unknown analyzer %q (see -list)\n", name)
+					return 2
+				}
+				opt.analyzers[name] = true
+			}
+			if len(opt.analyzers) == 0 {
+				fmt.Fprintln(os.Stderr, "hyadeslint: -analyzers selected nothing")
+				return 2
+			}
 		case arg == "-h" || arg == "-help" || arg == "--help":
 			usage()
 			return 0
@@ -96,12 +144,15 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hyadeslint [-json|-sarif] [-fix [-n]] <package patterns>\n")
+	fmt.Fprintf(os.Stderr, "usage: hyadeslint [-json|-sarif] [-fix [-n]] [-analyzers a,b] [-writebudget] <package patterns>\n")
 	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which hyadeslint) <packages>\n\nflags:\n")
-	fmt.Fprintf(os.Stderr, "  -json   emit findings as JSON\n")
-	fmt.Fprintf(os.Stderr, "  -sarif  emit findings as SARIF 2.1.0\n")
-	fmt.Fprintf(os.Stderr, "  -fix    apply suggested fixes in place\n")
-	fmt.Fprintf(os.Stderr, "  -n      with -fix: dry run, modify nothing\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "  -json         emit findings as JSON\n")
+	fmt.Fprintf(os.Stderr, "  -sarif        emit findings as SARIF 2.1.0\n")
+	fmt.Fprintf(os.Stderr, "  -fix          apply suggested fixes in place\n")
+	fmt.Fprintf(os.Stderr, "  -n            with -fix: dry run, modify nothing\n")
+	fmt.Fprintf(os.Stderr, "  -analyzers    run only this comma-separated subset\n")
+	fmt.Fprintf(os.Stderr, "  -list         print the analyzer names and exit\n")
+	fmt.Fprintf(os.Stderr, "  -writebudget  rewrite lint/allocbudget.json with measured counts\n\nanalyzers:\n")
 	for _, a := range lint.Analyzers {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}
@@ -138,6 +189,7 @@ func runStandalone(patterns []string, opt options) int {
 	}
 	status := 0
 	var all []analysis.Diagnostic
+	budget := &allocbudget.Budget{Packages: map[string]int{}}
 	for _, dir := range dirs {
 		path, err := loader.ImportPathFor(dir)
 		if err != nil {
@@ -158,13 +210,56 @@ func runStandalone(patterns []string, opt options) int {
 			status = 2
 			continue
 		}
-		diags, err := lint.Check(pkg)
+		as := lint.AnalyzersFor(path)
+		ratcheted := false
+		for _, a := range as {
+			if a == lint.Hotalloc {
+				ratcheted = true
+			}
+		}
+		if opt.analyzers != nil {
+			kept := as[:0:0]
+			for _, a := range as {
+				if opt.analyzers[a.Name] {
+					kept = append(kept, a)
+				}
+			}
+			as = kept
+		}
+		// The module context (call graph + summaries over the import
+		// closure) is built only when a selected analyzer consults it.
+		var m *lint.Module
+		for _, a := range as {
+			if lint.Interprocedural[a] {
+				m = lint.ModuleFor(pkg)
+				break
+			}
+		}
+		if opt.writeBudget && ratcheted {
+			if m == nil {
+				m = lint.ModuleFor(pkg)
+			}
+			budget.Packages[path] = lint.MeasureAlloc(pkg, m)
+		}
+		diags, err := lint.CheckWith(pkg, as, m)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
 			status = 2
 			continue
 		}
 		all = append(all, diags...)
+	}
+	if opt.writeBudget && status == 0 {
+		path := filepath.Join(loader.ModuleRoot, "lint", "allocbudget.json")
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			return 2
+		}
+		if err := budget.Write(path); err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "hyadeslint: wrote %s (%d packages)\n", path, len(budget.Packages))
 	}
 	findings := emit.Normalize(emit.Findings(loader.Fset, loader.ModuleRoot, all))
 	if opt.fix {

@@ -41,6 +41,38 @@ func capture(t *testing.T, fn func()) string {
 	return <-done
 }
 
+// captureStderr runs fn with os.Stderr redirected and returns what it
+// wrote (vet mode reports findings on stderr, matching vet).
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	defer func() {
+		os.Stderr = old
+	}()
+	fn()
+	w.Close()
+	os.Stderr = old
+	return <-done
+}
+
 func moduleRoot(t *testing.T) string {
 	t.Helper()
 	root, err := load.FindModuleRoot(".")
@@ -90,6 +122,71 @@ func TestScratchVetUnit(t *testing.T) {
 	}
 	if status := run([]string{cfgPath}); status != 1 {
 		t.Fatalf("vet-unit exit status = %d, want 1", status)
+	}
+}
+
+// TestCrossModeAgreement is the acceptance test for the
+// interprocedural upgrade: the seeded fixture (a wall-clock read two
+// helper frames below an event-path function, and a Proc.Exec closure
+// that sends) must be flagged with its full call chain, and the
+// standalone driver and the go-vet unit protocol must produce the
+// identical ordered finding list for it.
+func TestCrossModeAgreement(t *testing.T) {
+	root := moduleRoot(t)
+
+	var standaloneStatus int
+	standalone := capture(t, func() {
+		standaloneStatus = run([]string{"./internal/des/testdata/ipa"})
+	})
+	if standaloneStatus != 1 {
+		t.Fatalf("standalone status = %d, want 1\n%s", standaloneStatus, standalone)
+	}
+
+	dir := filepath.Join(root, "internal", "des", "testdata", "ipa")
+	cfg := map[string]interface{}{
+		"ID":         "hyades/internal/des/testdata/ipa",
+		"Compiler":   "source",
+		"Dir":        dir,
+		"ImportPath": "hyades/internal/des/testdata/ipa",
+		"GoVersion":  "go1.22",
+		"GoFiles":    []string{filepath.Join(dir, "ipa.go")},
+		"VetxOutput": filepath.Join(t.TempDir(), "ipa.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var vetStatus int
+	vet := captureStderr(t, func() {
+		vetStatus = run([]string{cfgPath})
+	})
+	if vetStatus != 1 {
+		t.Fatalf("vet-unit status = %d, want 1\n%s", vetStatus, vet)
+	}
+
+	// Vet mode keeps absolute paths (cmd/go rewrites them); relativize
+	// to the module root, after which the two outputs must be
+	// byte-identical — same findings, same order, same dedup.
+	vet = strings.ReplaceAll(vet, root+string(filepath.Separator), "")
+	if standalone != vet {
+		t.Errorf("modes disagree\nstandalone:\n%s\nvet:\n%s", standalone, vet)
+	}
+
+	// The seeded violations, with their full chains.
+	for _, want := range []string{
+		"wallutil.Stamp (wallutil.go:11) -> wallutil.helperA (wallutil.go:13) -> wallutil.helperB (wallutil.go:15) -> time.Now",
+		"call reaches a wall-clock/randomness source outside the simulation core",
+		"offloaded Exec phase is not engine-pure: it reaches a message send",
+		"(detsource)",
+		"(execpure)",
+	} {
+		if !strings.Contains(standalone, want) {
+			t.Errorf("missing %q in findings:\n%s", want, standalone)
+		}
 	}
 }
 

@@ -1,0 +1,15 @@
+// Package wallutil is the helper half of the interprocedural
+// acceptance fixture (see internal/des/testdata/ipa): a wall-clock
+// read two call frames below the exported entry point, in a package
+// outside the simulation core.  Nothing under testdata is walked by
+// ./... patterns; the fixture is loaded only by explicit dir.
+package wallutil
+
+import "time"
+
+// Stamp is what event-path code calls; the clock is two frames down.
+func Stamp() int64 { return helperA() }
+
+func helperA() int64 { return helperB() }
+
+func helperB() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,35 @@
+// Package ipa is the injected interprocedural acceptance fixture: an
+// event-path package (its import path is under internal/des, so the
+// sim-core rules apply) with two seeded violations that are invisible
+// to intraprocedural analysis —
+//
+//   - Tick reaches time.Now through two helper frames in another
+//     package (detsource must report the full chain), and
+//   - Offload hands des.Proc.Exec a closure that sends on a mailbox
+//     (execpure must reject the phase).
+//
+// cmd/hyadeslint's cross-mode test runs this package through the
+// standalone driver and the go-vet unit protocol and requires
+// byte-identical findings.  testdata directories are excluded from
+// ./... pattern walks, so the seeded violations never taint the real
+// tree's clean run.
+package ipa
+
+import (
+	"hyades/cmd/hyadeslint/testdata/wallutil"
+	"hyades/internal/des"
+)
+
+var last int64
+
+// Tick is event-path code whose wall-clock read hides two frames below
+// a call into another package.
+func Tick() {
+	last = wallutil.Stamp()
+}
+
+// Offload hands the pool a phase that communicates: the send blocks on
+// virtual time a worker cannot advance.
+func Offload(p *des.Proc, m *des.Mailbox[int]) {
+	p.Exec(0, func() { m.Send(1) })
+}

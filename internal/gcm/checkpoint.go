@@ -74,7 +74,10 @@ func (m *Model) Restore(r io.Reader) error {
 	m.Steps = int(h[6])
 	m.S.SetABCursor(int(h[7]), m.Steps > 0)
 	// Halos are not stored; bring them current so the next step sees a
-	// consistent overlap region.
+	// consistent overlap region.  A header-validation error (including
+	// the rank check) aborts the whole restart; ranks cannot diverge
+	// into the exchange.
+	//lint:allow commlock restore errors abort the run, ranks cannot diverge here
 	m.exchangeState()
 	return nil
 }

@@ -1,0 +1,63 @@
+// Package allocbudget reads and writes the committed hot-path
+// allocation budget (lint/allocbudget.json): the per-package count of
+// statically visible heap-allocation sites the event path is allowed.
+//
+// The file is a ratchet, not a target: hotalloc fails CI when a
+// package's measured count exceeds its budget, so allocation
+// regressions cannot land silently, and lowering a budget to the new
+// measured count locks in each optimization.  The encoding is
+// byte-stable (sorted keys, fixed indentation, trailing newline) so
+// regenerating an unchanged budget is a no-op in the diff.
+package allocbudget
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Budget is the committed per-package allocation-site allowance.
+type Budget struct {
+	// Packages maps import path -> allowed surviving allocation sites.
+	// A package absent from the map has budget zero.
+	Packages map[string]int `json:"packages"`
+}
+
+// Load reads a budget file.  A missing file yields an empty budget
+// (every package at zero), which is the strictest possible ratchet.
+func Load(path string) (*Budget, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Budget{Packages: map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("allocbudget: %s: %v", path, err)
+	}
+	if b.Packages == nil {
+		b.Packages = map[string]int{}
+	}
+	return &b, nil
+}
+
+// Marshal renders the budget byte-stably: encoding/json sorts map
+// keys, two-space indentation, trailing newline.
+func (b *Budget) Marshal() []byte {
+	if b.Packages == nil {
+		b.Packages = map[string]int{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		// A map[string]int cannot fail to marshal.
+		panic(err)
+	}
+	return append(data, '\n')
+}
+
+// Write saves the budget to path.
+func (b *Budget) Write(path string) error {
+	return os.WriteFile(path, b.Marshal(), 0o644)
+}

@@ -1,0 +1,60 @@
+package allocbudget
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTripByteStable(t *testing.T) {
+	b := &Budget{Packages: map[string]int{
+		"hyades/internal/startx": 12,
+		"hyades/internal/arctic": 7,
+		"hyades/internal/des":    3,
+		"hyades/internal/comm":   25,
+	}}
+	first := b.Marshal()
+	path := filepath.Join(t.TempDir(), "allocbudget.json")
+	if err := b.Write(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	second := loaded.Marshal()
+	if !bytes.Equal(first, second) {
+		t.Errorf("round trip not byte-stable:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	// Keys must come out sorted regardless of insertion order, and the
+	// file must end with exactly one newline.
+	if !bytes.HasSuffix(first, []byte("}\n")) || bytes.HasSuffix(first, []byte("\n\n")) {
+		t.Errorf("marshal tail not canonical: %q", first[len(first)-4:])
+	}
+	arctic := bytes.Index(first, []byte("arctic"))
+	startx := bytes.Index(first, []byte("startx"))
+	if arctic < 0 || startx < 0 || arctic > startx {
+		t.Errorf("keys not sorted:\n%s", first)
+	}
+}
+
+func TestLoadMissingIsEmpty(t *testing.T) {
+	b, err := Load(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing file should load as empty, got %v", err)
+	}
+	if len(b.Packages) != 0 {
+		t.Errorf("missing file budget = %v, want empty", b.Packages)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Errorf("garbage budget file loaded without error")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"testing"
 
+	"hyades/internal/lint"
 	"hyades/internal/lint/analysis"
 	"hyades/internal/lint/load"
 )
@@ -70,7 +71,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 			t.Errorf("%s: %v", pkgpath, err)
 			continue
 		}
-		diags, err := analysis.RunPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		diags, err := analysis.RunPassMod(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, lint.ModuleFor(pkg))
 		if err != nil {
 			t.Errorf("%s: %v", pkgpath, err)
 			continue

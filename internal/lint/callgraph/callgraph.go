@@ -1,0 +1,649 @@
+// Package callgraph builds a whole-module, CHA-style call graph over
+// the packages loaded by internal/lint/load, using only the standard
+// library.
+//
+// The graph is the substrate of the interprocedural analyzers: a Node
+// per function body (declared functions and methods, plus every
+// function literal), and per-body call Sites resolved three ways:
+//
+//   - static calls (package functions, concrete methods, immediately
+//     invoked literals) resolve to exactly the named body;
+//   - interface method calls resolve by class-hierarchy analysis: every
+//     method of that name on a named type in the analyzed set that
+//     implements the receiver interface is a possible callee;
+//   - calls through func values resolve conservatively to every
+//     *address-taken* body with an identical signature.  A function
+//     that is only ever called directly can never be the target of a
+//     func value, so it is excluded from the candidate set.
+//
+// Over-approximation is deliberate: the analyzers built on top enforce
+// absence properties (no wall clock, no collectives, no allocation
+// reachable from the event path), so extra edges can only cause false
+// positives — auditable with //lint:allow — never missed violations
+// within the analyzed set.  What the graph cannot see is code outside
+// the set: standard-library bodies (edges stop at the declared object)
+// and implementations of an interface living in packages that are not
+// part of the closure under analysis.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hyades/internal/lint/load"
+)
+
+// A Node is one function body.
+type Node struct {
+	Index int
+
+	// Func is the declared function or method object; nil for
+	// literals.
+	Func *types.Func
+	// Lit is the function literal; nil for declarations.
+	Lit *ast.FuncLit
+	// Decl is the declaration carrying Body; nil for literals.
+	Decl *ast.FuncDecl
+
+	// Pkg is the package the body lives in.
+	Pkg *load.Package
+	// Body is the function body (never nil: bodyless declarations get
+	// no node).
+	Body *ast.BlockStmt
+	// Parent is the enclosing body for literals (nil for literals in
+	// package-level variable initializers).
+	Parent *Node
+
+	// Sites are the call sites inside Body, excluding nested literal
+	// bodies, in source order.
+	Sites []*Site
+
+	// AddrTaken marks bodies whose function value escapes into a
+	// variable, field, argument or return — the candidate set for
+	// dynamic (func-value) call resolution.
+	AddrTaken bool
+
+	litSeq int // 1-based ordinal among the parent's literals
+}
+
+// String renders a stable human-readable name: "des.(*Engine).Schedule",
+// "gcm.Step", or "gcm.Step$1" for the first literal inside Step.
+func (n *Node) String() string {
+	if n.Lit != nil {
+		if n.Parent != nil {
+			return fmt.Sprintf("%s$%d", n.Parent.String(), n.litSeq)
+		}
+		return fmt.Sprintf("%s.func$%d", lastSegment(n.Pkg.Path), n.litSeq)
+	}
+	f := n.Func
+	name := f.Name()
+	if recv := RecvOf(f); recv != nil {
+		if named := NamedOf(recv.Type()); named != nil {
+			if _, isPtr := types.Unalias(recv.Type()).(*types.Pointer); isPtr {
+				name = "(*" + named.Obj().Name() + ")." + name
+			} else {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+	}
+	return lastSegment(n.Pkg.Path) + "." + name
+}
+
+// Pos returns the body's declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Decl.Pos()
+}
+
+// A Site is one call expression and its possible callees.
+type Site struct {
+	Call *ast.CallExpr
+	// Callees are the resolved in-set bodies, sorted by Node.Index.
+	Callees []*Node
+	// Static is the statically named callee object when the call names
+	// one (package function, concrete method, or the interface method
+	// for CHA-resolved calls); nil for func-value calls.  It may have
+	// no Node (standard library, bodyless declaration).
+	Static *types.Func
+	// Iface marks calls resolved by class-hierarchy analysis.
+	Iface bool
+	// Dynamic marks func-value calls resolved by signature matching.
+	Dynamic bool
+}
+
+// Pos returns the call position.
+func (s *Site) Pos() token.Pos { return s.Call.Pos() }
+
+// A Graph is the call graph of one package closure.
+type Graph struct {
+	// Packages is the analyzed set, sorted by import path.
+	Packages []*load.Package
+	Fset     *token.FileSet
+	// Nodes in deterministic order: package path, then source position.
+	Nodes []*Node
+
+	byFunc map[*types.Func]*Node
+	byLit  map[*ast.FuncLit]*Node
+
+	namedTypes []*types.Named // for CHA, deterministic order
+	chaMemo    map[chaKey][]*Node
+	sigIndex   map[string][]*Node // signature string -> address-taken nodes
+}
+
+type chaKey struct {
+	iface *types.Interface
+	name  string
+}
+
+// FuncNode returns the node for a declared function, or nil.  The
+// object is normalized through Origin, so instantiated generics map to
+// their declaration.
+func (g *Graph) FuncNode(f *types.Func) *Node {
+	if f == nil {
+		return nil
+	}
+	return g.byFunc[f.Origin()]
+}
+
+// LitNode returns the node for a function literal, or nil.
+func (g *Graph) LitNode(l *ast.FuncLit) *Node { return g.byLit[l] }
+
+// Build constructs the graph over pkgs.  The packages must share one
+// FileSet (the loader guarantees this).
+func Build(pkgs []*load.Package) *Graph {
+	pkgs = append([]*load.Package(nil), pkgs...)
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	g := &Graph{
+		Packages: pkgs,
+		byFunc:   map[*types.Func]*Node{},
+		byLit:    map[*ast.FuncLit]*Node{},
+		chaMemo:  map[chaKey][]*Node{},
+	}
+	if len(pkgs) > 0 {
+		g.Fset = pkgs[0].Fset
+	}
+	// Pass 1: nodes for every declared body and literal, and the named
+	// types of the set (the CHA universe).
+	for _, pkg := range pkgs {
+		g.collectNodes(pkg)
+		g.collectNamed(pkg)
+	}
+	// Pass 2: address-taken marking, set-wide, before any resolution.
+	for _, pkg := range pkgs {
+		g.markAddrTaken(pkg)
+	}
+	// Pass 3: resolve call sites.
+	g.sigIndex = map[string][]*Node{}
+	for _, n := range g.Nodes {
+		if n.AddrTaken {
+			key := g.sigKey(n)
+			g.sigIndex[key] = append(g.sigIndex[key], n)
+		}
+	}
+	for _, n := range g.Nodes {
+		g.resolveSites(n)
+	}
+	return g
+}
+
+// collectNodes creates nodes for pkg's declared bodies and all nested
+// literals, in source order.
+func (g *Graph) collectNodes(pkg *load.Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := &Node{Func: fn, Decl: d, Pkg: pkg, Body: d.Body}
+				g.addNode(n)
+				g.byFunc[fn] = n
+				g.collectLits(pkg, n, d.Body)
+			case *ast.GenDecl:
+				// Literals in package-level initializers have no
+				// enclosing body.
+				g.collectLits(pkg, nil, d)
+			}
+		}
+	}
+}
+
+// collectLits creates nodes for the function literals under root whose
+// nearest enclosing body is parent, recursing so nested literals chain
+// their parents.
+func (g *Graph) collectLits(pkg *load.Package, parent *Node, root ast.Node) {
+	count := 0
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == root {
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			count++
+			child := &Node{Lit: lit, Pkg: pkg, Body: lit.Body, Parent: parent, litSeq: count}
+			g.addNode(child)
+			g.byLit[lit] = child
+			g.collectLits(pkg, child, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (g *Graph) addNode(n *Node) {
+	n.Index = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+}
+
+// collectNamed gathers pkg's named non-interface types for CHA.
+func (g *Graph) collectNamed(pkg *load.Package) {
+	if pkg.Types == nil {
+		return
+	}
+	scope := pkg.Types.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		g.namedTypes = append(g.namedTypes, named)
+	}
+}
+
+// markAddrTaken records which bodies have their function value taken:
+// a literal not immediately invoked, or a reference to a declared
+// function outside call position.
+func (g *Graph) markAddrTaken(pkg *load.Package) {
+	for _, f := range pkg.Files {
+		// First collect the expressions in call-function position.
+		funPos := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				funPos[Unparen(call.Fun)] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if !funPos[ast.Expr(n)] {
+					if node := g.byLit[n]; node != nil {
+						node.AddrTaken = true
+					}
+				}
+			case *ast.Ident:
+				g.markFuncRef(pkg, n, funPos[ast.Expr(n)])
+			case *ast.SelectorExpr:
+				g.markFuncRef(pkg, n.Sel, funPos[ast.Expr(n)])
+			}
+			return true
+		})
+	}
+}
+
+func (g *Graph) markFuncRef(pkg *load.Package, id *ast.Ident, inCallPos bool) {
+	if inCallPos {
+		return
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if node := g.FuncNode(fn); node != nil {
+		node.AddrTaken = true
+	}
+}
+
+// sigKey renders a node's signature (receiver excluded) for dynamic
+// matching.
+func (g *Graph) sigKey(n *Node) string {
+	var sig *types.Signature
+	if n.Func != nil {
+		sig, _ = n.Func.Type().(*types.Signature)
+	} else if tv, ok := n.Pkg.Info.Types[n.Lit]; ok {
+		sig, _ = tv.Type.(*types.Signature)
+	}
+	return sigString(sig)
+}
+
+// sigString renders a signature by parameter and result types only —
+// names differ between a declaration and a func type, identity must
+// not.
+func sigString(sig *types.Signature) string {
+	if sig == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("func(")
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			b.WriteString("...")
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), nil))
+	}
+	b.WriteString(")(")
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), nil))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// resolveSites walks n's body (excluding nested literal bodies) and
+// resolves every call.
+func (g *Graph) resolveSites(n *Node) {
+	root := ast.Node(n.Body)
+	ast.Inspect(root, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if m != root && isFuncLit(m) {
+			return false // nested literal: its own node owns these sites
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if site := g.resolveCall(n.Pkg, call); site != nil {
+				n.Sites = append(n.Sites, site)
+			}
+		}
+		return true
+	})
+}
+
+func isFuncLit(n ast.Node) bool {
+	_, ok := n.(*ast.FuncLit)
+	return ok
+}
+
+// resolveCall classifies one call expression; nil for conversions and
+// builtins.
+func (g *Graph) resolveCall(pkg *load.Package, call *ast.CallExpr) *Site {
+	info := pkg.Info
+	fun := Unparen(call.Fun)
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	site := &Site{Call: call}
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		if node := g.byLit[fun]; node != nil {
+			site.Callees = []*Node{node}
+		}
+		return site
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			return nil
+		case *types.Func:
+			return g.resolveStatic(site, obj)
+		case *types.TypeName:
+			return nil // conversion through a local type name
+		}
+	case *ast.SelectorExpr:
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return g.resolveStatic(site, obj)
+		case *types.TypeName:
+			return nil
+		}
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// Generic instantiation: f[T](...) — the identifier under the
+		// index names the function.
+		if id := instantiatedIdent(fun); id != nil {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return g.resolveStatic(site, fn)
+			}
+		}
+	}
+	// Func-value call: conservative signature matching over the
+	// address-taken set.
+	site.Dynamic = true
+	if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			site.Callees = g.sigIndex[sigString(sig)]
+		}
+	}
+	return site
+}
+
+func instantiatedIdent(e ast.Expr) *ast.Ident {
+	var x ast.Expr
+	switch e := e.(type) {
+	case *ast.IndexExpr:
+		x = e.X
+	case *ast.IndexListExpr:
+		x = e.X
+	default:
+		return nil
+	}
+	switch x := Unparen(x).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// resolveStatic handles calls that name a function object: concrete
+// bodies resolve directly, interface methods by CHA.
+func (g *Graph) resolveStatic(site *Site, fn *types.Func) *Site {
+	fn = fn.Origin()
+	site.Static = fn
+	recv := RecvOf(fn)
+	if recv != nil {
+		if iface, ok := types.Unalias(recv.Type()).Underlying().(*types.Interface); ok {
+			site.Iface = true
+			site.Callees = g.implementations(iface, fn.Name())
+			return site
+		}
+	}
+	if node := g.byFunc[fn]; node != nil {
+		site.Callees = []*Node{node}
+	}
+	return site
+}
+
+// implementations returns every in-set method named name on a named
+// type satisfying iface, sorted by node index.
+func (g *Graph) implementations(iface *types.Interface, name string) []*Node {
+	key := chaKey{iface: iface, name: name}
+	if nodes, ok := g.chaMemo[key]; ok {
+		return nodes
+	}
+	var nodes []*Node
+	seen := map[*Node]bool{}
+	for _, named := range g.namedTypes {
+		var impl types.Type
+		if types.Implements(named, iface) {
+			impl = named
+		} else if p := types.NewPointer(named); types.Implements(p, iface) {
+			impl = p
+		} else {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, named.Obj().Pkg(), name)
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if node := g.FuncNode(m); node != nil && !seen[node] {
+			seen[node] = true
+			nodes = append(nodes, node)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Index < nodes[j].Index })
+	g.chaMemo[key] = nodes
+	return nodes
+}
+
+// SCCs returns the strongly connected components of the graph in
+// bottom-up (callees before callers) order — the evaluation order for
+// the summary fixpoint.  Each component's nodes are sorted by index.
+func (g *Graph) SCCs() [][]*Node {
+	// Iterative Tarjan: components complete only after all their
+	// successors, so the emission order is already bottom-up.
+	n := len(g.Nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]*Node
+	next := 0
+
+	type frame struct {
+		v    int
+		succ []int
+		pos  int
+	}
+	succsOf := func(v int) []int {
+		var out []int
+		for _, s := range g.Nodes[v].Sites {
+			for _, c := range s.Callees {
+				out = append(out, c.Index)
+			}
+		}
+		return out
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root, succ: succsOf(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.pos < len(f.succ) {
+				w := f.succ[f.pos]
+				f.pos++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succ: succsOf(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Finished v: pop frame, propagate lowlink, maybe emit SCC.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []*Node
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, g.Nodes[w])
+					if w == v {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i].Index < comp[j].Index })
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}
+
+// ---- shared type helpers (exported for the summary layer and the
+// analyzers; internal/lint keeps its own private copies for the
+// intraprocedural rules) ----
+
+// RecvOf returns fn's receiver variable, or nil.
+func RecvOf(fn *types.Func) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// NamedOf returns the named type behind t, unwrapping aliases and one
+// pointer, or nil.
+func NamedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// PkgPathIs reports whether pkg is importPath or a testdata double of
+// it (matching on the path's last segment, the convention the fixture
+// trees use).
+func PkgPathIs(pkg *types.Package, importPath string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	if p == importPath {
+		return true
+	}
+	return lastSegment(p) == lastSegment(importPath)
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Unparen strips redundant parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// PosLabel renders a short file.go:line label for messages.
+func PosLabel(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

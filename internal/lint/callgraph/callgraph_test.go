@@ -1,0 +1,170 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/load"
+)
+
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/cgfix", "cgfix")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.Errors)
+	}
+	return callgraph.Build(pkg.Closure())
+}
+
+func nodeNamed(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.String() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", name)
+	return nil
+}
+
+// siteCallees renders the callee names of n's i'th site.
+func siteCallees(n *callgraph.Node, i int) []string {
+	var out []string
+	for _, c := range n.Sites[i].Callees {
+		out = append(out, c.String())
+	}
+	return out
+}
+
+func TestInterfaceResolution(t *testing.T) {
+	g := buildFixture(t)
+	total := nodeNamed(t, g, "cgfix.TotalArea")
+	if len(total.Sites) != 1 {
+		t.Fatalf("TotalArea sites = %d, want 1", len(total.Sites))
+	}
+	site := total.Sites[0]
+	if !site.Iface {
+		t.Errorf("s.Area() not classified as interface call")
+	}
+	got := siteCallees(total, 0)
+	want := map[string]bool{"cgfix.Circle.Area": true, "cgfix.(*Square).Area": true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("CHA callees = %v, want both Area implementations", got)
+	}
+}
+
+func TestConcreteResolution(t *testing.T) {
+	g := buildFixture(t)
+	direct := nodeNamed(t, g, "cgfix.Direct")
+	if len(direct.Sites) != 1 {
+		t.Fatalf("Direct sites = %d, want 1", len(direct.Sites))
+	}
+	site := direct.Sites[0]
+	if site.Iface || site.Dynamic {
+		t.Errorf("concrete method call misclassified: iface=%v dynamic=%v", site.Iface, site.Dynamic)
+	}
+	if got := siteCallees(direct, 0); len(got) != 1 || got[0] != "cgfix.Circle.Area" {
+		t.Errorf("callees = %v, want exactly Circle.Area", got)
+	}
+}
+
+func TestFuncValueConservatism(t *testing.T) {
+	g := buildFixture(t)
+	if n := nodeNamed(t, g, "cgfix.Taken"); !n.AddrTaken {
+		t.Errorf("Taken should be address-taken (stored in var f)")
+	}
+	if n := nodeNamed(t, g, "cgfix.NotTaken"); n.AddrTaken {
+		t.Errorf("NotTaken should not be address-taken (only called directly)")
+	}
+	ct := nodeNamed(t, g, "cgfix.CallThrough")
+	if len(ct.Sites) != 1 || !ct.Sites[0].Dynamic {
+		t.Fatalf("CallThrough should have one dynamic site, got %+v", ct.Sites)
+	}
+	got := siteCallees(ct, 0)
+	for _, name := range got {
+		if name == "cgfix.NotTaken" {
+			t.Errorf("dynamic call resolved to non-address-taken NotTaken")
+		}
+	}
+	found := false
+	for _, name := range got {
+		if name == "cgfix.Taken" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dynamic call missed address-taken Taken; callees = %v", got)
+	}
+}
+
+func TestSCCOrder(t *testing.T) {
+	g := buildFixture(t)
+	even := nodeNamed(t, g, "cgfix.IsEven")
+	odd := nodeNamed(t, g, "cgfix.IsOdd")
+	parity := nodeNamed(t, g, "cgfix.Parity")
+	sccOf := map[*callgraph.Node]int{}
+	for i, comp := range g.SCCs() {
+		for _, n := range comp {
+			sccOf[n] = i
+		}
+	}
+	if sccOf[even] != sccOf[odd] {
+		t.Errorf("IsEven and IsOdd in different SCCs (%d, %d)", sccOf[even], sccOf[odd])
+	}
+	if !(sccOf[even] < sccOf[parity]) {
+		t.Errorf("callee SCC (%d) not emitted before caller SCC (%d)", sccOf[even], sccOf[parity])
+	}
+	// Every callee's SCC index must be <= the caller's (bottom-up).
+	for _, n := range g.Nodes {
+		for _, s := range n.Sites {
+			for _, c := range s.Callees {
+				if sccOf[c] > sccOf[n] {
+					t.Errorf("%s calls %s but callee SCC %d after caller SCC %d",
+						n, c, sccOf[c], sccOf[n])
+				}
+			}
+		}
+	}
+}
+
+func TestLiteralNodes(t *testing.T) {
+	g := buildFixture(t)
+	outer := nodeNamed(t, g, "cgfix.Outer")
+	lit := nodeNamed(t, g, "cgfix.Outer$1")
+	if lit.Parent != outer {
+		t.Errorf("literal parent = %v, want Outer", lit.Parent)
+	}
+	if !lit.AddrTaken {
+		t.Errorf("stored literal should be address-taken")
+	}
+	// The literal's NotTaken call belongs to the literal, not Outer.
+	if len(outer.Sites) != 0 {
+		t.Errorf("Outer owns %d sites, want 0 (literal owns the call)", len(outer.Sites))
+	}
+	if got := siteCallees(lit, 0); len(lit.Sites) != 1 || got[0] != "cgfix.NotTaken" {
+		t.Errorf("literal sites = %v", got)
+	}
+}
+
+func TestDeterministicRebuild(t *testing.T) {
+	g1 := buildFixture(t)
+	g2 := buildFixture(t)
+	if len(g1.Nodes) != len(g2.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(g1.Nodes), len(g2.Nodes))
+	}
+	for i := range g1.Nodes {
+		if g1.Nodes[i].String() != g2.Nodes[i].String() {
+			t.Fatalf("node %d differs: %s vs %s", i, g1.Nodes[i], g2.Nodes[i])
+		}
+		if len(g1.Nodes[i].Sites) != len(g2.Nodes[i].Sites) {
+			t.Fatalf("site counts differ at %s", g1.Nodes[i])
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package cgfix exercises the call-graph builder: concrete and
+// interface method resolution, func-value conservatism, recursion.
+package cgfix
+
+// Shape has two in-package implementations, one on a value receiver
+// and one on a pointer receiver.
+type Shape interface{ Area() float64 }
+
+type Circle struct{ R float64 }
+
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+type Square struct{ S float64 }
+
+func (s *Square) Area() float64 { return s.S * s.S }
+
+// TotalArea calls Area through the interface: CHA must resolve to both
+// implementations.
+func TotalArea(shapes []Shape) float64 {
+	t := 0.0
+	for _, s := range shapes {
+		t += s.Area()
+	}
+	return t
+}
+
+// Direct calls Area on a concrete value: exactly one callee.
+func Direct() float64 {
+	c := Circle{R: 1}
+	return c.Area()
+}
+
+// Taken's value escapes into a variable; NotTaken is only ever called
+// directly.  A call through a func(int) int value may reach Taken but
+// can never reach NotTaken.
+func Taken(x int) int { return x + 1 }
+
+func NotTaken(x int) int { return x - 1 }
+
+var f = Taken
+
+// CallThrough calls its func-typed parameter: the dynamic candidate
+// set is the address-taken func(int) int bodies.
+func CallThrough(g func(int) int) int { return g(2) }
+
+// UseAll keeps everything live.
+func UseAll() int { return NotTaken(CallThrough(f)) }
+
+// IsEven and IsOdd are mutually recursive: one SCC, emitted before
+// their caller Parity.
+func IsEven(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return IsOdd(n - 1)
+}
+
+func IsOdd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return IsEven(n - 1)
+}
+
+func Parity() bool { return IsEven(10) }
+
+// Outer holds a nested literal; the literal is address-taken (stored),
+// and its own call site belongs to the literal's node, not Outer's.
+func Outer() func() int {
+	inner := func() int { return NotTaken(3) }
+	return inner
+}

@@ -78,5 +78,8 @@ func runDetsource(pass *analysis.Pass) (interface{}, error) {
 		}
 		return true
 	})
+	if m := moduleOf(pass); m != nil {
+		runDetsourceInterproc(pass, m)
+	}
 	return nil, nil
 }

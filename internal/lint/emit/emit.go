@@ -55,7 +55,9 @@ func Findings(fset *token.FileSet, root string, diags []analysis.Diagnostic) []F
 }
 
 // Normalize sorts by (file, offset, analyzer, message) and drops
-// duplicate (file, offset, analyzer) entries, keeping the first.
+// exact duplicates.  The message is part of the identity: an
+// interprocedural rule legitimately reports several distinct effects
+// at one call site, and both driver modes must keep all of them.
 func Normalize(fs []Finding) []Finding {
 	sort.SliceStable(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
@@ -74,7 +76,8 @@ func Normalize(fs []Finding) []Finding {
 	for i, f := range fs {
 		if i > 0 && f.File == out[len(out)-1].File &&
 			f.offset == out[len(out)-1].offset &&
-			f.Analyzer == out[len(out)-1].Analyzer {
+			f.Analyzer == out[len(out)-1].Analyzer &&
+			f.Message == out[len(out)-1].Message {
 			continue
 		}
 		out = append(out, f)

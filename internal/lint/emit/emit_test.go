@@ -14,7 +14,9 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 
 // sample is a fixed findings list exercising ordering (files out of
 // order, two analyzers at one position) and deduplication (an exact
-// (file, offset, analyzer) repeat that must be dropped).
+// (file, offset, analyzer, message) repeat that must be dropped;
+// same-position same-analyzer findings with distinct messages — the
+// interprocedural multi-effect case — must both survive).
 func sample() []Finding {
 	return Normalize([]Finding{
 		{File: "internal/gcm/gcm.go", Line: 88, Col: 3, Analyzer: "redorder",
@@ -24,7 +26,7 @@ func sample() []Finding {
 		{File: "internal/comm/coupled.go", Line: 41, Col: 10, Analyzer: "commlock",
 			Message: "collective Barrier is not matched on every arm of the rank-dependent condition at line 39", offset: 905},
 		{File: "internal/comm/coupled.go", Line: 41, Col: 10, Analyzer: "commlock",
-			Message: "duplicate entry that Normalize must drop", offset: 905},
+			Message: "collective Barrier is not matched on every arm of the rank-dependent condition at line 39", offset: 905},
 	})
 }
 
@@ -67,6 +69,21 @@ func TestNormalizeOrderAndDedup(t *testing.T) {
 	}
 	if fs[0].Message != "collective Barrier is not matched on every arm of the rank-dependent condition at line 39" {
 		t.Errorf("dedup kept the wrong duplicate: %q", fs[0].Message)
+	}
+}
+
+// TestNormalizeKeepsDistinctMessages: an interprocedural rule may
+// report several distinct effects at one position; dedup must only
+// drop exact repeats.
+func TestNormalizeKeepsDistinctMessages(t *testing.T) {
+	fs := Normalize([]Finding{
+		{File: "a.go", Line: 3, Col: 1, Analyzer: "execpure",
+			Message: "offloaded Exec phase is not engine-pure: it reaches a message send", offset: 40},
+		{File: "a.go", Line: 3, Col: 1, Analyzer: "execpure",
+			Message: "offloaded Exec phase is not engine-pure: it reaches a event scheduling", offset: 40},
+	})
+	if len(fs) != 2 {
+		t.Fatalf("Normalize kept %d findings, want 2 (distinct messages at one position)", len(fs))
 	}
 }
 

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/summary"
+)
+
+// Execpure enforces the des.Pool offload contract statically: a
+// function passed to des.Proc.Exec (or comm.Endpoint.Exec, or any
+// wrapper that forwards its parameter there) runs on a worker
+// goroutine OUTSIDE the coroutine baton, concurrently with other
+// ranks' phases.  Everything it transitively calls must therefore be
+// engine-pure —
+//
+//   - no engine interaction: Now, Schedule, Delay, nested Exec (the
+//     worker holds no baton; touching the engine from a worker is a
+//     data race and, with the conservative parallel engine, a
+//     determinism break);
+//   - no communication: Send/Recv/collectives block on virtual time
+//     the worker cannot advance (deadlock);
+//   - no wall-clock or global randomness (nondeterminism);
+//   - no writes to package-level state (cross-rank data race: phases
+//     of different ranks execute concurrently).
+//
+// Heap allocation is the one effect left to its own analyzer
+// (hotalloc): an allocating phase is slow, not incorrect.
+//
+// The rule resolves the offloaded function at each boundary call site:
+// a literal or named function is checked against its effect summary
+// with the full witness chain; a forwarded parameter is skipped here
+// and checked where the concrete function enters; anything else (a
+// func value loaded from a field or variable) cannot be verified and
+// is flagged as unresolvable, because an unverifiable phase is a hole
+// in the determinism contract.
+var Execpure = &analysis.Analyzer{
+	Name: "execpure",
+	Doc:  "offloaded Exec phases must be engine-pure: no comm/engine effects, no global writes",
+	Run:  runExecpure,
+}
+
+// execForbidden is every effect an offloaded phase must not have.
+const execForbidden = summary.CommEffects | summary.EngineEffects |
+	summary.WallClock | summary.GlobalWrite
+
+func runExecpure(pass *analysis.Pass) (interface{}, error) {
+	m := moduleOf(pass)
+	if m == nil {
+		return nil, nil
+	}
+	s := m.Summaries
+	for _, n := range m.packageNodes(pass.Pkg) {
+		for _, site := range n.Sites {
+			for _, j := range s.BoundaryArgs(site) {
+				if j >= len(site.Call.Args) {
+					continue
+				}
+				checkExecArg(pass, s, n, unparen(site.Call.Args[j]))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkExecArg verifies one function value entering an offload
+// boundary.
+func checkExecArg(pass *analysis.Pass, s *summary.Set, n *callgraph.Node, arg ast.Expr) {
+	info := pass.TypesInfo
+	var root *callgraph.Node
+	switch arg := arg.(type) {
+	case *ast.FuncLit:
+		root = s.Graph.LitNode(arg)
+	case *ast.Ident:
+		switch obj := info.Uses[arg].(type) {
+		case *types.Func:
+			root = s.Graph.FuncNode(obj.Origin())
+		case *types.Var:
+			if s.Of(n).ParamIndex(arg) >= 0 {
+				return // forwarding: checked where the concrete func enters
+			}
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				pass.Reportf(arg.Pos(),
+					"cannot statically resolve the function offloaded to Exec (func value in variable %q); pass a literal or named function so engine-purity is checkable", arg.Name)
+			}
+			return
+		case *types.Nil:
+			return
+		default:
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[arg.Sel].(*types.Func); ok {
+			root = s.Graph.FuncNode(fn.Origin())
+			if root == nil {
+				pass.Reportf(arg.Pos(),
+					"offloaded function %s is outside the analyzed module; its engine-purity cannot be verified", fn.FullName())
+				return
+			}
+		} else {
+			pass.Reportf(arg.Pos(),
+				"cannot statically resolve the function offloaded to Exec (func value from field/selector); pass a literal or named function so engine-purity is checkable")
+			return
+		}
+	default:
+		pass.Reportf(arg.Pos(),
+			"cannot statically resolve the function offloaded to Exec; pass a literal or named function so engine-purity is checkable")
+		return
+	}
+	if root == nil {
+		return
+	}
+	bad := s.Of(root).Effects & execForbidden
+	if bad == 0 {
+		return
+	}
+	bad.Each(func(bit summary.Effect) {
+		pass.Reportf(arg.Pos(),
+			"offloaded Exec phase is not engine-pure: it reaches a %s (%s); pool workers run outside the coroutine baton, so this is a race or deadlock",
+			bit, s.ChainString(root, bit))
+	})
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+
+	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/load"
+	"hyades/internal/lint/summary"
+)
+
+// Hotalloc is the allocation ratchet for the event path.  The ROADMAP's
+// scaling target (1,024-4,096 simulated nodes) needs Exchange and
+// GlobalSum at ~zero allocations per operation; this rule makes the
+// current allocation footprint a committed number that can only go
+// down.
+//
+// For each event-path package it counts the statically visible
+// heap-allocation sites (per the summary catalogue, after escape-lite
+// suppression): the package's own sites, plus one site per call into
+// allocating code outside the event path.  Calls into other event-path
+// packages are not counted here — they are counted in the package that
+// owns them, so every site is attributed to exactly one budget line.
+//
+// The measured count is compared to lint/allocbudget.json.  At or
+// under budget the rule is silent; over budget it reports EVERY
+// unwaived site, so the report is the worklist.  Lowering a budget
+// below the measured count is how an optimization gets locked in (and
+// is exactly what the CI stage checks).  //lint:allow hotalloc waives
+// a site out of the count — the escape hatch for allocations that are
+// deliberate (error paths, one-time setup reached from the event
+// path).
+//
+// Soundness notes: the count covers the analyzed module only —
+// allocations inside the standard library (fmt, sort) are invisible,
+// as is anything behind an unresolvable func value; and escape-lite is
+// a heuristic, so a site it suppresses may still heap-allocate under a
+// weaker compiler.  The ratchet bounds regressions in what is visible;
+// the bench stage's allocs/op is the ground truth it tracks toward.
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "event-path allocation sites must not exceed the committed lint/allocbudget.json budget",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *analysis.Pass) (interface{}, error) {
+	m := moduleOf(pass)
+	if m == nil {
+		return nil, nil
+	}
+	cands := hotallocCands(m, pass.Pkg)
+	// Waived sites leave the count entirely: the budget covers what the
+	// ratchet actually tracks.
+	allowed := analysis.AllowMatcher(pass.Fset, pass.Files)
+	measured := 0
+	for _, c := range cands {
+		if !allowed(c.pos, "hotalloc") {
+			measured++
+		}
+	}
+	budget := m.Budget.Packages[pass.Pkg.Path()]
+	if measured <= budget {
+		return nil, nil
+	}
+	for _, c := range cands {
+		pass.Reportf(c.pos, "%s; package %s is over its allocation budget (%d sites measured, budget %d in %s)",
+			c.msg, pass.Pkg.Path(), measured, budget, budgetName(m))
+	}
+	return nil, nil
+}
+
+// hotallocCand is one countable allocation site with its report text.
+type hotallocCand struct {
+	pos token.Pos
+	msg string
+}
+
+// hotallocCands collects the package's countable sites: its own
+// allocation sites plus one per call into allocating code outside the
+// event path.
+func hotallocCands(m *Module, tpkg *types.Package) []hotallocCand {
+	s := m.Summaries
+	var cands []hotallocCand
+	for _, n := range m.packageNodes(tpkg) {
+		in := s.Of(n)
+		for _, a := range in.Allocs {
+			cands = append(cands, hotallocCand{
+				pos: a.Pos,
+				msg: fmt.Sprintf("event-path heap allocation in %s: %s", n, a.What),
+			})
+		}
+		for _, site := range n.Sites {
+			if s.ForwardsParam(n, site) {
+				continue
+			}
+			for _, c := range site.Callees {
+				if c.Pkg == n.Pkg || underAny(c.Pkg.Path, hotallocPackages) {
+					continue // counted in its own package (or this one)
+				}
+				if !s.Of(c).Effects.Has(summary.Alloc) {
+					continue
+				}
+				cands = append(cands, hotallocCand{
+					pos: site.Pos(),
+					msg: fmt.Sprintf("call from %s allocates outside the event path (%d reachable sites): %s",
+						n, s.ReachableAllocCount(c), s.ChainString(c, summary.Alloc)),
+				})
+				break // one candidate per call site
+			}
+		}
+	}
+	return cands
+}
+
+// MeasureAlloc returns hotalloc's measured (unwaived) site count for
+// pkg under module context m — the number the committed budget must
+// meet or exceed, and the number -writebudget records.
+func MeasureAlloc(pkg *load.Package, m *Module) int {
+	allowed := analysis.AllowMatcher(pkg.Fset, pkg.Files)
+	measured := 0
+	for _, c := range hotallocCands(m, pkg.Types) {
+		if !allowed(c.pos, "hotalloc") {
+			measured++
+		}
+	}
+	return measured
+}
+
+// budgetName renders the budget file for messages without leaking
+// absolute paths into findings (keeps output machine-stable).
+func budgetName(m *Module) string {
+	if m.BudgetPath == "" {
+		return "allocbudget.json"
+	}
+	// Last two path segments are enough to identify the file.
+	path := m.BudgetPath
+	sep := 0
+	for i := len(path) - 1; i >= 0 && sep < 2; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			sep++
+			if sep == 2 {
+				return path[i+1:]
+			}
+		}
+	}
+	return path
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"sort"
+
+	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/summary"
+)
+
+// This file holds the interprocedural extensions of the PR 1-2 rules.
+// Each rule keeps its intraprocedural core (so it still works without
+// module context) and adds a boundary pass over the call graph when
+// pass.Module carries one.
+//
+// Attribution discipline, shared by all of them: a finding is reported
+// at a call site INSIDE the pass's package, at the first frame where
+// event-path code calls out of its own package.  Same-package callees
+// are never reported — the offending helper gets its own finding (or
+// its own boundary report) in the same pass — so a chain crossing
+// several packages is reported exactly once, in the package that owns
+// the entry call site, identically in standalone and vettool modes.
+
+// staticCallee returns the single statically resolved in-graph callee
+// of site, or nil.  Interface (CHA) and func-value (signature-matched)
+// edges are excluded: their over-approximated callee sets are for the
+// summary join, not for point findings.
+func staticCallee(site *callgraph.Site) *callgraph.Node {
+	if site.Static == nil || site.Iface || site.Dynamic || len(site.Callees) != 1 {
+		return nil
+	}
+	return site.Callees[0]
+}
+
+// runDetsourceInterproc reports call sites in this package whose
+// callees outside the simulation core reach a wall-clock or global
+// randomness source.
+func runDetsourceInterproc(pass *analysis.Pass, m *Module) {
+	s := m.Summaries
+	for _, n := range m.packageNodes(pass.Pkg) {
+		for _, site := range n.Sites {
+			if s.ForwardsParam(n, site) {
+				continue
+			}
+			c := staticCallee(site)
+			if c == nil || c.Pkg == n.Pkg || underAny(c.Pkg.Path, simCorePackages) {
+				continue
+			}
+			if !s.Of(c).Effects.Has(summary.WallClock) {
+				continue
+			}
+			pass.Reportf(site.Pos(),
+				"call reaches a wall-clock/randomness source outside the simulation core, breaking determinism: %s",
+				s.ChainString(c, summary.WallClock))
+		}
+	}
+}
+
+// runSchedpastInterproc applies the schedpast argument checks to call
+// sites whose callee forwards a parameter into a Schedule delay slot.
+func runSchedpastInterproc(pass *analysis.Pass, m *Module) {
+	s := m.Summaries
+	for _, n := range m.packageNodes(pass.Pkg) {
+		for _, site := range n.Sites {
+			c := staticCallee(site)
+			if c == nil {
+				continue
+			}
+			dp := s.Of(c).DelayParams
+			if len(dp) == 0 {
+				continue
+			}
+			idxs := make([]int, 0, len(dp))
+			for j := range dp {
+				idxs = append(idxs, j)
+			}
+			sort.Ints(idxs)
+			for _, j := range idxs {
+				if j >= len(site.Call.Args) {
+					continue
+				}
+				arg := unparen(site.Call.Args[j])
+				if s.Of(n).ParamIndex(arg) >= 0 {
+					continue // forwarding further up: checked at outer sites
+				}
+				checkDelayArg(pass, s, c, j, arg)
+			}
+		}
+	}
+}
+
+// checkDelayArg applies the intraprocedural schedpast checks to one
+// argument known to flow into a Schedule delay slot.
+func checkDelayArg(pass *analysis.Pass, s *summary.Set, callee *callgraph.Node, calleeParam int, arg ast.Expr) {
+	chain := s.DelayChainString(callee, calleeParam)
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		if k := tv.Value.Kind(); (k == constant.Int || k == constant.Float) && constant.Sign(tv.Value) < 0 {
+			pass.Reportf(arg.Pos(),
+				"provably negative time %s flows into an event-schedule delay (%s): the kernel clamps it to now, silently breaking causality",
+				tv.Value.ExactString(), chain)
+		}
+		return
+	}
+	if bin, ok := arg.(*ast.BinaryExpr); ok && bin.Op == token.SUB &&
+		isTimeExpr(pass, bin.X) && isTimeExpr(pass, bin.Y) {
+		pass.Reportf(arg.Pos(),
+			"unguarded units.Time subtraction flows into an event-schedule delay (%s) and can be negative at runtime; clamp the difference to zero first",
+			chain)
+	}
+}
+
+// collectiveReach is one interprocedurally detected collective at a
+// call site: the method every rank must match, plus the witness chain.
+type collectiveReach struct {
+	method string
+	chain  string
+}
+
+// interprocCollectives returns the collectives reachable through the
+// static callee of call, for commlock's matched-arm counting.  Direct
+// Endpoint collectives are excluded (collectiveCall already matched),
+// as are callees named like collectives (the implementation-exemption
+// convention of the intraprocedural rule).
+func interprocCollectives(pass *analysis.Pass, m *Module, call *ast.CallExpr) []collectiveReach {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn := funcFor(pass.TypesInfo, id)
+	if fn == nil || collectiveNames[fn.Name()] {
+		return nil
+	}
+	node := m.Graph.FuncNode(fn.Origin())
+	if node == nil {
+		return nil
+	}
+	s := m.Summaries
+	eff := s.Of(node).Effects
+	var out []collectiveReach
+	for _, c := range []struct {
+		bit  summary.Effect
+		name string
+	}{
+		{summary.Exchange, "Exchange"},
+		{summary.GlobalSum, "GlobalSum"},
+		{summary.Barrier, "Barrier"},
+	} {
+		if eff.Has(c.bit) {
+			out = append(out, collectiveReach{method: c.name, chain: s.ChainString(node, c.bit)})
+		}
+	}
+	return out
+}

@@ -14,6 +14,14 @@
 //	commlock    — no collectives unmatched across rank-dependent branches
 //	dimcheck    — no arithmetic mixing units.Time/Bandwidth/Size dimensions
 //	redorder    — no manual float accumulations feeding GlobalSum
+//	execpure    — no comm/engine effects or global writes in Exec phases
+//	hotalloc    — no event-path allocation sites beyond the committed budget
+//
+// detsource, schedpast, commlock, execpure and hotalloc are
+// interprocedural: they run over the call graph and effect summaries
+// of the package's import closure (internal/lint/callgraph and
+// internal/lint/summary), so an effect hidden behind helper calls is
+// found and reported with its full call chain.
 //
 // Each rule can be locally waived with the annotation
 //
@@ -41,6 +49,18 @@ var Analyzers = []*analysis.Analyzer{
 	Commlock,
 	Dimcheck,
 	Redorder,
+	Execpure,
+	Hotalloc,
+}
+
+// Interprocedural marks the analyzers that consult pass.Module; a
+// driver running none of them can skip building the module context.
+var Interprocedural = map[*analysis.Analyzer]bool{
+	Detsource: true,
+	Schedpast: true,
+	Commlock:  true,
+	Execpure:  true,
+	Hotalloc:  true,
 }
 
 // simCorePackages hold simulation state or run inside the coroutine
@@ -86,6 +106,16 @@ var redorderPackages = []string{
 	"hyades/internal/gcm",
 }
 
+// hotallocPackages are the event-path packages under the allocation
+// ratchet — the code the ROADMAP's zero-alloc scaling target runs
+// through on every simulated message.
+var hotallocPackages = []string{
+	"hyades/internal/des",
+	"hyades/internal/arctic",
+	"hyades/internal/startx",
+	"hyades/internal/comm",
+}
+
 // AnalyzersFor returns the analyzers that apply to the package with the
 // given import path.  unitlit, schedpast and commlock guard call sites
 // anywhere in the module; dimcheck everywhere except package units
@@ -107,15 +137,30 @@ func AnalyzersFor(importPath string) []*analysis.Analyzer {
 	if underAny(importPath, redorderPackages) {
 		as = append(as, Redorder)
 	}
+	as = append(as, Execpure)
+	if underAny(importPath, hotallocPackages) {
+		as = append(as, Hotalloc)
+	}
 	return as
 }
 
 // Check runs every applicable analyzer over pkg and returns the merged,
-// position-sorted findings.
+// position-sorted findings, building interprocedural context from the
+// package's import closure.
 func Check(pkg *load.Package) ([]analysis.Diagnostic, error) {
+	return CheckWith(pkg, AnalyzersFor(pkg.Path), ModuleFor(pkg))
+}
+
+// CheckWith runs the given analyzers over pkg with explicit module
+// context (nil runs the interprocedural rules intraprocedurally).
+func CheckWith(pkg *load.Package, as []*analysis.Analyzer, m *Module) ([]analysis.Diagnostic, error) {
 	var all []analysis.Diagnostic
-	for _, a := range AnalyzersFor(pkg.Path) {
-		diags, err := analysis.RunPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	for _, a := range as {
+		var mod interface{}
+		if m != nil {
+			mod = m
+		}
+		diags, err := analysis.RunPassMod(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, mod)
 		if err != nil {
 			return nil, err
 		}

@@ -44,6 +44,29 @@ func TestRedorder(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Redorder, "redorder")
 }
 
+func TestExecpure(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Execpure, "execpure")
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Hotalloc, "hotalloc", "hotallocclean")
+}
+
+// Interprocedural fixtures: the PR 1-2 rules upgraded with call-graph
+// context.  Each imports a helper fixture package so the flagged chain
+// genuinely crosses a package boundary.
+func TestDetsourceInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Detsource, "detsourceipa")
+}
+
+func TestSchedpastInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Schedpast, "schedipa")
+}
+
+func TestCommlockInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Commlock, "commipa")
+}
+
 // TestAnalyzersForScope pins the scope table: determinism rules guard
 // the sim core, unit/schedule rules guard the whole module, and the
 // event-path rule guards only the dispatch-hot packages.
@@ -101,6 +124,24 @@ func TestAnalyzersForScope(t *testing.T) {
 	}
 	if des["redorder"] || rep["redorder"] {
 		t.Errorf("redorder is scoped to the gcm subtree, got des=%v rep=%v", des, rep)
+	}
+	// execpure guards every Exec boundary in the module; hotalloc
+	// ratchets only the event-path packages.
+	for _, m := range []map[string]bool{des, gcm, rep} {
+		if !m["execpure"] {
+			t.Errorf("execpure must apply module-wide, got %v", m)
+		}
+	}
+	if !des["hotalloc"] {
+		t.Errorf("des must be under the allocation ratchet, got %v", des)
+	}
+	for _, probe := range []struct {
+		name string
+		m    map[string]bool
+	}{{"gcm/solver", gcm}, {"report", rep}} {
+		if probe.m["hotalloc"] {
+			t.Errorf("%s is not an event-path package, must not be ratcheted, got %v", probe.name, probe.m)
+		}
 	}
 }
 

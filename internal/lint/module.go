@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hyades/internal/lint/allocbudget"
+	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/load"
+	"hyades/internal/lint/summary"
+)
+
+// A Module is the interprocedural context the upgraded analyzers run
+// against: the call graph and effect summaries of ONE package's import
+// closure, plus the committed allocation budget.
+//
+// The closure — not the whole pattern set — is deliberate: it is
+// derived from the import graph alone, so the same package analyzed by
+// the standalone driver (many packages per process) and by a go-vet
+// unit (one package per process) sees the identical universe, and the
+// two modes produce identical findings.  A chain that crosses package
+// boundaries is reported in the package holding the boundary call
+// site, which both modes visit exactly once.
+type Module struct {
+	Graph     *callgraph.Graph
+	Summaries *summary.Set
+
+	// Budget is the hot-path allocation allowance; BudgetPath is where
+	// it was read from (and where -writebudget rewrites it).
+	Budget     *allocbudget.Budget
+	BudgetPath string
+}
+
+// moduleCache shares built contexts between packages with the same
+// closure.  Keyed by loader identity first: objects from different
+// type-checking universes must never mix.
+type moduleKey struct {
+	loader  *load.Loader
+	closure string
+}
+
+var moduleCache = map[moduleKey]*Module{}
+
+// ModuleFor builds (or reuses) the interprocedural context for pkg.
+func ModuleFor(pkg *load.Package) *Module {
+	closure := pkg.Closure()
+	paths := make([]string, len(closure))
+	for i, p := range closure {
+		paths[i] = p.Path
+	}
+	key := moduleKey{loader: pkg.Loader(), closure: strings.Join(paths, ",")}
+	if m, ok := moduleCache[key]; ok {
+		return m
+	}
+	g := callgraph.Build(closure)
+	m := &Module{
+		Graph:      g,
+		Summaries:  summary.Compute(g),
+		BudgetPath: budgetPathFor(pkg),
+	}
+	b, err := allocbudget.Load(m.BudgetPath)
+	if err != nil {
+		// An unreadable budget is the strictest budget; hotalloc will
+		// report every site, which surfaces the broken file.
+		b = &allocbudget.Budget{Packages: map[string]int{}}
+	}
+	m.Budget = b
+	moduleCache[key] = m
+	return m
+}
+
+// budgetPathFor resolves the budget file for pkg: a fixture-local
+// allocbudget.json next to the sources wins (so // want fixtures can
+// pin their own budgets); otherwise the committed module-level file.
+func budgetPathFor(pkg *load.Package) string {
+	local := filepath.Join(pkg.Dir, "allocbudget.json")
+	if _, err := os.Stat(local); err == nil {
+		return local
+	}
+	if root := pkg.ModuleRoot(); root != "" {
+		return filepath.Join(root, "lint", "allocbudget.json")
+	}
+	return ""
+}
+
+// moduleOf extracts the interprocedural context from a pass; nil when
+// the driver ran intraprocedural-only.
+func moduleOf(pass *analysis.Pass) *Module {
+	m, _ := pass.Module.(*Module)
+	return m
+}
+
+// packageNodes returns the module's call-graph nodes whose bodies live
+// in the given package, in deterministic (index) order.
+func (m *Module) packageNodes(tpkg *types.Package) []*callgraph.Node {
+	var out []*callgraph.Node
+	for _, n := range m.Graph.Nodes {
+		if n.Pkg.Types == tpkg {
+			out = append(out, n)
+		}
+	}
+	return out
+}

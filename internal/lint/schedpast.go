@@ -63,6 +63,9 @@ func runSchedpast(pass *analysis.Pass) (interface{}, error) {
 		}
 		return true
 	})
+	if m := moduleOf(pass); m != nil {
+		runSchedpastInterproc(pass, m)
+	}
 	return nil, nil
 }
 

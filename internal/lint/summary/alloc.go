@@ -1,0 +1,420 @@
+package summary
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hyades/internal/lint/callgraph"
+)
+
+// collectAllocs finds n's heap-allocation sites and applies escape-lite
+// suppression.  The catalogue (mirroring the tentpole spec):
+//
+//   - composite literals: slice and map literals, and any &T{...};
+//     value struct/array literals are not by themselves allocations
+//   - make of slice/map/chan; new(T)
+//   - append (backing-array growth)
+//   - address-taken function literals that capture variables
+//   - string <-> []byte/[]rune conversions of non-constant operands
+//   - interface boxing: a concrete non-pointer-shaped value passed to
+//     an interface-typed parameter or converted to an interface type
+//
+// Escape-lite eligibility (see the package doc) covers the slice/map
+// builders whose result can stay function-local: slice literals,
+// &T{...}, make-slice, new.  Maps, channels, append, captures, boxing
+// and conversions always count.
+func (s *Set) collectAllocs(n *callgraph.Node) []AllocSite {
+	info := n.Pkg.Info
+	var sites []AllocSite
+	// nested marks composite literals that are direct elements of an
+	// enclosing literal — part of the parent's allocation, not their
+	// own (unless address-taken, which gives them an &-site).
+	nested := map[*ast.CompositeLit]bool{}
+	walkOwn(n, func(m ast.Node) {
+		lit, ok := m.(*ast.CompositeLit)
+		if !ok {
+			return
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if inner, ok := callgraph.Unparen(elt).(*ast.CompositeLit); ok {
+				nested[inner] = true
+			}
+		}
+	})
+	add := func(pos ast.Node, what string, eligible bool, expr ast.Expr) {
+		if eligible && !s.escapes(n, expr) {
+			return
+		}
+		sites = append(sites, AllocSite{Pos: pos.Pos(), What: what})
+	}
+	walkOwn(n, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.UnaryExpr:
+			if m.Op.String() != "&" {
+				return
+			}
+			if lit, ok := callgraph.Unparen(m.X).(*ast.CompositeLit); ok {
+				add(m, "&"+typeLabel(info, lit)+" composite literal", true, m)
+				nested[lit] = true // claimed by the &-site
+			}
+		case *ast.CompositeLit:
+			if nested[m] {
+				return
+			}
+			switch types.Unalias(typeOf(info, m)).Underlying().(type) {
+			case *types.Slice:
+				add(m, "slice literal", true, m)
+			case *types.Map:
+				add(m, "map literal", false, m)
+			}
+		case *ast.CallExpr:
+			s.allocsInCall(n, m, add)
+		}
+	})
+	// Address-taken capturing literals directly inside this body.
+	for lit, litNode := range s.litsOf(n) {
+		if litNode.AddrTaken && capturesOuter(n.Pkg.Info, lit) {
+			sites = append(sites, AllocSite{Pos: lit.Pos(), What: "capturing closure"})
+		}
+	}
+	sortSites(sites)
+	return sites
+}
+
+// litsOf returns the function literals whose parent node is n.
+func (s *Set) litsOf(n *callgraph.Node) map[*ast.FuncLit]*callgraph.Node {
+	out := map[*ast.FuncLit]*callgraph.Node{}
+	for _, m := range s.Graph.Nodes {
+		if m.Lit != nil && m.Parent == n {
+			out[m.Lit] = m
+		}
+	}
+	return out
+}
+
+func sortSites(sites []AllocSite) {
+	for i := 1; i < len(sites); i++ {
+		for j := i; j > 0 && sites[j].Pos < sites[j-1].Pos; j-- {
+			sites[j], sites[j-1] = sites[j-1], sites[j]
+		}
+	}
+}
+
+// allocsInCall classifies one call expression's allocations: builtins,
+// conversions, and interface boxing of arguments.
+func (s *Set) allocsInCall(n *callgraph.Node, call *ast.CallExpr, add func(ast.Node, string, bool, ast.Expr)) {
+	info := n.Pkg.Info
+	fun := callgraph.Unparen(call.Fun)
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				add(call, "new", true, call)
+			case "make":
+				switch types.Unalias(typeOf(info, call)).Underlying().(type) {
+				case *types.Slice:
+					add(call, "make slice", true, call)
+				case *types.Map:
+					add(call, "make map", false, call)
+				case *types.Chan:
+					add(call, "make chan", false, call)
+				}
+			case "append":
+				add(call, "append growth", false, call)
+			}
+			return
+		}
+	}
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		arg := call.Args[0]
+		if isConst(info, arg) {
+			return
+		}
+		to := types.Unalias(tv.Type).Underlying()
+		from := types.Unalias(typeOf(info, arg)).Underlying()
+		switch {
+		case isString(from) && isByteOrRuneSlice(to):
+			add(call, "string->[]byte/[]rune conversion", false, call)
+		case isByteOrRuneSlice(from) && isString(to):
+			add(call, "[]byte/[]rune->string conversion", false, call)
+		case isNonEmptyInterface(to) && boxable(from):
+			add(call, "interface conversion of "+types.TypeString(typeOf(info, arg), relQual(n)), false, call)
+		}
+		return
+	}
+	// Interface boxing at ordinary call arguments.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			break // slice passed through, no per-element boxing
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			st, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := types.Unalias(pt).Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if isConst(info, arg) {
+			continue
+		}
+		at := typeOf(info, arg)
+		if at == nil || !boxable(types.Unalias(at).Underlying()) {
+			continue
+		}
+		add(arg, "interface boxing of "+types.TypeString(at, relQual(n)), false, arg)
+	}
+}
+
+func relQual(n *callgraph.Node) types.Qualifier {
+	return func(p *types.Package) string { return p.Name() }
+}
+
+// typeLabel names a composite literal's type for messages.
+func typeLabel(info *types.Info, lit *ast.CompositeLit) string {
+	t := typeOf(info, lit)
+	if t == nil {
+		return "T"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(sl.Elem()).Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	k := b.Kind()
+	return k == types.Uint8 || k == types.Int32
+}
+
+func isNonEmptyInterface(t types.Type) bool {
+	_, ok := t.(*types.Interface)
+	return ok
+}
+
+// boxable reports whether converting a value of underlying type t to
+// an interface heap-allocates: anything wider than one pointer word
+// that is not itself pointer-shaped.
+func boxable(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Basic:
+		return t.Kind() != types.UntypedNil && t.Kind() != types.UnsafePointer
+	case *types.Struct:
+		return t.NumFields() > 0
+	case *types.Array:
+		return t.Len() > 0
+	case *types.Slice:
+		return true
+	}
+	return false
+}
+
+// capturesOuter reports whether lit references a variable declared
+// outside it (excluding package-level variables and struct fields) —
+// the captures that force a closure context allocation.
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level: no capture needed
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// ---- escape-lite ----
+
+// escapes reports whether the allocation expression expr leaves the
+// function, conservatively.  It returns false only for the provably
+// local pattern: the result is bound to exactly one local variable and
+// every other use of that variable is benign.
+func (s *Set) escapes(n *callgraph.Node, expr ast.Expr) bool {
+	v := boundVar(n, expr)
+	if v == nil {
+		return true
+	}
+	escaped := false
+	walkOwnWithParents(n, func(m ast.Node, parent ast.Node) {
+		if escaped {
+			return
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || n.Pkg.Info.Uses[id] != types.Object(v) {
+			return
+		}
+		if !benignUse(n.Pkg.Info, id, parent, v) {
+			escaped = true
+		}
+	})
+	// A capture from any nested literal also escapes.
+	if !escaped {
+		for lit := range s.litsOf(n) {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && n.Pkg.Info.Uses[id] == types.Object(v) {
+					escaped = true
+				}
+				return !escaped
+			})
+			if escaped {
+				break
+			}
+		}
+	}
+	return escaped
+}
+
+// boundVar returns the local variable expr is directly bound to via a
+// single-assignment `v := expr` / `var v = expr` / `v = expr`, or nil.
+func boundVar(n *callgraph.Node, expr ast.Expr) *types.Var {
+	info := n.Pkg.Info
+	var out *types.Var
+	walkOwn(n, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) != 1 || len(m.Rhs) != 1 || callgraph.Unparen(m.Rhs[0]) != expr {
+				return
+			}
+			id, ok := m.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				out = v
+			} else if v, ok := info.Uses[id].(*types.Var); ok && v.Parent() != nil &&
+				(v.Pkg() == nil || v.Parent() != v.Pkg().Scope()) {
+				out = v
+			}
+		case *ast.ValueSpec:
+			if len(m.Names) != 1 || len(m.Values) != 1 || callgraph.Unparen(m.Values[0]) != expr {
+				return
+			}
+			if v, ok := info.Defs[m.Names[0]].(*types.Var); ok {
+				out = v
+			}
+		}
+	})
+	return out
+}
+
+// benignUse classifies one occurrence of the bound variable.
+func benignUse(info *types.Info, id *ast.Ident, parent ast.Node, v *types.Var) bool {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		// LHS reassignment (including v = append(v, ...), whose append
+		// site is counted separately).
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(id) {
+				return true
+			}
+		}
+		return false // RHS alias: v2 := v
+	case *ast.IndexExpr:
+		return p.X == ast.Expr(id)
+	case *ast.SelectorExpr:
+		return p.X == ast.Expr(id)
+	case *ast.RangeStmt:
+		return p.X == ast.Expr(id)
+	case *ast.CallExpr:
+		fun := callgraph.Unparen(p.Fun)
+		if fid, ok := fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[fid].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "copy", "delete", "clear":
+					return true
+				case "append":
+					// Self-append only: v = append(v, ...) keeps v
+					// local; append(other, v...) spreads it.
+					return !p.Ellipsis.IsValid() && len(p.Args) > 0 && p.Args[0] == ast.Expr(id)
+				}
+			}
+		}
+		return false // ordinary call argument: escapes
+	}
+	return false
+}
+
+// walkOwnWithParents is walkOwn with the immediate parent node.
+func walkOwnWithParents(n *callgraph.Node, fn func(m, parent ast.Node)) {
+	root := ast.Node(n.Body)
+	var stack []ast.Node
+	ast.Inspect(root, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if m != root {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		var parent ast.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		fn(m, parent)
+		stack = append(stack, m)
+		return true
+	})
+}

@@ -1,0 +1,815 @@
+// Package summary computes per-function effect summaries over a
+// callgraph.Graph: which communication, engine and allocation effects
+// each body can reach, with a witness chain from the body to a
+// concrete offending site.
+//
+// Summaries are bitsets joined by a bottom-up (SCC-ordered) fixpoint,
+// so recursion converges and a caller's summary is the union of its
+// direct effects and its callees'.  Each effect carries one witness —
+// either a direct site ("this line calls time.Now") or a call edge
+// ("this line calls a function that eventually does") — recorded the
+// first time the effect appears, which makes chain reconstruction
+// well-founded even inside cycles.
+//
+// Two deliberate precision choices, documented here because the
+// analyzers inherit them:
+//
+//   - calls through a *parameter* of the enclosing function (or of an
+//     enclosing literal) propagate nothing: the effect belongs to the
+//     argument at each call site, and attributing every address-taken
+//     function's effects to a higher-order forwarder like
+//     comm.Serial.Exec would drown the module in false positives.
+//     The ExecParams facts track exactly these forwarding slots so
+//     the execpure analyzer can check the real closure at each site.
+//   - escape-lite: an allocation whose result lands in a single local
+//     used only in benign positions (indexing, field access, len/cap,
+//     copy, range, reassignment, self-append) is suppressed — the
+//     compiler will stack-allocate it or the site is at worst
+//     per-call-constant.  Anything aliased, returned, captured or
+//     passed on counts.
+package summary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hyades/internal/lint/callgraph"
+)
+
+// Effect is a bitset of behaviours a function may reach.
+type Effect uint32
+
+const (
+	WallClock   Effect = 1 << iota // time.Now &c, unseeded global rand
+	Send                           // point-to-point transmit
+	Recv                           // point-to-point receive (blocking)
+	Exchange                       // Endpoint.Exchange collective
+	GlobalSum                      // Endpoint.GlobalSum collective
+	Barrier                        // Endpoint.Barrier collective
+	Delay                          // Proc.Delay / Endpoint.Busy
+	Schedule                       // Engine.Schedule/ScheduleAt/After
+	Now                            // virtual-clock read
+	Exec                           // Proc.Exec / Endpoint.Exec offload
+	GlobalWrite                    // write to package-level state
+	Alloc                          // heap-allocation site
+
+	numEffects = 12
+)
+
+// CommEffects are the point-to-point and collective communication bits.
+const CommEffects = Send | Recv | Exchange | GlobalSum | Barrier
+
+// EngineEffects are the event-engine interaction bits.
+const EngineEffects = Delay | Schedule | Now | Exec
+
+// Has reports whether e contains every bit of mask.
+func (e Effect) Has(mask Effect) bool { return e&mask == mask }
+
+// Each calls fn for every set bit, lowest first.
+func (e Effect) Each(fn func(Effect)) {
+	for i := 0; i < numEffects; i++ {
+		if bit := Effect(1 << i); e&bit != 0 {
+			fn(bit)
+		}
+	}
+}
+
+// String names a single effect bit for diagnostics.
+func (e Effect) String() string {
+	switch e {
+	case WallClock:
+		return "wall-clock/randomness"
+	case Send:
+		return "message send"
+	case Recv:
+		return "message receive"
+	case Exchange:
+		return "Exchange collective"
+	case GlobalSum:
+		return "GlobalSum collective"
+	case Barrier:
+		return "Barrier collective"
+	case Delay:
+		return "virtual-time delay"
+	case Schedule:
+		return "event scheduling"
+	case Now:
+		return "virtual-clock read"
+	case Exec:
+		return "nested Exec offload"
+	case GlobalWrite:
+		return "package-level state write"
+	case Alloc:
+		return "heap allocation"
+	}
+	var parts []string
+	e.Each(func(bit Effect) { parts = append(parts, bit.String()) })
+	return strings.Join(parts, "+")
+}
+
+// A Witness records why one effect bit is set on one node: a direct
+// site (Callee nil, What names the primitive) or a call edge into
+// Callee at Pos.
+type Witness struct {
+	Pos    token.Pos
+	Callee *callgraph.Node
+	What   string
+}
+
+// A DelayFlow records that a parameter flows into a Schedule delay
+// argument: directly (Callee nil, What names the primitive) or through
+// CalleeParam of Callee.
+type DelayFlow struct {
+	Pos         token.Pos
+	Callee      *callgraph.Node
+	CalleeParam int
+	What        string
+}
+
+// An AllocSite is one surviving (post-escape-lite) allocation.
+type AllocSite struct {
+	Pos  token.Pos
+	What string // e.g. "slice literal", "interface boxing of int"
+}
+
+// Info is one node's summary.
+type Info struct {
+	Node    *callgraph.Node
+	Effects Effect
+	Witness map[Effect]Witness
+
+	// DelayParams maps parameter index -> how that parameter reaches a
+	// Schedule delay slot.
+	DelayParams map[int]DelayFlow
+	// ExecParams marks parameter indices whose func-typed value is
+	// forwarded to an offload boundary (Proc.Exec / Endpoint.Exec).
+	ExecParams map[int]bool
+	// Allocs are the node's own surviving allocation sites, in source
+	// order.
+	Allocs []AllocSite
+
+	params []*types.Var // declared parameters, positionally (nil for unnamed)
+}
+
+// A Set holds the summaries of one graph.
+type Set struct {
+	Graph *callgraph.Graph
+	// Endpoint is the comm.Endpoint interface visible to the analyzed
+	// set, or nil.
+	Endpoint *types.Interface
+
+	infos []*Info
+}
+
+// Of returns n's summary.
+func (s *Set) Of(n *callgraph.Node) *Info { return s.infos[n.Index] }
+
+// ForFunc returns the summary of a declared function, or nil.
+func (s *Set) ForFunc(fn *types.Func) *Info {
+	if n := s.Graph.FuncNode(fn); n != nil {
+		return s.infos[n.Index]
+	}
+	return nil
+}
+
+// ForLit returns the summary of a function literal, or nil.
+func (s *Set) ForLit(lit *ast.FuncLit) *Info {
+	if n := s.Graph.LitNode(lit); n != nil {
+		return s.infos[n.Index]
+	}
+	return nil
+}
+
+// Compute builds the summaries for g.
+func Compute(g *callgraph.Graph) *Set {
+	s := &Set{
+		Graph:    g,
+		Endpoint: findEndpoint(g),
+		infos:    make([]*Info, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		s.infos[n.Index] = s.direct(n)
+	}
+	// Bottom-up fixpoint: SCCs arrive callees-first, so one converged
+	// inner loop per component suffices.
+	for _, comp := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if s.update(n) {
+					changed = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// findEndpoint locates the comm.Endpoint interface in the analyzed
+// packages or their imports.
+func findEndpoint(g *callgraph.Graph) *types.Interface {
+	lookup := func(p *types.Package) *types.Interface {
+		if p == nil || !callgraph.PkgPathIs(p, "hyades/internal/comm") {
+			return nil
+		}
+		obj := p.Scope().Lookup("Endpoint")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := types.Unalias(obj.Type()).Underlying().(*types.Interface)
+		return iface
+	}
+	seen := map[*types.Package]bool{}
+	var queue []*types.Package
+	for _, pkg := range g.Packages {
+		queue = append(queue, pkg.Types)
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p == nil || seen[p] {
+			continue
+		}
+		seen[p] = true
+		if iface := lookup(p); iface != nil {
+			return iface
+		}
+		queue = append(queue, p.Imports()...)
+	}
+	return nil
+}
+
+// implementsEndpoint reports whether t (or *t) satisfies the set's
+// Endpoint interface.
+func (s *Set) implementsEndpoint(t types.Type) bool {
+	if t == nil || s.Endpoint == nil {
+		return false
+	}
+	if iface, ok := types.Unalias(t).Underlying().(*types.Interface); ok && iface == s.Endpoint {
+		return true
+	}
+	return types.Implements(t, s.Endpoint) || types.Implements(types.NewPointer(t), s.Endpoint)
+}
+
+// ---- direct facts ----
+
+// direct computes n's summary before propagation: primitive effects at
+// its own sites, allocation sites, global writes, and the Exec/Delay
+// parameter seeds.
+func (s *Set) direct(n *callgraph.Node) *Info {
+	in := &Info{
+		Node:        n,
+		Witness:     map[Effect]Witness{},
+		DelayParams: map[int]DelayFlow{},
+		ExecParams:  map[int]bool{},
+		params:      paramVars(n),
+	}
+	// Seed ExecParams: the offload primitives themselves.
+	if n.Func != nil && s.isExecMethod(n.Func) {
+		sig := n.Func.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			if _, ok := sig.Params().At(i).Type().Underlying().(*types.Signature); ok {
+				in.ExecParams[i] = true
+			}
+		}
+	}
+	for _, site := range n.Sites {
+		if eff, what := s.primitiveEffect(n, site); eff != 0 {
+			s.add(in, eff, Witness{Pos: site.Pos(), What: what})
+		}
+		s.seedDelay(n, in, site)
+	}
+	s.bareRefs(n, in)
+	s.globalWrites(n, in)
+	in.Allocs = s.collectAllocs(n)
+	if len(in.Allocs) > 0 {
+		s.add(in, Alloc, Witness{Pos: in.Allocs[0].Pos, What: in.Allocs[0].What})
+	}
+	return in
+}
+
+// add sets bits on in, recording a witness for each newly set bit.
+func (s *Set) add(in *Info, eff Effect, w Witness) bool {
+	newBits := eff &^ in.Effects
+	if newBits == 0 {
+		return false
+	}
+	in.Effects |= newBits
+	newBits.Each(func(bit Effect) { in.Witness[bit] = w })
+	return true
+}
+
+// bannedTime and seededRand mirror the detsource rule.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "After": true,
+}
+var seededRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// wallClockFunc reports whether fn is a banned nondeterminism source.
+func wallClockFunc(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil || callgraph.RecvOf(fn) != nil {
+		return "", false
+	}
+	switch pkg.Path() {
+	case "time":
+		if bannedTime[fn.Name()] {
+			return "time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRand[fn.Name()] {
+			return pkg.Path() + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// primitiveEffect classifies a site's static callee against the effect
+// primitive table; zero for ordinary calls.
+func (s *Set) primitiveEffect(n *callgraph.Node, site *callgraph.Site) (Effect, string) {
+	fn := site.Static
+	if fn == nil {
+		return 0, ""
+	}
+	if what, ok := wallClockFunc(fn); ok {
+		return WallClock, what
+	}
+	recv := callgraph.RecvOf(fn)
+	if recv == nil {
+		return 0, ""
+	}
+	name := fn.Name()
+	// Endpoint methods (interface or any implementation).
+	if s.implementsEndpoint(recv.Type()) {
+		switch name {
+		case "Exchange":
+			return Exchange, "Endpoint.Exchange"
+		case "GlobalSum":
+			return GlobalSum, "Endpoint.GlobalSum"
+		case "Barrier":
+			return Barrier, "Endpoint.Barrier"
+		case "Busy":
+			return Delay, "Endpoint.Busy"
+		case "Exec":
+			return Exec, "Endpoint.Exec"
+		case "Now":
+			return Now, "Endpoint.Now"
+		}
+	}
+	named := callgraph.NamedOf(recv.Type())
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return 0, ""
+	}
+	tname, tpkg := named.Obj().Name(), named.Obj().Pkg()
+	switch {
+	case callgraph.PkgPathIs(tpkg, "hyades/internal/des"):
+		switch tname {
+		case "Engine":
+			switch name {
+			case "Schedule", "ScheduleAt", "After":
+				return Schedule, "des.Engine." + name
+			case "Now":
+				return Now, "des.Engine.Now"
+			}
+		case "Proc":
+			switch name {
+			case "Delay":
+				return Delay, "des.Proc.Delay"
+			case "Exec":
+				return Exec, "des.Proc.Exec"
+			case "Now":
+				return Now, "des.Proc.Now"
+			}
+		case "Mailbox":
+			switch name {
+			case "Send":
+				return Send, "des.Mailbox.Send"
+			case "Recv", "RecvDeadline":
+				return Recv, "des.Mailbox." + name
+			}
+		}
+	case callgraph.PkgPathIs(tpkg, "hyades/internal/mpistart") && tname == "Comm":
+		switch name {
+		case "Send":
+			return Send, "mpistart.Comm.Send"
+		case "Recv":
+			return Recv, "mpistart.Comm.Recv"
+		case "Sendrecv":
+			return Send | Recv, "mpistart.Comm.Sendrecv"
+		}
+	case callgraph.PkgPathIs(tpkg, "hyades/internal/startx") && tname == "NIU":
+		switch name {
+		case "PIOSend", "DMASend":
+			return Send, "startx.NIU." + name
+		case "PIORecv", "TryPIORecv", "VIRecv", "VIRecvDeadline":
+			return Recv, "startx.NIU." + name
+		}
+	}
+	return 0, ""
+}
+
+// isExecMethod reports whether fn is an offload boundary: a method
+// named Exec on des.Proc or on (an implementation of) comm.Endpoint.
+func (s *Set) isExecMethod(fn *types.Func) bool {
+	if fn.Name() != "Exec" {
+		return false
+	}
+	recv := callgraph.RecvOf(fn)
+	if recv == nil {
+		return false
+	}
+	if s.implementsEndpoint(recv.Type()) {
+		return true
+	}
+	named := callgraph.NamedOf(recv.Type())
+	return named != nil && named.Obj() != nil && named.Obj().Name() == "Proc" &&
+		named.Obj().Pkg() != nil && callgraph.PkgPathIs(named.Obj().Pkg(), "hyades/internal/des")
+}
+
+// isScheduleMethod reports whether fn is Engine.Schedule/ScheduleAt,
+// whose first argument is a delay/time slot (the schedpast contract).
+func isScheduleMethod(fn *types.Func) (string, bool) {
+	if fn.Name() != "Schedule" && fn.Name() != "ScheduleAt" {
+		return "", false
+	}
+	recv := callgraph.RecvOf(fn)
+	if recv == nil {
+		return "", false
+	}
+	named := callgraph.NamedOf(recv.Type())
+	if named == nil || named.Obj() == nil || named.Obj().Name() != "Engine" ||
+		named.Obj().Pkg() == nil || !callgraph.PkgPathIs(named.Obj().Pkg(), "hyades/internal/des") {
+		return "", false
+	}
+	return "des.Engine." + fn.Name(), true
+}
+
+// seedDelay records direct parameter -> Schedule-delay flows.
+func (s *Set) seedDelay(n *callgraph.Node, in *Info, site *callgraph.Site) {
+	if site.Static == nil || len(site.Call.Args) == 0 {
+		return
+	}
+	what, ok := isScheduleMethod(site.Static)
+	if !ok {
+		return
+	}
+	if i := paramIndex(in, site.Call.Args[0]); i >= 0 {
+		if _, dup := in.DelayParams[i]; !dup {
+			in.DelayParams[i] = DelayFlow{Pos: site.Pos(), CalleeParam: -1, What: what}
+		}
+	}
+}
+
+// paramIndex resolves e (unparenthesized bare identifier) to a
+// parameter index of in's node, or -1.
+func paramIndex(in *Info, e ast.Expr) int {
+	id, ok := callgraph.Unparen(e).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	v, ok := in.Node.Pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return -1
+	}
+	for i, p := range in.params {
+		if p != nil && p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// forwardsParam reports whether site calls a func value that is a
+// parameter of n or of an enclosing literal parent — the higher-order
+// forwarding shape whose effects belong to each argument, not to n.
+func (s *Set) forwardsParam(n *callgraph.Node, site *callgraph.Site) bool {
+	id, ok := callgraph.Unparen(site.Call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := n.Pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	for cur := n; cur != nil; cur = cur.Parent {
+		for _, p := range s.infos[cur.Index].params {
+			if p != nil && p == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bareRefs seeds WallClock for non-call references to banned
+// functions: a stored time.Now value is as nondeterministic as a call.
+func (s *Set) bareRefs(n *callgraph.Node, in *Info) {
+	callFuns := map[ast.Expr]bool{}
+	for _, site := range n.Sites {
+		callFuns[callgraph.Unparen(site.Call.Fun)] = true
+	}
+	walkOwn(n, func(m ast.Node) {
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok || callFuns[ast.Expr(sel)] {
+			return
+		}
+		fn, ok := n.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		if what, ok := wallClockFunc(fn); ok {
+			s.add(in, WallClock, Witness{Pos: sel.Pos(), What: what + " (reference)"})
+		}
+	})
+}
+
+// globalWrites seeds GlobalWrite for assignments whose base resolves
+// to a package-level variable.
+func (s *Set) globalWrites(n *callgraph.Node, in *Info) {
+	info := n.Pkg.Info
+	report := func(lhs ast.Expr) {
+		if v := baseGlobal(info, lhs); v != nil {
+			s.add(in, GlobalWrite, Witness{Pos: lhs.Pos(), What: "write to " + v.Name()})
+		}
+	}
+	walkOwn(n, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				report(lhs)
+			}
+		case *ast.IncDecStmt:
+			report(m.X)
+		}
+	})
+}
+
+// baseGlobal resolves the base object written by lhs; non-nil only for
+// package-level variables.
+func baseGlobal(info *types.Info, lhs ast.Expr) *types.Var {
+	for {
+		switch e := callgraph.Unparen(lhs).(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[e].(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return nil
+			}
+			return v
+		case *ast.SelectorExpr:
+			// pkg.Var: the selector names the variable itself.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					lhs = e.Sel
+					continue
+				}
+			}
+			// field write x.f = v: mutation through a value/pointer;
+			// attribute to the base only when the base itself is a
+			// global (writes through pointers escape the analysis —
+			// see the package doc).
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			return nil // write through a pointer: unknown target
+		default:
+			return nil
+		}
+	}
+}
+
+// walkOwn visits n's body, skipping nested function literals (their
+// nodes own those subtrees).
+func walkOwn(n *callgraph.Node, fn func(ast.Node)) {
+	root := ast.Node(n.Body)
+	ast.Inspect(root, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if m != root {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		fn(m)
+		return true
+	})
+}
+
+// paramVars returns n's declared parameters positionally.
+func paramVars(n *callgraph.Node) []*types.Var {
+	var ft *ast.FuncType
+	if n.Decl != nil {
+		ft = n.Decl.Type
+	} else if n.Lit != nil {
+		ft = n.Lit.Type
+	}
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := n.Pkg.Info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ---- propagation ----
+
+// update joins callee summaries into n's; reports whether anything
+// changed.
+func (s *Set) update(n *callgraph.Node) bool {
+	in := s.infos[n.Index]
+	changed := false
+	for _, site := range n.Sites {
+		if s.forwardsParam(n, site) {
+			continue
+		}
+		// Effect propagation: union of callees, witness = first callee
+		// carrying each new bit (callees are index-sorted, so the
+		// choice is deterministic).
+		for _, c := range site.Callees {
+			ce := s.infos[c.Index].Effects
+			if newBits := ce &^ in.Effects; newBits != 0 {
+				if s.add(in, newBits, Witness{Pos: site.Pos(), Callee: c}) {
+					changed = true
+				}
+			}
+		}
+		// ExecParams propagation: passing one of our func params into a
+		// boundary slot makes our param a boundary slot.
+		for j := range s.boundaryParams(site) {
+			if j >= len(site.Call.Args) {
+				continue
+			}
+			if i := paramIndex(in, site.Call.Args[j]); i >= 0 && !in.ExecParams[i] {
+				in.ExecParams[i] = true
+				changed = true
+			}
+		}
+		// DelayParams propagation.
+		for _, c := range site.Callees {
+			for j := range s.infos[c.Index].DelayParams {
+				if j >= len(site.Call.Args) {
+					continue
+				}
+				if i := paramIndex(in, site.Call.Args[j]); i >= 0 {
+					if _, dup := in.DelayParams[i]; !dup {
+						in.DelayParams[i] = DelayFlow{Pos: site.Pos(), Callee: c, CalleeParam: j}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// BoundaryArgs returns the sorted argument indices of site that flow
+// into an offload boundary — the slots execpure must verify.
+func (s *Set) BoundaryArgs(site *callgraph.Site) []int {
+	m := s.boundaryParams(site)
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ForwardsParam reports whether site calls a func value that is a
+// parameter of n (or an enclosing literal's): a higher-order
+// forwarding site whose effects belong to the arguments.
+func (s *Set) ForwardsParam(n *callgraph.Node, site *callgraph.Site) bool {
+	return s.forwardsParam(n, site)
+}
+
+// ParamIndex resolves e (a bare identifier) to a parameter index of
+// in's node, or -1.
+func (in *Info) ParamIndex(e ast.Expr) int { return paramIndex(in, e) }
+
+// boundaryParams returns the argument indices of site that flow into
+// an offload boundary: the Exec primitives plus any callee that
+// forwards a parameter there.
+func (s *Set) boundaryParams(site *callgraph.Site) map[int]bool {
+	out := map[int]bool{}
+	if site.Static != nil && s.isExecMethod(site.Static) {
+		if sig, ok := site.Static.Type().(*types.Signature); ok {
+			for i := 0; i < sig.Params().Len(); i++ {
+				if _, ok := sig.Params().At(i).Type().Underlying().(*types.Signature); ok {
+					out[i] = true
+				}
+			}
+		}
+	}
+	for _, c := range site.Callees {
+		for i := range s.infos[c.Index].ExecParams {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// ---- chain rendering ----
+
+// ChainString renders the witness chain for effect e starting at n:
+//
+//	gcm.step (step.go:42) -> wallutil.Stamp (wall.go:10) -> time.Now
+//
+// Each position is the call site inside that frame.  Depth-capped;
+// never empty when n actually has e.
+func (s *Set) ChainString(n *callgraph.Node, e Effect) string {
+	fset := s.Graph.Fset
+	var b strings.Builder
+	cur := n
+	for depth := 0; depth < 16; depth++ {
+		in := s.infos[cur.Index]
+		w, ok := in.Witness[e]
+		if !ok {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "%s (%s)", cur.String(), callgraph.PosLabel(fset, w.Pos))
+		if w.Callee == nil {
+			b.WriteString(" -> " + w.What)
+			return b.String()
+		}
+		cur = w.Callee
+	}
+	if b.Len() > 0 {
+		b.WriteString(" -> ...")
+	}
+	return b.String()
+}
+
+// DelayChainString renders how parameter i of n reaches a Schedule
+// delay slot.
+func (s *Set) DelayChainString(n *callgraph.Node, i int) string {
+	fset := s.Graph.Fset
+	var b strings.Builder
+	cur, idx := n, i
+	for depth := 0; depth < 16; depth++ {
+		flow, ok := s.infos[cur.Index].DelayParams[idx]
+		if !ok {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "%s (%s)", cur.String(), callgraph.PosLabel(fset, flow.Pos))
+		if flow.Callee == nil {
+			b.WriteString(" -> " + flow.What)
+			return b.String()
+		}
+		cur, idx = flow.Callee, flow.CalleeParam
+	}
+	if b.Len() > 0 {
+		b.WriteString(" -> ...")
+	}
+	return b.String()
+}
+
+// ReachableAllocCount returns the number of distinct surviving
+// allocation sites reachable from n (n's own included), following the
+// same propagation edges as the fixpoint.
+func (s *Set) ReachableAllocCount(n *callgraph.Node) int {
+	seen := map[*callgraph.Node]bool{}
+	count := 0
+	var visit func(m *callgraph.Node)
+	visit = func(m *callgraph.Node) {
+		if seen[m] {
+			return
+		}
+		seen[m] = true
+		count += len(s.infos[m.Index].Allocs)
+		for _, site := range m.Sites {
+			if s.forwardsParam(m, site) {
+				continue
+			}
+			for _, c := range site.Callees {
+				if s.infos[c.Index].Effects&Alloc != 0 {
+					visit(c)
+				}
+			}
+		}
+	}
+	visit(n)
+	return count
+}

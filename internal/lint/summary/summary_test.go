@@ -1,0 +1,151 @@
+package summary_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/load"
+	"hyades/internal/lint/summary"
+)
+
+var (
+	once sync.Once
+	set  *summary.Set
+	serr error
+)
+
+func fixtureSet(t *testing.T) *summary.Set {
+	t.Helper()
+	once.Do(func() {
+		loader, err := load.NewLoader(".")
+		if err != nil {
+			serr = err
+			return
+		}
+		pkg, err := loader.LoadDir("testdata/src/sumfix", "sumfix")
+		if err != nil {
+			serr = err
+			return
+		}
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("fixture does not type-check: %v", pkg.Errors)
+		}
+		set = summary.Compute(callgraph.Build(pkg.Closure()))
+	})
+	if serr != nil {
+		t.Fatalf("fixture: %v", serr)
+	}
+	return set
+}
+
+func node(t *testing.T, s *summary.Set, name string) *summary.Info {
+	t.Helper()
+	for _, n := range s.Graph.Nodes {
+		if n.String() == name {
+			return s.Of(n)
+		}
+	}
+	t.Fatalf("no node %q", name)
+	return nil
+}
+
+func TestWallClockPropagation(t *testing.T) {
+	s := fixtureSet(t)
+	deep := node(t, s, "sumfix.WallDeep")
+	if !deep.Effects.Has(summary.WallClock) {
+		t.Fatalf("WallDeep lacks WallClock effect")
+	}
+	chain := s.ChainString(deep.Node, summary.WallClock)
+	for _, frag := range []string{"sumfix.WallDeep", "sumfix.wallHelper", "time.Now"} {
+		if !strings.Contains(chain, frag) {
+			t.Errorf("chain %q missing %q", chain, frag)
+		}
+	}
+}
+
+func TestDelayParamPropagation(t *testing.T) {
+	s := fixtureSet(t)
+	for _, name := range []string{"sumfix.DelayFwd", "sumfix.DelayFwd2"} {
+		in := node(t, s, name)
+		if _, ok := in.DelayParams[1]; !ok {
+			t.Errorf("%s: parameter d not tracked as delay flow (have %v)", name, in.DelayParams)
+		}
+	}
+	chain := s.DelayChainString(node(t, s, "sumfix.DelayFwd2").Node, 1)
+	if !strings.Contains(chain, "des.Engine.Schedule") {
+		t.Errorf("delay chain %q missing terminal", chain)
+	}
+}
+
+func TestExecParamPropagation(t *testing.T) {
+	s := fixtureSet(t)
+	for _, name := range []string{"sumfix.Offload", "sumfix.Offload2"} {
+		in := node(t, s, name)
+		if !in.ExecParams[1] {
+			t.Errorf("%s: fn parameter not tracked as offload boundary (have %v)", name, in.ExecParams)
+		}
+	}
+}
+
+func TestCommEffects(t *testing.T) {
+	s := fixtureSet(t)
+	if !node(t, s, "sumfix.SendIt").Effects.Has(summary.Send) {
+		t.Errorf("SendIt lacks Send effect")
+	}
+	deep := node(t, s, "sumfix.SendDeep")
+	if !deep.Effects.Has(summary.Send) {
+		t.Errorf("SendDeep lacks propagated Send effect")
+	}
+	chain := s.ChainString(deep.Node, summary.Send)
+	if !strings.Contains(chain, "sumfix.SendIt") || !strings.Contains(chain, "des.Mailbox.Send") {
+		t.Errorf("send chain %q incomplete", chain)
+	}
+}
+
+func TestGlobalWrite(t *testing.T) {
+	s := fixtureSet(t)
+	if !node(t, s, "sumfix.Bump").Effects.Has(summary.GlobalWrite) {
+		t.Errorf("Bump lacks GlobalWrite effect")
+	}
+	if node(t, s, "sumfix.LocalOnly").Effects.Has(summary.GlobalWrite) {
+		t.Errorf("LocalOnly spuriously marked GlobalWrite")
+	}
+}
+
+func TestEscapeLite(t *testing.T) {
+	s := fixtureSet(t)
+	if got := len(node(t, s, "sumfix.Escaping").Allocs); got == 0 {
+		t.Errorf("Escaping: returned make site suppressed, want counted")
+	}
+	if got := node(t, s, "sumfix.LocalOnly").Allocs; len(got) != 0 {
+		t.Errorf("LocalOnly: benign-only make site counted: %v", got)
+	}
+}
+
+func TestInterfaceBoxing(t *testing.T) {
+	s := fixtureSet(t)
+	in := node(t, s, "sumfix.Boxer")
+	found := false
+	for _, a := range in.Allocs {
+		if strings.Contains(a.What, "interface boxing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Boxer: int->any boxing not counted; allocs = %v", in.Allocs)
+	}
+}
+
+func TestRecursionConverges(t *testing.T) {
+	s := fixtureSet(t)
+	rec := node(t, s, "sumfix.Recur")
+	if !rec.Effects.Has(summary.WallClock) {
+		t.Fatalf("Recur lacks WallClock effect")
+	}
+	chain := s.ChainString(rec.Node, summary.WallClock)
+	if !strings.Contains(chain, "time.Now") {
+		t.Errorf("recursive chain %q has no terminal", chain)
+	}
+}

@@ -1,0 +1,69 @@
+// Package sumfix exercises the effect-summary fixpoint against the
+// real des and units packages.
+package sumfix
+
+import (
+	"time"
+
+	"hyades/internal/des"
+	"hyades/internal/units"
+)
+
+// WallDeep reaches time.Now through one helper: the WallClock effect
+// must propagate with a two-frame witness chain.
+func WallDeep() time.Time { return wallHelper() }
+
+func wallHelper() time.Time { return time.Now() }
+
+// DelayFwd forwards its parameter d into a Schedule delay slot;
+// DelayFwd2 one level further.
+func DelayFwd(e *des.Engine, d units.Time) { e.Schedule(d, func() {}) }
+
+func DelayFwd2(e *des.Engine, d units.Time) { DelayFwd(e, d) }
+
+// Offload forwards its func parameter to the Proc.Exec boundary;
+// Offload2 transitively.
+func Offload(p *des.Proc, fn func()) { p.Exec(0, fn) }
+
+func Offload2(p *des.Proc, fn func()) { Offload(p, fn) }
+
+// SendIt touches a mailbox directly; SendDeep only through it.
+func SendIt(m *des.Mailbox[int]) { m.Send(1) }
+
+func SendDeep(m *des.Mailbox[int]) { SendIt(m) }
+
+var counter int
+
+// Bump writes package-level state.
+func Bump() { counter++ }
+
+// Escaping returns its slice: the make site must survive escape-lite.
+func Escaping() []int {
+	xs := make([]int, 4)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// LocalOnly keeps its slice function-local with only benign uses: the
+// make site must be suppressed.
+func LocalOnly() int {
+	xs := make([]int, 4)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs[0] + len(xs)
+}
+
+// Boxer boxes an int into an interface parameter.
+func Boxer(sink func(any)) { sink(42 + counter) }
+
+// Recur is self-recursive and reaches time.Now: the fixpoint must
+// still converge and produce a finite chain.
+func Recur(n int) int {
+	if n <= 0 {
+		return int(time.Now().Unix())
+	}
+	return Recur(n - 1)
+}

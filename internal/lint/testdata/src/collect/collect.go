@@ -1,0 +1,13 @@
+// Package collect is an analysistest helper, not a fixture under
+// test: collectives hidden behind ordinary-named helpers, so
+// interprocedural commlock fixtures can check that a helper reaching
+// GlobalSum is matched across arms like the GlobalSum itself.
+package collect
+
+import "hyades/internal/comm"
+
+// SumAll reduces x across all ranks.
+func SumAll(ep comm.Endpoint, x float64) float64 { return ep.GlobalSum(x) }
+
+// Sync blocks until every rank arrives.
+func Sync(ep comm.Endpoint) { ep.Barrier() }

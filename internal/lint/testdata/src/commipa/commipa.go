@@ -1,0 +1,38 @@
+// Package commipa exercises interprocedural commlock: a helper that
+// reaches a collective must be matched across the arms of a
+// rank-dependent branch exactly like a direct collective call.
+package commipa
+
+import (
+	"hyades/internal/comm"
+	collect "hyades/internal/lint/testdata/src/collect"
+)
+
+func Lopsided(ep comm.Endpoint, x float64) float64 {
+	if ep.Rank() == 0 {
+		return collect.SumAll(ep, x) // want `collective GlobalSum is not matched on every arm of the rank-dependent condition at line \d+; ranks on the other arm never join it and the collective deadlocks; reached via collect\.SumAll`
+	}
+	return 0
+}
+
+func Matched(ep comm.Endpoint, x float64) float64 {
+	if ep.Rank() == 0 {
+		return collect.SumAll(ep, x)
+	}
+	return collect.SumAll(ep, -x)
+}
+
+func LopsidedSync(ep comm.Endpoint) {
+	if ep.Rank() != 0 {
+		return
+	}
+	collect.Sync(ep) // want `collective Barrier is not matched on every arm of the rank-dependent condition at line \d+; ranks on the other arm never join it and the collective deadlocks; reached via collect\.Sync`
+}
+
+func Waived(ep comm.Endpoint, x float64) float64 {
+	if ep.Rank() == 0 {
+		//lint:allow commlock fixture: deliberate lopsided reduce
+		return collect.SumAll(ep, x)
+	}
+	return 0
+}

@@ -1,0 +1,16 @@
+// Package delaywrap is an analysistest helper, not a fixture under
+// test: wrappers that forward a caller-supplied duration into
+// Engine.Schedule, one and two frames deep, so interprocedural
+// schedpast fixtures can check the delay-parameter flow.
+package delaywrap
+
+import (
+	"hyades/internal/des"
+	"hyades/internal/units"
+)
+
+// Later schedules fn after d.
+func Later(e *des.Engine, d units.Time, fn func()) { e.Schedule(d, fn) }
+
+// Defer is a second hop: the delay flows to Schedule through Later.
+func Defer(e *des.Engine, d units.Time, fn func()) { Later(e, d, fn) }

@@ -1,0 +1,18 @@
+// Package detsourceipa exercises interprocedural detsource: a wall
+// clock reached through a helper package two calls deep must be
+// reported at the boundary call site with its full chain.
+package detsourceipa
+
+import walls "hyades/internal/lint/testdata/src/walls"
+
+var last int64
+
+func Tick() {
+	last = walls.Stamp() // want `call reaches a wall-clock/randomness source outside the simulation core, breaking determinism: walls\.Stamp \(walls\.go:\d+\) -> walls\.stampA \(walls\.go:\d+\) -> walls\.stampB \(walls\.go:\d+\) -> time\.Now`
+	last += walls.Pure(last)
+}
+
+func Waived() {
+	//lint:allow detsource fixture: deliberate wall-clock use
+	last = walls.Stamp()
+}

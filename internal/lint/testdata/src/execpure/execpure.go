@@ -1,0 +1,59 @@
+// Package execpure exercises the offload-purity rule at the
+// des.Proc.Exec boundary: phases handed to the pool must have no
+// comm/engine effects, no wall-clock reads and no writes to
+// package-level state; unresolvable func values are flagged as such.
+package execpure
+
+import (
+	"runtime"
+
+	"hyades/internal/des"
+	"hyades/internal/units"
+)
+
+var hits int
+
+func bump() { hits++ }
+
+func Phases(p *des.Proc, m *des.Mailbox[int]) {
+	p.Exec(units.Time(1), func() { hits++ })      // want `offloaded Exec phase is not engine-pure: it reaches a package-level state write`
+	p.Exec(units.Time(1), func() { m.Send(1) })   // want `offloaded Exec phase is not engine-pure: it reaches a message send` `offloaded Exec phase is not engine-pure: it reaches a event scheduling`
+	p.Exec(units.Time(1), func() { _ = p.Now() }) // want `offloaded Exec phase is not engine-pure: it reaches a virtual-clock read`
+	x := 0
+	p.Exec(units.Time(1), func() { x++ }) // rank-local state: pure
+	_ = x
+}
+
+func Named(p *des.Proc) {
+	p.Exec(0, bump) // want `offloaded Exec phase is not engine-pure: it reaches a package-level state write`
+}
+
+// helper forwards its parameter into the boundary: clean here, checked
+// at helper's call sites.
+func helper(p *des.Proc, fn func()) {
+	p.Exec(0, fn)
+}
+
+func Outer(p *des.Proc) {
+	helper(p, bump)             // want `offloaded Exec phase is not engine-pure: it reaches a package-level state write`
+	helper(p, func() { _ = 1 }) // pure literal through the wrapper
+}
+
+func Unresolvable(p *des.Proc, fns []func()) {
+	f := fns[0]
+	p.Exec(0, f) // want `cannot statically resolve the function offloaded to Exec \(func value in variable "f"\)`
+}
+
+type holder struct{ f func() }
+
+func FromField(p *des.Proc, h holder) {
+	p.Exec(0, h.f) // want `cannot statically resolve the function offloaded to Exec \(func value from field/selector\)`
+}
+
+func Foreign(p *des.Proc) {
+	p.Exec(0, runtime.GC) // want `offloaded function runtime\.GC is outside the analyzed module; its engine-purity cannot be verified`
+}
+
+func Waived(p *des.Proc) {
+	p.Exec(0, func() { hits++ }) //lint:allow execpure fixture: deliberately impure phase
+}

@@ -1,0 +1,30 @@
+// Package hotalloc exercises the event-path allocation ratchet
+// against a fixture-local budget of zero: every unwaived site is
+// reported, each carrying the measured-vs-budget accounting, and a
+// call into allocating code outside the event path counts as one site
+// at the call.
+package hotalloc
+
+import (
+	"hyades/internal/des"
+	"hyades/internal/pci"
+)
+
+type payload struct{ a, b int }
+
+var sink *payload
+var buf []int
+
+func Fill(n int) {
+	sink = &payload{a: n} // want `event-path heap allocation in hotalloc\.Fill: &hotalloc\.payload composite literal; package hotalloc is over its allocation budget \(3 sites measured, budget 0 in hotalloc/allocbudget\.json\)`
+	buf = append(buf, n)  // want `event-path heap allocation in hotalloc\.Fill: append growth; package hotalloc is over its allocation budget \(3 sites measured, budget 0 in hotalloc/allocbudget\.json\)`
+}
+
+func Via(b *pci.Bus, p *des.Proc) {
+	b.MMapWrite(p) // want `call from hotalloc\.Via allocates outside the event path \(\d+ reachable sites\): pci\.\(\*Bus\)\.MMapWrite \(pci\.go:\d+\)`
+}
+
+func Waived(n int) {
+	//lint:allow hotalloc deliberate one-time setup, waived out of the count
+	buf = append(buf, n)
+}

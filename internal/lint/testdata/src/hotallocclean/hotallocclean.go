@@ -1,0 +1,14 @@
+// Package hotallocclean is the at-budget side of the ratchet: the
+// same allocation shapes as the hotalloc fixture, with a local budget
+// that covers them — the analyzer must stay silent.
+package hotallocclean
+
+type payload struct{ a, b int }
+
+var sink *payload
+var buf []int
+
+func Fill(n int) {
+	sink = &payload{a: n}
+	buf = append(buf, n)
+}

@@ -1,0 +1,32 @@
+// Package schedipa exercises interprocedural schedpast: provably
+// negative and unguarded-subtraction delays flowing into
+// Engine.Schedule through wrapper parameters.
+package schedipa
+
+import (
+	"hyades/internal/des"
+	delaywrap "hyades/internal/lint/testdata/src/delaywrap"
+	"hyades/internal/units"
+)
+
+func Bad(e *des.Engine, fn func()) {
+	delaywrap.Later(e, -1, fn) // want `provably negative time -1 flows into an event-schedule delay`
+}
+
+func BadDeep(e *des.Engine, fn func()) {
+	delaywrap.Defer(e, -2, fn) // want `provably negative time -2 flows into an event-schedule delay`
+}
+
+func Risky(e *des.Engine, a, b units.Time, fn func()) {
+	delaywrap.Later(e, a-b, fn) // want `unguarded units\.Time subtraction flows into an event-schedule delay`
+}
+
+// Fwd forwards its own parameter: the check belongs to Fwd's callers.
+func Fwd(e *des.Engine, d units.Time, fn func()) {
+	delaywrap.Later(e, d, fn)
+}
+
+func Waived(e *des.Engine, fn func()) {
+	//lint:allow schedpast fixture: deliberate negative delay
+	delaywrap.Later(e, -3, fn)
+}

@@ -1,0 +1,17 @@
+// Package walls is an analysistest helper, not a fixture under test:
+// a wall-clock source hidden two calls below its exported entry point,
+// outside the simulation core.  Interprocedural detsource fixtures
+// import it to prove the chain is found and reported end to end.
+package walls
+
+import "time"
+
+// Stamp looks innocent; the wall-clock read is two frames down.
+func Stamp() int64 { return stampA() }
+
+func stampA() int64 { return stampB() }
+
+func stampB() int64 { return time.Now().UnixNano() }
+
+// Pure has no effects at all: callers of Pure must stay unflagged.
+func Pure(x int64) int64 { return x + 1 }
