@@ -9,6 +9,8 @@
 //	go run ./cmd/hyadeslint -sarif ./... > findings.sarif
 //	go run ./cmd/hyadeslint -fix ./...      # apply suggested fixes
 //	go run ./cmd/hyadeslint -fix -n ./...   # dry run: report, touch nothing
+//	go run ./cmd/hyadeslint -baseline lint/baseline.json ./...  # only new findings fail
+//	go run ./cmd/hyadeslint -baseline lint/baseline.json -writebaseline ./...
 //
 // As a vet tool, speaking cmd/go's unit-checking protocol (-V=full,
 // -flags, and a JSON *.cfg unit file):
@@ -38,6 +40,7 @@ import (
 	"hyades/internal/lint"
 	"hyades/internal/lint/allocbudget"
 	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/baseline"
 	"hyades/internal/lint/emit"
 	"hyades/internal/lint/load"
 )
@@ -48,12 +51,14 @@ func main() {
 
 // options are the standalone-mode switches.
 type options struct {
-	jsonOut     bool
-	sarifOut    bool
-	fix         bool
-	dryRun      bool
-	writeBudget bool
-	analyzers   map[string]bool // nil: the full applicable suite
+	jsonOut       bool
+	sarifOut      bool
+	fix           bool
+	dryRun        bool
+	writeBudget   bool
+	baseline      string // committed-findings file; entries there are suppressed
+	writeBaseline bool
+	analyzers     map[string]bool // nil: the full applicable suite
 }
 
 func run(args []string) int {
@@ -96,6 +101,15 @@ func run(args []string) int {
 			return 0
 		case arg == "-writebudget" || arg == "--writebudget":
 			opt.writeBudget = true
+		case arg == "-writebaseline" || arg == "--writebaseline":
+			opt.writeBaseline = true
+		case strings.HasPrefix(arg, "-baseline") || strings.HasPrefix(arg, "--baseline"):
+			v, ok := value()
+			if !ok || v == "" {
+				fmt.Fprintln(os.Stderr, "hyadeslint: -baseline needs a file path")
+				return 2
+			}
+			opt.baseline = v
 		case strings.HasPrefix(arg, "-analyzers") || strings.HasPrefix(arg, "--analyzers"):
 			v, ok := value()
 			if !ok {
@@ -103,8 +117,10 @@ func run(args []string) int {
 				return 2
 			}
 			byName := map[string]bool{}
+			valid := make([]string, 0, len(lint.Analyzers))
 			for _, a := range lint.Analyzers {
 				byName[a.Name] = true
+				valid = append(valid, a.Name)
 			}
 			opt.analyzers = map[string]bool{}
 			for _, name := range strings.Split(v, ",") {
@@ -113,7 +129,8 @@ func run(args []string) int {
 					continue
 				}
 				if !byName[name] {
-					fmt.Fprintf(os.Stderr, "hyadeslint: unknown analyzer %q (see -list)\n", name)
+					fmt.Fprintf(os.Stderr, "hyadeslint: unknown analyzer %q; valid names: %s\n",
+						name, strings.Join(valid, ", "))
 					return 2
 				}
 				opt.analyzers[name] = true
@@ -133,8 +150,12 @@ func run(args []string) int {
 			patterns = append(patterns, arg)
 		}
 	}
+	if opt.writeBaseline && opt.baseline == "" {
+		fmt.Fprintln(os.Stderr, "hyadeslint: -writebaseline needs -baseline <file> to say where")
+		return 2
+	}
 	if cfgFile != "" {
-		return runVetUnit(cfgFile, opt.jsonOut)
+		return runVetUnit(cfgFile, opt)
 	}
 	if len(patterns) == 0 {
 		usage()
@@ -144,7 +165,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hyadeslint [-json|-sarif] [-fix [-n]] [-analyzers a,b] [-writebudget] <package patterns>\n")
+	fmt.Fprintf(os.Stderr, "usage: hyadeslint [-json|-sarif] [-fix [-n]] [-analyzers a,b] [-baseline file [-writebaseline]] [-writebudget] <package patterns>\n")
 	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which hyadeslint) <packages>\n\nflags:\n")
 	fmt.Fprintf(os.Stderr, "  -json         emit findings as JSON\n")
 	fmt.Fprintf(os.Stderr, "  -sarif        emit findings as SARIF 2.1.0\n")
@@ -152,6 +173,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "  -n            with -fix: dry run, modify nothing\n")
 	fmt.Fprintf(os.Stderr, "  -analyzers    run only this comma-separated subset\n")
 	fmt.Fprintf(os.Stderr, "  -list         print the analyzer names and exit\n")
+	fmt.Fprintf(os.Stderr, "  -baseline     suppress findings recorded in this committed file; only new ones fail\n")
+	fmt.Fprintf(os.Stderr, "  -writebaseline  rewrite the -baseline file with the current findings\n")
 	fmt.Fprintf(os.Stderr, "  -writebudget  rewrite lint/allocbudget.json with measured counts\n\nanalyzers:\n")
 	for _, a := range lint.Analyzers {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
@@ -262,6 +285,32 @@ func runStandalone(patterns []string, opt options) int {
 		fmt.Fprintf(os.Stderr, "hyadeslint: wrote %s (%d packages)\n", path, len(budget.Packages))
 	}
 	findings := emit.Normalize(emit.Findings(loader.Fset, loader.ModuleRoot, all))
+	if opt.writeBaseline {
+		if status != 0 {
+			fmt.Fprintln(os.Stderr, "hyadeslint: not writing baseline: some packages failed to load")
+			return status
+		}
+		b := baseline.New(findings)
+		if err := b.Write(opt.baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "hyadeslint: wrote %s (%d entries covering %d findings)\n",
+			opt.baseline, len(b.Entries), len(findings))
+		return 0
+	}
+	if opt.baseline != "" {
+		b, err := baseline.Load(opt.baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
+			return 2
+		}
+		var suppressed int
+		findings, suppressed = b.Filter(findings)
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "hyadeslint: %d baselined finding(s) suppressed (%s)\n", suppressed, opt.baseline)
+		}
+	}
 	if opt.fix {
 		if err := applyFixes(loader.Fset, all, opt.dryRun); err != nil {
 			fmt.Fprintln(os.Stderr, "hyadeslint:", err)
@@ -379,8 +428,10 @@ type vetConfig struct {
 // runVetUnit analyzes one compilation unit described by a cfg file.
 // Imports are re-resolved from source (module tree + $GOROOT/src)
 // rather than from the export data cmd/go supplies, so the tool stays
-// independent of export-data format details.
-func runVetUnit(cfgFile string, jsonOut bool) int {
+// independent of export-data format details.  An -analyzers subset is
+// honored exactly as in standalone mode, so the two modes stay
+// byte-identical under the same selection.
+func runVetUnit(cfgFile string, opt options) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
@@ -438,7 +489,24 @@ func runVetUnit(cfgFile string, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "hyadeslint: %s: %v\n", cfg.ImportPath, err)
 		return 2
 	}
-	diags, err := lint.Check(pkg)
+	as := lint.AnalyzersFor(pkg.Path)
+	if opt.analyzers != nil {
+		kept := as[:0:0]
+		for _, a := range as {
+			if opt.analyzers[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		as = kept
+	}
+	var m *lint.Module
+	for _, a := range as {
+		if lint.Interprocedural[a] {
+			m = lint.ModuleFor(pkg)
+			break
+		}
+	}
+	diags, err := lint.CheckWith(pkg, as, m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hyadeslint:", err)
 		return 2
@@ -446,7 +514,7 @@ func runVetUnit(cfgFile string, jsonOut bool) int {
 	// Vet mode keeps absolute paths (cmd/go rewrites them) but shares
 	// the standalone normalization, so both modes are byte-stable.
 	findings := emit.Normalize(emit.Findings(pkg.Fset, "", diags))
-	if jsonOut {
+	if opt.jsonOut {
 		return printVetJSON(cfg, findings)
 	}
 	if err := emit.Text(os.Stderr, findings); err != nil {

@@ -190,6 +190,66 @@ func TestCrossModeAgreement(t *testing.T) {
 	}
 }
 
+// TestCrossModePointsTo is the acceptance test for the points-to
+// upgrade at the driver level: the seeded fixture offloads func values
+// drawn from locally-built tables (resolvable only through points-to),
+// and the standalone driver and the go-vet unit protocol must produce
+// the identical ordered finding list for it — the impure candidate
+// with its witness chain, no unresolvable finding, and nothing for the
+// all-pure site.
+func TestCrossModePointsTo(t *testing.T) {
+	root := moduleRoot(t)
+
+	var standaloneStatus int
+	standalone := capture(t, func() {
+		standaloneStatus = run([]string{"./internal/des/testdata/ptsphase"})
+	})
+	if standaloneStatus != 1 {
+		t.Fatalf("standalone status = %d, want 1\n%s", standaloneStatus, standalone)
+	}
+
+	dir := filepath.Join(root, "internal", "des", "testdata", "ptsphase")
+	cfg := map[string]interface{}{
+		"ID":         "hyades/internal/des/testdata/ptsphase",
+		"Compiler":   "source",
+		"Dir":        dir,
+		"ImportPath": "hyades/internal/des/testdata/ptsphase",
+		"GoVersion":  "go1.22",
+		"GoFiles":    []string{filepath.Join(dir, "ptsphase.go")},
+		"VetxOutput": filepath.Join(t.TempDir(), "ptsphase.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var vetStatus int
+	vet := captureStderr(t, func() {
+		vetStatus = run([]string{cfgPath})
+	})
+	if vetStatus != 1 {
+		t.Fatalf("vet-unit status = %d, want 1\n%s", vetStatus, vet)
+	}
+
+	vet = strings.ReplaceAll(vet, root+string(filepath.Separator), "")
+	if standalone != vet {
+		t.Errorf("modes disagree\nstandalone:\n%s\nvet:\n%s", standalone, vet)
+	}
+
+	if !strings.Contains(standalone, "ptsphase.record (ptsphase.go:22) -> write to count") {
+		t.Errorf("missing resolved witness chain in findings:\n%s", standalone)
+	}
+	if strings.Contains(standalone, "cannot statically resolve") {
+		t.Errorf("points-to-resolvable site reported as unresolvable:\n%s", standalone)
+	}
+	if strings.Count(standalone, "\n") != 1 {
+		t.Errorf("want exactly one finding, got:\n%s", standalone)
+	}
+}
+
 // TestExitCodes: clean package -> 0, findings -> 1, parse errors -> 2
 // (on stderr, not as diagnostics), and a bad package does not abort
 // the rest of the run.
@@ -296,6 +356,154 @@ func TestFixDryRun(t *testing.T) {
 	}
 	if string(before) != string(after) {
 		t.Errorf("dry run modified the file:\n%s", after)
+	}
+}
+
+// TestAnalyzerSubset: -analyzers narrows both driver modes to the
+// same subset, and an unknown name is a usage error that names the
+// valid set instead of leaving the user to guess.
+func TestAnalyzerSubset(t *testing.T) {
+	// Unknown name: exit 2 with the full valid-name list on stderr.
+	var status int
+	msg := captureStderr(t, func() {
+		status = run([]string{"-analyzers", "nosuch", "./internal/units"})
+	})
+	if status != 2 {
+		t.Fatalf("unknown analyzer: status = %d, want 2\n%s", status, msg)
+	}
+	if !strings.Contains(msg, `unknown analyzer "nosuch"`) || !strings.Contains(msg, "valid names:") {
+		t.Errorf("error does not name the problem:\n%s", msg)
+	}
+	for _, name := range []string{"detsource", "commlock", "execpure", "shareheap", "capturealias"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("valid-name list missing %s:\n%s", name, msg)
+		}
+	}
+
+	// Standalone: a subset that excludes the scratch fixture's rule
+	// turns the run clean; selecting the rule keeps the finding.
+	out := capture(t, func() {
+		status = run([]string{"-analyzers", "detsource", "./cmd/hyadeslint/testdata/scratch"})
+	})
+	if status != 0 || out != "" {
+		t.Errorf("subset without commlock: status %d output %q, want 0 and empty", status, out)
+	}
+	out = capture(t, func() {
+		status = run([]string{"-analyzers=commlock", "./cmd/hyadeslint/testdata/scratch"})
+	})
+	if status != 1 || !strings.Contains(out, "commlock") {
+		t.Errorf("subset with commlock: status %d\n%s", status, out)
+	}
+
+	// Vet-unit mode must honor the same subset: the ipa fixture trips
+	// detsource, execpure and capturealias; selecting only detsource
+	// drops the others and stays byte-identical with standalone.
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "des", "testdata", "ipa")
+	cfg := map[string]interface{}{
+		"ID":         "hyades/internal/des/testdata/ipa",
+		"Compiler":   "source",
+		"Dir":        dir,
+		"ImportPath": "hyades/internal/des/testdata/ipa",
+		"GoVersion":  "go1.22",
+		"GoFiles":    []string{filepath.Join(dir, "ipa.go")},
+		"VetxOutput": filepath.Join(t.TempDir(), "ipa.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var vetStatus int
+	vet := captureStderr(t, func() {
+		vetStatus = run([]string{"-analyzers=detsource", cfgPath})
+	})
+	if vetStatus != 1 {
+		t.Fatalf("vet-unit subset status = %d, want 1\n%s", vetStatus, vet)
+	}
+	standalone := capture(t, func() {
+		status = run([]string{"-analyzers=detsource", "./internal/des/testdata/ipa"})
+	})
+	if status != 1 {
+		t.Fatalf("standalone subset status = %d, want 1\n%s", status, standalone)
+	}
+	vet = strings.ReplaceAll(vet, root+string(filepath.Separator), "")
+	if standalone != vet {
+		t.Errorf("modes disagree under -analyzers\nstandalone:\n%s\nvet:\n%s", standalone, vet)
+	}
+	if !strings.Contains(vet, "detsource") {
+		t.Errorf("selected analyzer missing from vet-unit output:\n%s", vet)
+	}
+	if strings.Contains(vet, "execpure") || strings.Contains(vet, "capturealias") {
+		t.Errorf("vet-unit mode ignored the -analyzers subset:\n%s", vet)
+	}
+}
+
+// TestBaseline: -writebaseline records the scratch findings, after
+// which -baseline suppresses exactly them — the run is clean, new
+// findings elsewhere still fail, and the flag pair is validated.
+func TestBaseline(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	// Regenerate: records the current findings and exits 0.
+	var status int
+	out := capture(t, func() {
+		status = run([]string{"-baseline", base, "-writebaseline", "./cmd/hyadeslint/testdata/scratch"})
+	})
+	if status != 0 || out != "" {
+		t.Fatalf("writebaseline: status %d output %q, want 0 and empty", status, out)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "commlock") {
+		t.Fatalf("baseline missing the scratch finding:\n%s", data)
+	}
+
+	// Filtered run: the recorded finding is suppressed, status clean.
+	var note string
+	note = captureStderr(t, func() {
+		out = capture(t, func() {
+			status = run([]string{"-baseline", base, "./cmd/hyadeslint/testdata/scratch"})
+		})
+	})
+	if status != 0 || out != "" {
+		t.Errorf("baselined run: status %d output %q, want 0 and empty", status, out)
+	}
+	if !strings.Contains(note, "baselined finding(s) suppressed") {
+		t.Errorf("missing suppression note on stderr:\n%s", note)
+	}
+
+	// A finding the baseline does not cover still fails the run.
+	out = capture(t, func() {
+		status = run([]string{"-baseline", base, "./internal/des/testdata/ipa", "./cmd/hyadeslint/testdata/scratch"})
+	})
+	if status != 1 {
+		t.Errorf("new findings under baseline: status = %d, want 1", status)
+	}
+	if !strings.Contains(out, "detsource") || strings.Contains(out, "commlock") {
+		t.Errorf("baseline filtered the wrong findings:\n%s", out)
+	}
+
+	// Regeneration is byte-stable.
+	capture(t, func() {
+		status = run([]string{"-baseline", base, "-writebaseline", "./cmd/hyadeslint/testdata/scratch"})
+	})
+	again, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Errorf("baseline regeneration not byte-stable:\n%s\nvs\n%s", data, again)
+	}
+
+	// -writebaseline without -baseline is a usage error.
+	if status = run([]string{"-writebaseline", "./cmd/hyadeslint/testdata/scratch"}); status != 2 {
+		t.Errorf("-writebaseline without -baseline: status = %d, want 2", status)
 	}
 }
 

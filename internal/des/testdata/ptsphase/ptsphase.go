@@ -1,0 +1,41 @@
+// Package ptsphase is the points-to acceptance fixture: the phases
+// handed to des.Proc.Exec are func values drawn from locally-built
+// tables, so they are invisible to syntactic resolution and resolvable
+// only through the Andersen points-to analysis —
+//
+//   - Dispatch's table mixes an impure named phase with a pure
+//     literal: execpure must report the impure member with its witness
+//     chain and must NOT emit an unresolvable finding, and
+//   - Clean's candidate set is entirely pure: no finding at all.
+//
+// cmd/hyadeslint's cross-mode test runs this package through the
+// standalone driver and the go-vet unit protocol and requires
+// byte-identical findings.  testdata directories are excluded from
+// ./... pattern walks, so the seeded violation never taints the real
+// tree's clean run.
+package ptsphase
+
+import "hyades/internal/des"
+
+var count int
+
+func record() { count++ }
+
+// settle is engine-pure: it touches nothing beyond its own frame.
+func settle() { _ = 2 }
+
+// Dispatch selects its phase from a locally-built table; points-to
+// proves the complete candidate set, so the impure member is reported
+// like a named function and the unresolvable escape hatch is unused.
+func Dispatch(p *des.Proc) {
+	phases := []func(){record, func() { _ = 1 }}
+	f := phases[0]
+	p.Exec(0, f)
+}
+
+// Clean offloads a func value whose whole candidate set is pure.
+func Clean(p *des.Proc) {
+	phases := []func(){settle}
+	f := phases[0]
+	p.Exec(0, f)
+}

@@ -295,17 +295,25 @@ func ParseOutage(s string) (Outage, error) {
 
 // ParseOutages parses a comma-separated list of outage specs.  Link
 // names themselves contain commas — up(s0,1,p0) — so only commas
-// outside parentheses separate specs.
+// outside parentheses separate specs.  An exact duplicate (same link
+// pattern, same window) is rejected: it is a typo, not a request to
+// take the link down twice, and letting it through would silently
+// change nothing.
 func ParseOutages(s string) ([]Outage, error) {
 	if s == "" {
 		return nil, nil
 	}
 	var out []Outage
+	seen := map[Outage]bool{}
 	for _, part := range splitTopLevel(s) {
 		o, err := ParseOutage(strings.TrimSpace(part))
 		if err != nil {
 			return nil, err
 		}
+		if seen[o] {
+			return nil, fmt.Errorf("fault: duplicate outage spec %q", strings.TrimSpace(part))
+		}
+		seen[o] = true
 		out = append(out, o)
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 
 	"hyades/internal/units"
@@ -209,6 +210,53 @@ func TestParseOutage(t *testing.T) {
 	list, err := ParseOutages("a, b:1-2")
 	if err != nil || len(list) != 2 || list[0].Link != "a" || list[1].Link != "b" {
 		t.Fatalf("ParseOutages = %+v, %v", list, err)
+	}
+}
+
+// TestParseOutagesErrors pins the flag grammar's rejections: every
+// malformed spec in a list must fail the whole parse with a message
+// naming the offending spec, never half-apply.
+func TestParseOutagesErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		errWant string // substring the error must carry
+	}{
+		// Malformed windows.
+		{"a:ten", "bad outage window start"},
+		{"a:1-two", "bad outage window end"},
+		{"a:1-2-3", "bad outage window end"}, // extra dash lands in the end field
+		{"a:-5", "bad outage window start"},  // empty start before the dash
+		{"a:10-", "bad outage window end"},   // dangling dash
+		{":10", "empty link name"},
+		// Reversed and empty ranges.
+		{"a:10-5", "empty outage window"},
+		{"a:5-5", "empty outage window"},
+		// Duplicates, whole-run and windowed, in any list position.
+		{"a,a", `duplicate outage spec "a"`},
+		{"a:1-2, b, a:1-2", `duplicate outage spec "a:1-2"`},
+		{"up(s0,1,p0),up(s0,1,p0)", `duplicate outage spec "up(s0,1,p0)"`},
+		// A malformed spec anywhere fails the list, even after good ones.
+		{"a:1-2, b:oops", "bad outage window start"},
+	}
+	for _, c := range cases {
+		list, err := ParseOutages(c.in)
+		if err == nil {
+			t.Errorf("ParseOutages(%q) accepted: %+v", c.in, list)
+			continue
+		}
+		if list != nil {
+			t.Errorf("ParseOutages(%q) returned outages alongside the error: %+v", c.in, list)
+		}
+		if !strings.Contains(err.Error(), c.errWant) {
+			t.Errorf("ParseOutages(%q) error = %q, want it to mention %q", c.in, err, c.errWant)
+		}
+	}
+
+	// Same link with different windows is not a duplicate: that is how
+	// a flapping link is written.
+	list, err := ParseOutages("a:1-2, a:3-4, a")
+	if err != nil || len(list) != 3 {
+		t.Errorf("flapping-link specs rejected: %+v, %v", list, err)
 	}
 }
 

@@ -127,41 +127,52 @@ func runOn(nWorkers int, launch func(body func(rank int, ep comm.Endpoint)) erro
 	if cfg.Decomp.Tiles() != nWorkers {
 		return nil, fmt.Errorf("gcm: %d tiles for %d workers", cfg.Decomp.Tiles(), nWorkers)
 	}
+	// Every slot the rank bodies write is rank-indexed: the shareheap
+	// partition-safety rule certifies the closure writes no cross-rank
+	// shared state, so the result is independent of how the engine
+	// interleaves the rank coroutines.  Aggregation happens below, on
+	// the launcher frame, after the simulation drains.
 	res := &Result{Models: make([]*Model, nWorkers), Steps: steps}
-	var t0, t1 units.Time
-	var buildErr error
+	t0s := make([]units.Time, nWorkers)
+	t1s := make([]units.Time, nWorkers)
+	buildErrs := make([]error, nWorkers)
+	ps := make([]int64, nWorkers)
+	ds := make([]int64, nWorkers)
 	baseline := make([]comm.Stats, nWorkers)
 	eps := make([]comm.Endpoint, nWorkers)
 	err := launch(func(rank int, ep comm.Endpoint) {
 		eps[rank] = ep
 		m, err := New(cfg, ep)
 		if err != nil {
-			buildErr = err
+			buildErrs[rank] = err
 			return
 		}
 		res.Models[rank] = m
 		m.Run(warmup)
 		ep.Barrier()
 		baseline[rank] = *ep.Stats()
-		if rank == 0 {
-			t0 = ep.Now()
-		}
+		t0s[rank] = ep.Now()
 		psBase, dsBase := m.C.PS, m.C.DS
 		m.Run(steps)
 		ep.Barrier()
-		if rank == 0 {
-			t1 = ep.Now()
-		}
-		res.TotalPS += m.C.PS - psBase
-		res.TotalDS += m.C.DS - dsBase
+		t1s[rank] = ep.Now()
+		ps[rank] = m.C.PS - psBase
+		ds[rank] = m.C.DS - dsBase
 	})
 	if err != nil {
 		return nil, err
 	}
-	if buildErr != nil {
-		return nil, buildErr
+	for _, e := range buildErrs {
+		if e != nil {
+			return nil, e
+		}
 	}
-	res.Elapsed = t1 - t0
+	for r := range ps {
+		res.TotalPS += ps[r]
+		res.TotalDS += ds[r]
+	}
+	// Rank 0's barrier-exit times bracket the timed region.
+	res.Elapsed = t1s[0] - t0s[0]
 	for r, ep := range eps {
 		if ep == nil {
 			continue

@@ -1,0 +1,136 @@
+// Package baseline reads and writes the committed findings baseline
+// (lint/baseline.json): the set of pre-existing hyadeslint findings a
+// tree is allowed to carry while they are being burned down.
+//
+// The baseline turns the linter into a ratchet for legacy debt: CI
+// runs hyadeslint with -baseline, findings recorded in the file are
+// suppressed, and only new findings fail the build.  An entry's
+// identity is (file, analyzer, message) — deliberately not the line
+// number, so unrelated edits that shift code do not invalidate the
+// baseline — with a count, so two identical findings in one file
+// consume two allowances.  Fixing a baselined finding and
+// regenerating (-writebaseline) shrinks the file; it can only grow by
+// an explicit, reviewable commit.  The encoding is byte-stable
+// (sorted entries, fixed indentation, trailing newline) so
+// regenerating an unchanged baseline is a no-op in the diff.
+package baseline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"hyades/internal/lint/emit"
+)
+
+// An Entry is one accepted pre-existing finding (or several identical
+// ones, via Count).
+type Entry struct {
+	File     string `json:"file"` // module-relative, forward slashes
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// key is the identity findings are matched on.
+func (e Entry) key() [3]string { return [3]string{e.File, e.Analyzer, e.Message} }
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"entries"`
+}
+
+// New aggregates findings into a baseline, merging identical
+// (file, analyzer, message) triples into counted entries.
+func New(fs []emit.Finding) *Baseline {
+	counts := map[[3]string]int{}
+	for _, f := range fs {
+		counts[[3]string{f.File, f.Analyzer, f.Message}]++
+	}
+	b := &Baseline{Version: 1, Entries: make([]Entry, 0, len(counts))}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, Entry{File: k[0], Analyzer: k[1], Message: k[2], Count: n})
+	}
+	b.sort()
+	return b
+}
+
+func (b *Baseline) sort() {
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+}
+
+// Load reads a baseline file.  A missing file yields an empty
+// baseline (nothing suppressed), which is the strictest possible
+// setting.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline: %s: %v", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.File == "" || e.Analyzer == "" || e.Message == "" || e.Count < 1 {
+			return nil, fmt.Errorf("baseline: %s: entry %d is malformed (file, analyzer, message and a positive count are required)", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// Filter splits findings into those not covered by the baseline (the
+// ones that should fail the run) and the number suppressed.  Each
+// entry's count is an allowance: with count 1 and two identical
+// findings, the second is fresh.  Findings keep their input order.
+func (b *Baseline) Filter(fs []emit.Finding) (fresh []emit.Finding, suppressed int) {
+	left := map[[3]string]int{}
+	for _, e := range b.Entries {
+		left[e.key()] += e.Count
+	}
+	fresh = fs[:0:0]
+	for _, f := range fs {
+		k := [3]string{f.File, f.Analyzer, f.Message}
+		if left[k] > 0 {
+			left[k]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, suppressed
+}
+
+// Marshal renders the baseline byte-stably: entries sorted by (file,
+// analyzer, message), two-space indentation, trailing newline.
+func (b *Baseline) Marshal() []byte {
+	b.sort()
+	if b.Entries == nil {
+		b.Entries = []Entry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		// A slice of string/int structs cannot fail to marshal.
+		panic(err)
+	}
+	return append(data, '\n')
+}
+
+// Write saves the baseline to path.
+func (b *Baseline) Write(path string) error {
+	return os.WriteFile(path, b.Marshal(), 0o644)
+}

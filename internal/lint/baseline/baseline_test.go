@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyades/internal/lint/emit"
+)
+
+func finding(file, analyzer, msg string, line int) emit.Finding {
+	return emit.Finding{File: file, Line: line, Col: 1, Analyzer: analyzer, Message: msg}
+}
+
+func TestRoundTripByteStable(t *testing.T) {
+	b := New([]emit.Finding{
+		finding("internal/des/engine.go", "detsource", "wall clock", 10),
+		finding("internal/des/engine.go", "detsource", "wall clock", 40),
+		finding("internal/comm/comm.go", "commlock", "unmatched collective", 7),
+	})
+	first := b.Marshal()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	second := loaded.Marshal()
+	if !bytes.Equal(first, second) {
+		t.Errorf("round trip not byte-stable:\n%s\nvs\n%s", first, second)
+	}
+	if len(loaded.Entries) != 2 {
+		t.Fatalf("want 2 merged entries, got %d", len(loaded.Entries))
+	}
+	// Identical findings merge into a counted entry; entries sort by
+	// (file, analyzer, message).
+	if e := loaded.Entries[0]; e.File != "internal/comm/comm.go" || e.Count != 1 {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	if e := loaded.Entries[1]; e.File != "internal/des/engine.go" || e.Count != 2 {
+		t.Errorf("entry 1 = %+v", e)
+	}
+}
+
+func TestLoadMissingIsEmpty(t *testing.T) {
+	b, err := Load(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("missing file must not error: %v", err)
+	}
+	if len(b.Entries) != 0 {
+		t.Errorf("missing file must suppress nothing, got %v", b.Entries)
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"syntax.json": `{"version": 1, "entries": [`,
+		"hole.json":   `{"version": 1, "entries": [{"file": "a.go", "analyzer": "", "message": "m", "count": 1}]}`,
+		"count.json":  `{"version": 1, "entries": [{"file": "a.go", "analyzer": "x", "message": "m", "count": 0}]}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: malformed baseline loaded without error", name)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := New([]emit.Finding{
+		finding("a.go", "detsource", "wall clock", 10),
+	})
+	fresh, suppressed := b.Filter([]emit.Finding{
+		finding("a.go", "detsource", "wall clock", 12), // line moved: still suppressed
+		finding("a.go", "detsource", "wall clock", 30), // second identical: over allowance
+		finding("b.go", "detsource", "wall clock", 10), // different file: fresh
+	})
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", suppressed)
+	}
+	if len(fresh) != 2 || fresh[0].Line != 30 || fresh[1].File != "b.go" {
+		t.Errorf("fresh = %+v", fresh)
+	}
+}
+
+func TestFilterEmptyBaseline(t *testing.T) {
+	b := &Baseline{Version: 1}
+	fs := []emit.Finding{finding("a.go", "maprange", "map iteration", 3)}
+	fresh, suppressed := b.Filter(fs)
+	if suppressed != 0 || len(fresh) != 1 {
+		t.Errorf("empty baseline must pass everything through: fresh=%v suppressed=%d", fresh, suppressed)
+	}
+}

@@ -283,6 +283,10 @@ func (g *Graph) markAddrTaken(pkg *load.Package) {
 			}
 			return true
 		})
+		// Selector idents are judged by their enclosing selector's call
+		// position, not their own; remember them so the Ident case
+		// below does not re-mark every selector-called method.
+		viaSelector := map[*ast.Ident]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncLit:
@@ -292,8 +296,11 @@ func (g *Graph) markAddrTaken(pkg *load.Package) {
 					}
 				}
 			case *ast.Ident:
-				g.markFuncRef(pkg, n, funPos[ast.Expr(n)])
+				if !viaSelector[n] {
+					g.markFuncRef(pkg, n, funPos[ast.Expr(n)])
+				}
 			case *ast.SelectorExpr:
+				viaSelector[n.Sel] = true
 				g.markFuncRef(pkg, n.Sel, funPos[ast.Expr(n)])
 			}
 			return true
@@ -500,6 +507,31 @@ func (g *Graph) implementations(iface *types.Interface, name string) []*Node {
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Index < nodes[j].Index })
 	g.chaMemo[key] = nodes
 	return nodes
+}
+
+// Refine narrows the callee sets of dynamic (func-value) and
+// interface call sites using an external resolver — in practice the
+// points-to analysis.  A site is narrowed only when the resolver
+// vouches for completeness (ok) with a non-empty, strictly smaller
+// callee set; everything else keeps its conservative CHA/signature
+// set, so refinement can only remove impossible edges, never the
+// sound over-approximation.  Returns the number of sites narrowed.
+func (g *Graph) Refine(resolve func(call *ast.CallExpr) (callees []*Node, ok bool)) int {
+	refined := 0
+	for _, n := range g.Nodes {
+		for _, s := range n.Sites {
+			if !s.Dynamic && !s.Iface {
+				continue
+			}
+			callees, ok := resolve(s.Call)
+			if !ok || len(callees) == 0 || len(callees) >= len(s.Callees) {
+				continue
+			}
+			s.Callees = callees
+			refined++
+		}
+	}
+	return refined
 }
 
 // SCCs returns the strongly connected components of the graph in

@@ -1,6 +1,7 @@
 package callgraph_test
 
 import (
+	"go/ast"
 	"testing"
 
 	"hyades/internal/lint/callgraph"
@@ -166,5 +167,101 @@ func TestDeterministicRebuild(t *testing.T) {
 		if len(g1.Nodes[i].Sites) != len(g2.Nodes[i].Sites) {
 			t.Fatalf("site counts differ at %s", g1.Nodes[i])
 		}
+	}
+}
+
+// TestMethodValueSites: a bound method value (g.Add stored in a
+// variable) marks the method address-taken, and the call through the
+// variable is a dynamic site whose signature-matched candidates
+// include the bound body — the receiver is excluded from the
+// signature key, so func(int) int matches (*Gauge).Add.
+func TestMethodValueSites(t *testing.T) {
+	g := buildFixture(t)
+	add := nodeNamed(t, g, "cgfix.(*Gauge).Add")
+	if !add.AddrTaken {
+		t.Errorf("(*Gauge).Add should be address-taken (bound method value)")
+	}
+	if reset := nodeNamed(t, g, "cgfix.(*Gauge).Reset"); reset.AddrTaken {
+		t.Errorf("(*Gauge).Reset is only called directly, must not be address-taken")
+	}
+
+	bound := nodeNamed(t, g, "cgfix.BoundMethod")
+	var dyn *callgraph.Site
+	for _, s := range bound.Sites {
+		if s.Dynamic {
+			dyn = s
+		}
+	}
+	if dyn == nil {
+		t.Fatalf("BoundMethod has no dynamic site: %+v", bound.Sites)
+	}
+	foundAdd := false
+	for _, c := range dyn.Callees {
+		if c == add {
+			foundAdd = true
+		}
+		if c.String() == "cgfix.(*Gauge).Reset" {
+			t.Errorf("dynamic call resolved to never-bound Reset")
+		}
+	}
+	if !foundAdd {
+		t.Errorf("bound-method call missed (*Gauge).Add; callees = %v", siteCallees(bound, len(bound.Sites)-1))
+	}
+}
+
+// TestMethodValueAsArgument: passing g.Add to a higher-order function
+// routes it into CallThrough's dynamic candidate set alongside Taken.
+func TestMethodValueAsArgument(t *testing.T) {
+	g := buildFixture(t)
+	ct := nodeNamed(t, g, "cgfix.CallThrough")
+	got := map[string]bool{}
+	for _, name := range siteCallees(ct, 0) {
+		got[name] = true
+	}
+	if !got["cgfix.(*Gauge).Add"] {
+		t.Errorf("CallThrough candidates missing bound method: %v", got)
+	}
+	if !got["cgfix.Taken"] {
+		t.Errorf("CallThrough candidates missing Taken: %v", got)
+	}
+}
+
+// TestRefine: an external resolver narrows dynamic and interface
+// sites only when it vouches for completeness with a strictly
+// smaller, non-empty set.
+func TestRefine(t *testing.T) {
+	g := buildFixture(t)
+	total := nodeNamed(t, g, "cgfix.TotalArea")
+	iface := total.Sites[0]
+	if len(iface.Callees) != 2 {
+		t.Fatalf("precondition: CHA callees = %d, want 2", len(iface.Callees))
+	}
+	circle := nodeNamed(t, g, "cgfix.Circle.Area")
+
+	// A resolver that claims completeness for the interface site only.
+	n := g.Refine(func(call *ast.CallExpr) ([]*callgraph.Node, bool) {
+		if call == iface.Call {
+			return []*callgraph.Node{circle}, true
+		}
+		return nil, false
+	})
+	if n != 1 {
+		t.Fatalf("refined %d sites, want 1", n)
+	}
+	if len(iface.Callees) != 1 || iface.Callees[0] != circle {
+		t.Errorf("interface site not narrowed: %v", siteCallees(total, 0))
+	}
+
+	// Refusing to vouch, or returning empty/equal sets, changes
+	// nothing.
+	before := len(nodeNamed(t, g, "cgfix.CallThrough").Sites[0].Callees)
+	n = g.Refine(func(call *ast.CallExpr) ([]*callgraph.Node, bool) {
+		return nil, true // "complete and empty" must be rejected
+	})
+	if n != 0 {
+		t.Errorf("empty resolutions refined %d sites, want 0", n)
+	}
+	if got := len(nodeNamed(t, g, "cgfix.CallThrough").Sites[0].Callees); got != before {
+		t.Errorf("dynamic candidates changed: %d -> %d", before, got)
 	}
 }

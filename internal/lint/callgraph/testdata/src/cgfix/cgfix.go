@@ -70,3 +70,33 @@ func Outer() func() int {
 	inner := func() int { return NotTaken(3) }
 	return inner
 }
+
+// Gauge exercises method-value and bound-method call sites.
+type Gauge struct{ v int }
+
+func (g *Gauge) Add(d int) int { g.v += d; return g.v }
+func (g Gauge) Read() int      { return g.v }
+func (g *Gauge) Reset(to int)  { g.v = to }
+
+// BoundMethod stores g.Add as a func value and calls through it: the
+// call is dynamic, and the address-taken method body must be in the
+// candidate set even though its receiver is bound away.
+func BoundMethod() int {
+	g := &Gauge{}
+	add := g.Add
+	return add(2)
+}
+
+// MethodValueArg passes a bound method value to a higher-order
+// function; the dynamic call inside CallThrough can reach it.
+func MethodValueArg() int {
+	g := &Gauge{}
+	return CallThrough(g.Add)
+}
+
+// DirectReset only ever calls Reset directly: a bound method is never
+// made from it, so it must stay out of every dynamic candidate set.
+func DirectReset() {
+	g := &Gauge{}
+	g.Reset(0)
+}

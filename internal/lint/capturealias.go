@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/pointsto"
+)
+
+// Capturealias closes the aliasing hole next to execpure: a closure
+// offloaded through des.Proc.Exec / comm.Endpoint.Exec (or a wrapper)
+// runs on a pool worker, off the coroutine baton — and Go closures
+// capture by reference.  execpure rejects the effects the summary can
+// see (engine calls, sends, global writes); this rule rejects the
+// capture itself when what is captured is engine-owned state: a
+// *des.Proc, a mailbox, the engine, a resource.  Even an innocuous-
+// looking read of such a value from the worker races with the engine
+// mutating it under the baton, and the effect summary cannot see a
+// bare field read or a pass-through to another function.
+//
+// A capture is flagged when the variable's static type is declared in
+// package des, or when its points-to set contains a des-owned object
+// (engine state smuggled behind an interface or any-typed variable).
+// Phases should receive plain data: model arrays, counters, scalars.
+var Capturealias = &analysis.Analyzer{
+	Name: "capturealias",
+	Doc:  "offloaded Exec closures must not capture engine-owned state by reference",
+	Run:  runCapturealias,
+}
+
+func runCapturealias(pass *analysis.Pass) (interface{}, error) {
+	m := moduleOf(pass)
+	if m == nil || m.Points == nil {
+		return nil, nil
+	}
+	s := m.Summaries
+	for _, n := range m.packageNodes(pass.Pkg) {
+		for _, site := range n.Sites {
+			for _, j := range s.BoundaryArgs(site) {
+				if j >= len(site.Call.Args) {
+					continue
+				}
+				arg := unparen(site.Call.Args[j])
+				for _, lit := range phaseLits(m, n, arg) {
+					checkCaptures(pass, m, lit, arg)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// phaseLits resolves the closures entering one offload boundary arg:
+// a literal directly, a func value through points-to.  Forwarded
+// parameters are skipped (checked where the concrete closure enters);
+// named functions capture nothing.
+func phaseLits(m *Module, n *callgraph.Node, arg ast.Expr) []*callgraph.Node {
+	switch arg := arg.(type) {
+	case *ast.FuncLit:
+		if ln := m.Graph.LitNode(arg); ln != nil {
+			return []*callgraph.Node{ln}
+		}
+		return nil
+	case *ast.Ident:
+		if m.Summaries.Of(n).ParamIndex(arg) >= 0 {
+			return nil
+		}
+	}
+	roots, ok := pointsRoots(m, arg)
+	if !ok {
+		return nil
+	}
+	var lits []*callgraph.Node
+	for _, r := range roots {
+		if r.Lit != nil {
+			lits = append(lits, r)
+		}
+	}
+	return lits
+}
+
+func checkCaptures(pass *analysis.Pass, m *Module, lit *callgraph.Node, arg ast.Expr) {
+	qual := func(p *types.Package) string { return p.Name() }
+	for _, v := range m.Points.FreeVars(lit) {
+		if desOwned(v.Type()) {
+			pass.Reportf(arg.Pos(),
+				"offloaded Exec phase captures engine-owned %s %q by reference; pool workers run outside the coroutine baton — pass plain data into the phase instead",
+				types.TypeString(v.Type(), qual), v.Name())
+			continue
+		}
+		for _, o := range m.Points.VarPointsTo(v) {
+			if o.Kind != pointsto.KUnknown && desOwned(o.Type) {
+				pass.Reportf(arg.Pos(),
+					"offloaded Exec phase captures %q, which aliases engine-owned state (%s); pass plain data into the phase instead",
+					v.Name(), o.What)
+				break
+			}
+		}
+	}
+}

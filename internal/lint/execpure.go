@@ -6,6 +6,7 @@ import (
 
 	"hyades/internal/lint/analysis"
 	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/pointsto"
 	"hyades/internal/lint/summary"
 )
 
@@ -32,10 +33,14 @@ import (
 // The rule resolves the offloaded function at each boundary call site:
 // a literal or named function is checked against its effect summary
 // with the full witness chain; a forwarded parameter is skipped here
-// and checked where the concrete function enters; anything else (a
-// func value loaded from a field or variable) cannot be verified and
-// is flagged as unresolvable, because an unverifiable phase is a hole
-// in the determinism contract.
+// and checked where the concrete function enters.  A func value from
+// a variable, field or element is resolved through the points-to
+// analysis: when the points-to set is complete and every member is an
+// in-module function, each candidate phase is checked like a named
+// one.  Only when points-to cannot vouch (the value escapes the
+// analyzed set or mixes with unknown) is the site flagged as
+// unresolvable, because an unverifiable phase is a hole in the
+// determinism contract.
 var Execpure = &analysis.Analyzer{
 	Name: "execpure",
 	Doc:  "offloaded Exec phases must be engine-pure: no comm/engine effects, no global writes",
@@ -58,7 +63,7 @@ func runExecpure(pass *analysis.Pass) (interface{}, error) {
 				if j >= len(site.Call.Args) {
 					continue
 				}
-				checkExecArg(pass, s, n, unparen(site.Call.Args[j]))
+				checkExecArg(pass, m, n, unparen(site.Call.Args[j]))
 			}
 		}
 	}
@@ -67,8 +72,9 @@ func runExecpure(pass *analysis.Pass) (interface{}, error) {
 
 // checkExecArg verifies one function value entering an offload
 // boundary.
-func checkExecArg(pass *analysis.Pass, s *summary.Set, n *callgraph.Node, arg ast.Expr) {
+func checkExecArg(pass *analysis.Pass, m *Module, n *callgraph.Node, arg ast.Expr) {
 	info := pass.TypesInfo
+	s := m.Summaries
 	var root *callgraph.Node
 	switch arg := arg.(type) {
 	case *ast.FuncLit:
@@ -82,6 +88,12 @@ func checkExecArg(pass *analysis.Pass, s *summary.Set, n *callgraph.Node, arg as
 				return // forwarding: checked where the concrete func enters
 			}
 			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				if roots, ok := pointsRoots(m, arg); ok {
+					for _, r := range roots {
+						reportImpure(pass, s, arg, r)
+					}
+					return
+				}
 				pass.Reportf(arg.Pos(),
 					"cannot statically resolve the function offloaded to Exec (func value in variable %q); pass a literal or named function so engine-purity is checkable", arg.Name)
 			}
@@ -100,11 +112,23 @@ func checkExecArg(pass *analysis.Pass, s *summary.Set, n *callgraph.Node, arg as
 				return
 			}
 		} else {
+			if roots, ok := pointsRoots(m, arg); ok {
+				for _, r := range roots {
+					reportImpure(pass, s, arg, r)
+				}
+				return
+			}
 			pass.Reportf(arg.Pos(),
 				"cannot statically resolve the function offloaded to Exec (func value from field/selector); pass a literal or named function so engine-purity is checkable")
 			return
 		}
 	default:
+		if roots, ok := pointsRoots(m, arg); ok {
+			for _, r := range roots {
+				reportImpure(pass, s, arg, r)
+			}
+			return
+		}
 		pass.Reportf(arg.Pos(),
 			"cannot statically resolve the function offloaded to Exec; pass a literal or named function so engine-purity is checkable")
 		return
@@ -112,6 +136,34 @@ func checkExecArg(pass *analysis.Pass, s *summary.Set, n *callgraph.Node, arg as
 	if root == nil {
 		return
 	}
+	reportImpure(pass, s, arg, root)
+}
+
+// pointsRoots resolves an offloaded func value through the points-to
+// analysis.  It vouches (ok) only when the value's points-to set is
+// non-empty and every member is an in-module function body — the
+// complete phase set, each member checkable like a named function.
+func pointsRoots(m *Module, arg ast.Expr) ([]*callgraph.Node, bool) {
+	if m.Points == nil {
+		return nil, false
+	}
+	objs := m.Points.ExprPointsTo(arg)
+	if len(objs) == 0 {
+		return nil, false
+	}
+	var roots []*callgraph.Node
+	for _, o := range objs {
+		if o.Kind != pointsto.KFunc || o.Fn == nil {
+			return nil, false // unknown, out-of-set, or not a function
+		}
+		roots = append(roots, o.Fn)
+	}
+	return roots, true
+}
+
+// reportImpure flags every forbidden effect of one resolved phase
+// root, with its witness chain.
+func reportImpure(pass *analysis.Pass, s *summary.Set, arg ast.Expr, root *callgraph.Node) {
 	bad := s.Of(root).Effects & execForbidden
 	if bad == 0 {
 		return

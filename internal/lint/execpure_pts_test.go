@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/load"
+	"hyades/internal/lint/pointsto"
+	"hyades/internal/lint/summary"
+)
+
+// TestExecpureUnverifiableDecreases pins the acceptance criterion of
+// the points-to upgrade: on the same fixture, the number of "cannot
+// statically resolve" findings is strictly smaller under the
+// points-to-refined pipeline than under CHA alone, and no impurity
+// finding is lost in the trade.
+func TestExecpureUnverifiableDecreases(t *testing.T) {
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/execpure", "execpure")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.Errors)
+	}
+
+	run := func(m *Module) (unresolvable, impure int) {
+		t.Helper()
+		diags, err := analysis.RunPassMod(Execpure, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, m)
+		if err != nil {
+			t.Fatalf("execpure: %v", err)
+		}
+		for _, d := range diags {
+			switch {
+			case strings.Contains(d.Message, "cannot statically resolve"):
+				unresolvable++
+			case strings.Contains(d.Message, "not engine-pure"):
+				impure++
+			}
+		}
+		return unresolvable, impure
+	}
+
+	// CHA-only: the graph as built, no points-to, no refinement.
+	chaGraph := callgraph.Build(pkg.Closure())
+	chaUnres, chaImpure := run(&Module{
+		Graph:     chaGraph,
+		Summaries: summary.Compute(chaGraph),
+	})
+
+	// Full pipeline, as ModuleFor wires it.
+	g := callgraph.Build(pkg.Closure())
+	pts := pointsto.Analyze(g)
+	g.Refine(func(call *ast.CallExpr) ([]*callgraph.Node, bool) {
+		r := pts.Resolution(call)
+		if r == nil || r.Incomplete {
+			return nil, false
+		}
+		return r.Callees, true
+	})
+	ptsUnres, ptsImpure := run(&Module{
+		Graph:     g,
+		Points:    pts,
+		Summaries: summary.Compute(g),
+	})
+
+	if ptsUnres >= chaUnres {
+		t.Errorf("unverifiable findings: points-to %d, CHA %d; want a strict decrease", ptsUnres, chaUnres)
+	}
+	// The genuinely escaping sites (exported-function parameters) must
+	// survive: points-to may not claim completeness it cannot prove.
+	if ptsUnres == 0 {
+		t.Errorf("unverifiable findings dropped to zero: escaping func values must stay flagged")
+	}
+	// Resolution converts unverifiable sites into checked ones; the
+	// impure set can only grow (resolvedVar/resolvedField now carry
+	// witness chains).
+	if ptsImpure < chaImpure {
+		t.Errorf("impure findings: points-to %d, CHA %d; resolution must not lose findings", ptsImpure, chaImpure)
+	}
+}

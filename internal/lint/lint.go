@@ -15,9 +15,12 @@
 //	dimcheck    — no arithmetic mixing units.Time/Bandwidth/Size dimensions
 //	redorder    — no manual float accumulations feeding GlobalSum
 //	execpure    — no comm/engine effects or global writes in Exec phases
+//	capturealias — no engine-owned state captured by reference into Exec phases
 //	hotalloc    — no event-path allocation sites beyond the committed budget
+//	shareheap   — no rank-code writes to cross-rank shared heap (partition safety)
 //
-// detsource, schedpast, commlock, execpure and hotalloc are
+// detsource, schedpast, commlock, execpure, capturealias, hotalloc and
+// shareheap are
 // interprocedural: they run over the call graph and effect summaries
 // of the package's import closure (internal/lint/callgraph and
 // internal/lint/summary), so an effect hidden behind helper calls is
@@ -50,17 +53,21 @@ var Analyzers = []*analysis.Analyzer{
 	Dimcheck,
 	Redorder,
 	Execpure,
+	Capturealias,
 	Hotalloc,
+	Shareheap,
 }
 
 // Interprocedural marks the analyzers that consult pass.Module; a
 // driver running none of them can skip building the module context.
 var Interprocedural = map[*analysis.Analyzer]bool{
-	Detsource: true,
-	Schedpast: true,
-	Commlock:  true,
-	Execpure:  true,
-	Hotalloc:  true,
+	Detsource:    true,
+	Schedpast:    true,
+	Commlock:     true,
+	Execpure:     true,
+	Capturealias: true,
+	Hotalloc:     true,
+	Shareheap:    true,
 }
 
 // simCorePackages hold simulation state or run inside the coroutine
@@ -116,6 +123,15 @@ var hotallocPackages = []string{
 	"hyades/internal/comm",
 }
 
+// shareheapPackages hold rank-spawning launchers and the rank bodies
+// they run; the partition-safety certificate applies here.
+var shareheapPackages = []string{
+	"hyades/internal/des",
+	"hyades/internal/cluster",
+	"hyades/internal/netmodel",
+	"hyades/internal/gcm",
+}
+
 // AnalyzersFor returns the analyzers that apply to the package with the
 // given import path.  unitlit, schedpast and commlock guard call sites
 // anywhere in the module; dimcheck everywhere except package units
@@ -137,9 +153,12 @@ func AnalyzersFor(importPath string) []*analysis.Analyzer {
 	if underAny(importPath, redorderPackages) {
 		as = append(as, Redorder)
 	}
-	as = append(as, Execpure)
+	as = append(as, Execpure, Capturealias)
 	if underAny(importPath, hotallocPackages) {
 		as = append(as, Hotalloc)
+	}
+	if underAny(importPath, shareheapPackages) {
+		as = append(as, Shareheap)
 	}
 	return as
 }

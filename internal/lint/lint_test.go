@@ -52,6 +52,14 @@ func TestHotalloc(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Hotalloc, "hotalloc", "hotallocclean")
 }
 
+func TestShareheap(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Shareheap, "shareheap")
+}
+
+func TestCapturealias(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Capturealias, "capturealias")
+}
+
 // Interprocedural fixtures: the PR 1-2 rules upgraded with call-graph
 // context.  Each imports a helper fixture package so the flagged chain
 // genuinely crosses a package boundary.
@@ -131,6 +139,9 @@ func TestAnalyzersForScope(t *testing.T) {
 		if !m["execpure"] {
 			t.Errorf("execpure must apply module-wide, got %v", m)
 		}
+		if !m["capturealias"] {
+			t.Errorf("capturealias must apply module-wide, got %v", m)
+		}
 	}
 	if !des["hotalloc"] {
 		t.Errorf("des must be under the allocation ratchet, got %v", des)
@@ -142,6 +153,22 @@ func TestAnalyzersForScope(t *testing.T) {
 		if probe.m["hotalloc"] {
 			t.Errorf("%s is not an event-path package, must not be ratcheted, got %v", probe.name, probe.m)
 		}
+	}
+	// shareheap certifies the rank-spawning launchers and the rank
+	// bodies they run: des (the engine), the two launchers, and gcm.
+	for _, path := range []string{
+		"hyades/internal/des",
+		"hyades/internal/cluster",
+		"hyades/internal/netmodel",
+		"hyades/internal/gcm",
+		"hyades/internal/gcm/solver",
+	} {
+		if !names(path)["shareheap"] {
+			t.Errorf("%s must be under the partition-safety certificate", path)
+		}
+	}
+	if rep["shareheap"] {
+		t.Errorf("report spawns no ranks, must not carry shareheap, got %v", rep)
 	}
 }
 

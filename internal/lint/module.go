@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"go/types"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"hyades/internal/lint/analysis"
 	"hyades/internal/lint/callgraph"
 	"hyades/internal/lint/load"
+	"hyades/internal/lint/pointsto"
 	"hyades/internal/lint/summary"
 )
 
@@ -28,10 +30,20 @@ type Module struct {
 	Graph     *callgraph.Graph
 	Summaries *summary.Set
 
+	// Points is the Andersen points-to analysis over the same
+	// closure; the graph's dynamic and interface sites are refined
+	// with it before summaries are computed.
+	Points *pointsto.Analysis
+
 	// Budget is the hot-path allocation allowance; BudgetPath is where
 	// it was read from (and where -writebudget rewrites it).
 	Budget     *allocbudget.Budget
 	BudgetPath string
+
+	// share caches the module-wide partition-safety findings (see
+	// shareheap.go); computed once, reported per package.
+	share     []shareFinding
+	shareDone bool
 }
 
 // moduleCache shares built contexts between packages with the same
@@ -56,8 +68,19 @@ func ModuleFor(pkg *load.Package) *Module {
 		return m
 	}
 	g := callgraph.Build(closure)
+	pts := pointsto.Analyze(g)
+	// Narrow func-value and interface edges where points-to proved the
+	// complete callee set; summaries then run on the sharper graph.
+	g.Refine(func(call *ast.CallExpr) ([]*callgraph.Node, bool) {
+		r := pts.Resolution(call)
+		if r == nil || r.Incomplete {
+			return nil, false
+		}
+		return r.Callees, true
+	})
 	m := &Module{
 		Graph:      g,
+		Points:     pts,
 		Summaries:  summary.Compute(g),
 		BudgetPath: budgetPathFor(pkg),
 	}

@@ -1,0 +1,994 @@
+package pointsto
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/load"
+)
+
+// This file turns ASTs into constraints.  Each call-graph node's body
+// is walked once (nested literals are separate nodes and are
+// skipped); package-level variable initializers are walked in a
+// context with no node.  The walk is a hand-written recursion rather
+// than ast.Inspect because assignment targets, addressed operands and
+// rvalues all need different treatment.
+
+type genCtx struct {
+	node *callgraph.Node // nil inside package-level initializers
+	pkg  *load.Package
+}
+
+func (a *Analysis) info() *types.Info { return a.ctx.pkg.Info }
+
+// genPackageInits processes pkg's package-level var declarations:
+// storage objects for the variables, constraints for the
+// initializers.
+func (a *Analysis) genPackageInits(pkg *load.Package) {
+	a.ctx = genCtx{pkg: pkg}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				a.genValueSpec(vs)
+			}
+		}
+	}
+}
+
+// genNode processes one body: named results wire into return nodes,
+// then the statements.
+func (a *Analysis) genNode(n *callgraph.Node) {
+	a.ctx = genCtx{node: n, pkg: n.Pkg}
+	sig := a.sigOf(n)
+	if sig != nil {
+		for i := 0; i < sig.Results().Len(); i++ {
+			rv := sig.Results().At(i)
+			if rv.Name() != "" && rv.Name() != "_" {
+				a.ensureEdge(a.varNodeFor(rv), a.retNodeFor(n, i))
+			}
+		}
+	}
+	a.walkStmt(n.Body)
+}
+
+// ---- statements ----
+
+func (a *Analysis) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			a.walkStmt(st)
+		}
+	case *ast.ExprStmt:
+		a.evalExpr(s.X)
+	case *ast.AssignStmt:
+		a.genAssign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					a.genValueSpec(vs)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		a.genReturn(s)
+	case *ast.IfStmt:
+		a.walkStmt(s.Init)
+		a.evalExpr(s.Cond)
+		a.walkStmt(s.Body)
+		a.walkStmt(s.Else)
+	case *ast.ForStmt:
+		a.walkStmt(s.Init)
+		if s.Cond != nil {
+			a.evalExpr(s.Cond)
+		}
+		a.walkStmt(s.Post)
+		a.walkStmt(s.Body)
+	case *ast.RangeStmt:
+		a.genRange(s)
+	case *ast.SwitchStmt:
+		a.walkStmt(s.Init)
+		if s.Tag != nil {
+			a.evalExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				a.evalExpr(e)
+			}
+			for _, st := range cc.Body {
+				a.walkStmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		a.genTypeSwitch(s)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			a.walkStmt(cc.Comm)
+			for _, st := range cc.Body {
+				a.walkStmt(st)
+			}
+		}
+	case *ast.SendStmt:
+		ch := a.evalExpr(s.Chan)
+		v := a.evalExpr(s.Value)
+		// Channel contents collapse into the element cell; sends are
+		// not recorded as writes — channels are the sanctioned,
+		// synchronized way to move data between ranks.
+		a.attach(ch, storeC{elemField, v})
+	case *ast.IncDecStmt:
+		a.recordWriteExpr(s.X, s.X.Pos())
+	case *ast.GoStmt:
+		a.evalExpr(s.Call)
+	case *ast.DeferStmt:
+		a.evalExpr(s.Call)
+	case *ast.LabeledStmt:
+		a.walkStmt(s.Stmt)
+	}
+}
+
+// genValueSpec handles `var a, b T = ...` in any scope.
+func (a *Analysis) genValueSpec(vs *ast.ValueSpec) {
+	info := a.info()
+	vars := make([]*types.Var, len(vs.Names))
+	for i, name := range vs.Names {
+		v, _ := info.Defs[name].(*types.Var)
+		vars[i] = v
+		if v != nil {
+			// Materialize storage (and register globals) even when the
+			// variable is never addressed.
+			a.varNodeFor(v)
+			if isGlobalVar(v) {
+				a.storageFor(v)
+			}
+		}
+	}
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		if call, ok := callgraph.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			a.evalExpr(call)
+			for i, v := range vars {
+				if v != nil {
+					a.bindValue(a.resNodeFor(call, i), v)
+				}
+			}
+			return
+		}
+	}
+	for i, val := range vs.Values {
+		vn := a.evalExpr(val)
+		if i < len(vars) && vars[i] != nil {
+			a.bindValue(vn, vars[i])
+		}
+	}
+}
+
+func (a *Analysis) genReturn(s *ast.ReturnStmt) {
+	if a.ctx.node == nil {
+		return
+	}
+	if len(s.Results) == 1 {
+		if call, ok := callgraph.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+			sig := a.sigOf(a.ctx.node)
+			if sig != nil && sig.Results().Len() > 1 {
+				a.evalExpr(call)
+				for i := 0; i < sig.Results().Len(); i++ {
+					a.ensureEdge(a.resNodeFor(call, i), a.retNodeFor(a.ctx.node, i))
+				}
+				return
+			}
+		}
+	}
+	for i, e := range s.Results {
+		a.ensureEdge(a.evalExpr(e), a.retNodeFor(a.ctx.node, i))
+	}
+}
+
+func (a *Analysis) genAssign(s *ast.AssignStmt) {
+	info := a.info()
+	record := s.Tok != token.DEFINE
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		rhs := callgraph.Unparen(s.Rhs[0])
+		switch rhs := rhs.(type) {
+		case *ast.CallExpr:
+			a.evalExpr(rhs)
+			for i, lhs := range s.Lhs {
+				var t types.Type
+				if tv, ok := info.Types[rhs]; ok {
+					if tup, ok := tv.Type.(*types.Tuple); ok && i < tup.Len() {
+						t = tup.At(i).Type()
+					}
+				}
+				a.assignTo(lhs, a.resNodeFor(rhs, i), t, record)
+			}
+			return
+		default:
+			// v, ok := m[k] / <-ch / x.(T): the value flows to the
+			// first target, ok is a scalar.
+			vn := a.evalExpr(rhs)
+			a.assignTo(s.Lhs[0], vn, typeOf(info, rhs), record)
+			a.assignTo(s.Lhs[1], a.deadNode(), nil, record)
+			return
+		}
+	}
+	for i := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		vn := a.evalExpr(s.Rhs[i])
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// Compound assignment (+=, |=, ...): scalar/string only,
+			// no pointer flow — but the mutation itself counts.
+			a.recordWriteExpr(s.Lhs[i], s.Lhs[i].Pos())
+			continue
+		}
+		a.assignTo(s.Lhs[i], vn, typeOf(info, s.Rhs[i]), record)
+	}
+}
+
+// assignTo binds a value node to an assignment target, recording the
+// write when record is set (plain `=`; `:=` is initialization).
+func (a *Analysis) assignTo(lhs ast.Expr, vn int, vt types.Type, record bool) {
+	info := a.info()
+	lhs = callgraph.Unparen(lhs)
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		v := varFor(info, lhs)
+		if v == nil {
+			return
+		}
+		a.bindValue(vn, v)
+		if record {
+			a.recordVarWrite(lhs, v)
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[lhs.Sel].(*types.Var); ok && info.Selections[lhs] == nil {
+			// Qualified package-level variable: pkg.V = x.
+			a.bindValue(vn, v)
+			if record {
+				a.recordVarWrite(lhs, v)
+			}
+			return
+		}
+		base := a.evalExpr(lhs.X)
+		f := lhs.Sel.Name
+		ft := typeOf(info, lhs)
+		a.storeInto(base, f, vn, ft)
+		if record {
+			a.recordObjWrite(lhs, base, f)
+		}
+	case *ast.IndexExpr:
+		base := a.evalExpr(lhs.X)
+		a.evalExpr(lhs.Index)
+		ft := typeOf(info, lhs)
+		a.storeInto(base, elemField, vn, ft)
+		if record {
+			a.recordObjWrite(lhs, base, elemField)
+		}
+	case *ast.StarExpr:
+		base := a.evalExpr(lhs.X)
+		ft := typeOf(info, lhs)
+		a.storeInto(base, elemField, vn, ft)
+		if record {
+			a.recordObjWrite(lhs, base, elemField)
+		}
+	}
+}
+
+func (a *Analysis) storeInto(base int, field string, src int, t types.Type) {
+	if t == nil {
+		return
+	}
+	if structlike(t) {
+		a.attach(base, storeSubC{field, t, src})
+		return
+	}
+	if pointerish(t) {
+		a.attach(base, storeC{field, src})
+	}
+}
+
+func (a *Analysis) genRange(s *ast.RangeStmt) {
+	info := a.info()
+	xn := a.evalExpr(s.X)
+	xt := typeOf(info, s.X)
+	record := s.Tok == token.ASSIGN
+	if xt == nil {
+		a.walkStmt(s.Body)
+		return
+	}
+	var keyT, valT types.Type
+	load := true
+	switch u := xt.Underlying().(type) {
+	case *types.Slice:
+		valT = u.Elem()
+	case *types.Array:
+		valT = u.Elem()
+	case *types.Pointer: // *[N]T
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			valT = arr.Elem()
+		}
+	case *types.Map:
+		keyT, valT = u.Key(), u.Elem()
+	case *types.Chan:
+		valT = u.Elem()
+	default:
+		load = false // string, int, func iterators: no tracked elements
+	}
+	bindRange := func(target ast.Expr, t types.Type) {
+		if target == nil || t == nil {
+			return
+		}
+		n := a.newNode()
+		if structlike(t) {
+			a.attach(xn, loadSubC{elemField, t, n})
+			a.recordLoad(xn, elemField)
+		} else if pointerish(t) {
+			a.attach(xn, loadC{elemField, n})
+			a.recordLoad(xn, elemField)
+		}
+		a.assignTo(target, n, t, record)
+	}
+	if load {
+		// Map keys share the element cell with values: collapsed but
+		// conservative.
+		bindRange(s.Key, keyT)
+		bindRange(s.Value, valT)
+	}
+	a.walkStmt(s.Body)
+}
+
+func (a *Analysis) genTypeSwitch(s *ast.TypeSwitchStmt) {
+	a.walkStmt(s.Init)
+	info := a.info()
+	var xn = -1
+	switch assign := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if ta, ok := callgraph.Unparen(assign.Rhs[0]).(*ast.TypeAssertExpr); ok {
+			xn = a.evalExpr(ta.X)
+		}
+	case *ast.ExprStmt:
+		if ta, ok := callgraph.Unparen(assign.X).(*ast.TypeAssertExpr); ok {
+			xn = a.evalExpr(ta.X)
+		}
+	}
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if v, ok := info.Implicits[cc].(*types.Var); ok && xn >= 0 {
+			a.bindValue(xn, v)
+		}
+		for _, st := range cc.Body {
+			a.walkStmt(st)
+		}
+	}
+}
+
+// ---- expressions ----
+
+// evalExpr returns the constraint node carrying e's points-to set,
+// generating e's constraints exactly once.
+func (a *Analysis) evalExpr(e ast.Expr) int {
+	e = callgraph.Unparen(e)
+	if n, ok := a.exprNodes[e]; ok {
+		return n
+	}
+	n := a.evalUncached(e)
+	a.exprNodes[e] = n
+	return n
+}
+
+func (a *Analysis) evalUncached(e ast.Expr) int {
+	info := a.info()
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		switch obj := obj.(type) {
+		case *types.Var:
+			return a.varNodeFor(obj)
+		case *types.Func:
+			return a.funcValueNode(obj)
+		}
+		return a.deadNode()
+	case *ast.SelectorExpr:
+		return a.evalSelector(e)
+	case *ast.StarExpr:
+		return a.loadFrom(a.evalExpr(e.X), elemField, typeOf(info, e))
+	case *ast.IndexExpr:
+		if fn := genericFuncValue(info, e); fn != nil {
+			return a.funcValueNode(fn)
+		}
+		base := a.evalExpr(e.X)
+		a.evalExpr(e.Index)
+		return a.loadFrom(base, elemField, typeOf(info, e))
+	case *ast.IndexListExpr:
+		if fn := genericFuncValue(info, e); fn != nil {
+			return a.funcValueNode(fn)
+		}
+		return a.deadNode()
+	case *ast.SliceExpr:
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				a.evalExpr(b)
+			}
+		}
+		return a.evalExpr(e.X) // same backing store
+	case *ast.CallExpr:
+		return a.genCall(e)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			return a.addrOf(e.X)
+		case token.ARROW:
+			return a.loadFrom(a.evalExpr(e.X), elemField, typeOf(info, e))
+		}
+		a.evalExpr(e.X)
+		return a.deadNode()
+	case *ast.BinaryExpr:
+		a.evalExpr(e.X)
+		a.evalExpr(e.Y)
+		return a.deadNode()
+	case *ast.CompositeLit:
+		return a.genComposite(e)
+	case *ast.FuncLit:
+		return a.litValueNode(e)
+	case *ast.TypeAssertExpr:
+		// Pass-through: every object flows, regardless of the asserted
+		// type (over-approximation).
+		return a.evalExpr(e.X)
+	}
+	return a.deadNode()
+}
+
+// loadFrom creates a node fed by cell field of the base set, and
+// records the access.
+func (a *Analysis) loadFrom(base int, field string, t types.Type) int {
+	n := a.newNode()
+	if t == nil {
+		return n
+	}
+	if structlike(t) {
+		a.attach(base, loadSubC{field, t, n})
+		a.recordLoad(base, field)
+	} else if pointerish(t) {
+		a.attach(base, loadC{field, n})
+		a.recordLoad(base, field)
+	}
+	return n
+}
+
+func (a *Analysis) evalSelector(e *ast.SelectorExpr) int {
+	info := a.info()
+	sel := info.Selections[e]
+	if sel == nil {
+		// Qualified identifier: pkg.Var or pkg.Func.
+		switch obj := info.Uses[e.Sel].(type) {
+		case *types.Var:
+			return a.varNodeFor(obj)
+		case *types.Func:
+			return a.funcValueNode(obj)
+		}
+		return a.deadNode()
+	}
+	switch sel.Kind() {
+	case types.FieldVal:
+		base := a.evalExpr(e.X)
+		return a.loadFrom(base, e.Sel.Name, sel.Type())
+	case types.MethodVal:
+		return a.methodValueNode(e)
+	case types.MethodExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			n := a.funcValueNode(fn)
+			for _, o := range a.PointsTo(n) {
+				o.ExprRecv = true
+			}
+			return n
+		}
+	}
+	return a.deadNode()
+}
+
+// funcValueNode returns a node holding the KFunc object for a
+// declared function referenced as a value.
+func (a *Analysis) funcValueNode(fn *types.Func) int {
+	fn = fn.Origin()
+	if n, ok := a.funcValues[fn]; ok {
+		return n
+	}
+	o := a.newObject(KFunc, fn.Pos(), fn.Type(), nil, fn.Name())
+	o.Fn = a.Graph.FuncNode(fn)
+	o.FuncObj = fn
+	n := a.newNode()
+	a.addTo(n, o.ID)
+	a.funcValues[fn] = n
+	return n
+}
+
+// litValueNode returns a node holding the KFunc object for a function
+// literal.
+func (a *Analysis) litValueNode(l *ast.FuncLit) int {
+	if n, ok := a.litValues[l]; ok {
+		return n
+	}
+	node := a.Graph.LitNode(l)
+	what := "func literal"
+	if node != nil {
+		what = node.String()
+	}
+	o := a.newObject(KFunc, l.Pos(), typeOf(a.info(), l), a.ctx.node, what)
+	o.Fn = node
+	n := a.newNode()
+	a.addTo(n, o.ID)
+	a.litValues[l] = n
+	return n
+}
+
+// methodValueNode models x.M used as a value: a KFunc object carrying
+// the receiver set, bound when the value is eventually called.
+func (a *Analysis) methodValueNode(e *ast.SelectorExpr) int {
+	info := a.info()
+	fn, _ := info.Uses[e.Sel].(*types.Func)
+	if fn == nil {
+		return a.deadNode()
+	}
+	fn = fn.Origin()
+	rn := a.newNode()
+	a.ensureEdge(a.evalExpr(e.X), rn)
+	o := a.newObject(KFunc, e.Pos(), typeOf(info, e), a.ctx.node, fn.Name())
+	o.Fn = a.Graph.FuncNode(fn)
+	o.FuncObj = fn
+	o.RecvNode = rn
+	n := a.newNode()
+	a.addTo(n, o.ID)
+	return n
+}
+
+// addrOf evaluates &x: the storage object for variables, the
+// composite's object for literals, and — for field/element addresses
+// — the base object set (object-granular, a documented
+// approximation: a pointer to x.f aliases all of x).
+func (a *Analysis) addrOf(x ast.Expr) int {
+	info := a.info()
+	x = callgraph.Unparen(x)
+	switch x := x.(type) {
+	case *ast.Ident:
+		v := varFor(info, x)
+		if v == nil {
+			return a.deadNode()
+		}
+		a.varNodeFor(v) // materialize before storage aliasing
+		o := a.storageFor(v)
+		n := a.newNode()
+		a.addTo(n, o.ID)
+		return n
+	case *ast.CompositeLit:
+		return a.genComposite(x)
+	case *ast.SelectorExpr:
+		if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal && structlike(sel.Type()) {
+			return a.evalExpr(x) // &x.f of a struct field: the field sub-object
+		}
+		if sel := info.Selections[x]; sel == nil {
+			return a.addrOf(x.Sel) // &pkg.V
+		}
+		return a.evalExpr(x.X)
+	case *ast.IndexExpr:
+		if et := typeOf(info, x); et != nil && structlike(et) {
+			return a.evalExpr(x) // &s[i] of struct elements: the element sub-object
+		}
+		a.evalExpr(x.Index)
+		return a.evalExpr(x.X)
+	case *ast.StarExpr:
+		return a.evalExpr(x.X) // &*p == p
+	}
+	a.evalExpr(x)
+	return a.deadNode()
+}
+
+// genComposite allocates an object for a composite literal and wires
+// its element initializers.  Initialization is not recorded as
+// writing: the object cannot be shared before it exists.
+func (a *Analysis) genComposite(e *ast.CompositeLit) int {
+	info := a.info()
+	t := typeOf(info, e)
+	if t == nil {
+		return a.deadNode()
+	}
+	o := a.newObject(KAlloc, e.Pos(), t, a.ctx.node, typeLabel(t))
+	n := a.newNode()
+	a.addTo(n, o.ID)
+	initCell := func(field string, ft types.Type, val ast.Expr) {
+		vn := a.evalExpr(val)
+		if ft == nil {
+			return
+		}
+		if structlike(ft) {
+			so := a.subObject(o, field, ft)
+			a.attach(vn, copyIntoC{dst: so})
+		} else if pointerish(ft) {
+			a.ensureEdge(vn, a.cellOf(o, field))
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				key, _ := callgraph.Unparen(kv.Key).(*ast.Ident)
+				if key == nil {
+					continue
+				}
+				ft := typeOf(info, kv.Value)
+				if f, ok := info.Uses[key].(*types.Var); ok {
+					ft = f.Type()
+				}
+				initCell(key.Name, ft, kv.Value)
+				continue
+			}
+			if i < u.NumFields() {
+				initCell(u.Field(i).Name(), u.Field(i).Type(), el)
+			}
+		}
+	case *types.Slice:
+		for _, el := range e.Elts {
+			a.initElem(o, u.Elem(), el)
+		}
+	case *types.Array:
+		for _, el := range e.Elts {
+			a.initElem(o, u.Elem(), el)
+		}
+	case *types.Map:
+		for _, el := range e.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			a.initElem(o, u.Key(), kv.Key)
+			a.initElem(o, u.Elem(), kv.Value)
+		}
+	}
+	return n
+}
+
+func (a *Analysis) initElem(o *Object, et types.Type, val ast.Expr) {
+	if kv, ok := val.(*ast.KeyValueExpr); ok {
+		// Keyed array/slice element: {3: v}.
+		val = kv.Value
+	}
+	vn := a.evalExpr(val)
+	if structlike(et) {
+		so := a.subObject(o, elemField, et)
+		a.attach(vn, copyIntoC{dst: so})
+	} else if pointerish(et) {
+		a.ensureEdge(vn, a.cellOf(o, elemField))
+	}
+}
+
+// ---- calls ----
+
+func (a *Analysis) genCall(call *ast.CallExpr) int {
+	info := a.info()
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: reference-preserving for pointerish targets.
+		vn := a.evalExpr(call.Args[0])
+		if t := typeOf(info, call); t != nil && pointerish(t) {
+			return vn
+		}
+		return a.deadNode()
+	}
+	fun := callgraph.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return a.genBuiltin(call, b.Name())
+		}
+	}
+
+	nres := resultCount(info, call)
+	ci := &callInfo{call: call, pkg: a.ctx.pkg.Types, ellipsis: call.Ellipsis.IsValid()}
+	for i := 0; i < nres; i++ {
+		ci.results = append(ci.results, a.resNodeFor(call, i))
+	}
+	for _, arg := range call.Args {
+		ci.args = append(ci.args, a.evalExpr(arg))
+	}
+
+	site := a.siteOf[call]
+	switch {
+	case site != nil && site.Iface:
+		sel := fun.(*ast.SelectorExpr)
+		ci.name = sel.Sel.Name
+		a.attach(a.evalExpr(sel.X), ifaceC{ci})
+	case site != nil && site.Dynamic:
+		a.attach(a.evalExpr(call.Fun), funcC{ci})
+	case site != nil && site.Static != nil:
+		a.genStaticCall(ci, site.Static, fun)
+	case site != nil && len(site.Callees) == 1 && site.Callees[0].Lit != nil:
+		// Immediately invoked literal.
+		a.litValueNode(site.Callees[0].Lit)
+		a.bindCall(ci, site.Callees[0], -1, nil, false)
+	default:
+		// No site (package-level initializer): classify locally.
+		a.genUntrackedCall(ci, fun)
+	}
+	if nres > 0 {
+		return ci.results[0]
+	}
+	return a.deadNode()
+}
+
+func (a *Analysis) genStaticCall(ci *callInfo, fn *types.Func, fun ast.Expr) {
+	info := a.info()
+	recv := -1
+	if sel, ok := fun.(*ast.SelectorExpr); ok && info.Selections[sel] != nil {
+		recv = a.evalExpr(sel.X)
+	}
+	node := a.Graph.FuncNode(fn.Origin())
+	if node == nil {
+		// Out-of-set callee: results are open, escaping function
+		// values taint their parameters.
+		a.markIncomplete(ci)
+		a.escapeArgs(ci)
+		return
+	}
+	a.bindCall(ci, node, recv, nil, false)
+}
+
+// genUntrackedCall handles calls with no call-graph site
+// (package-level initializer expressions).
+func (a *Analysis) genUntrackedCall(ci *callInfo, fun ast.Expr) {
+	info := a.info()
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			a.genStaticCall(ci, fn, fun)
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			a.genStaticCall(ci, fn, fun)
+			return
+		}
+	case *ast.FuncLit:
+		a.litValueNode(fun)
+		if node := a.Graph.LitNode(fun); node != nil {
+			a.bindCall(ci, node, -1, nil, false)
+			return
+		}
+	}
+	a.attach(a.evalExpr(fun), funcC{ci})
+}
+
+func (a *Analysis) genBuiltin(call *ast.CallExpr, name string) int {
+	info := a.info()
+	switch name {
+	case "append":
+		base := a.evalExpr(call.Args[0])
+		n := a.newNode()
+		a.ensureEdge(base, n)
+		t := typeOf(info, call)
+		var elem types.Type
+		if t != nil {
+			if sl, ok := t.Underlying().(*types.Slice); ok {
+				elem = sl.Elem()
+			}
+			// append may allocate a fresh backing store.
+			o := a.newObject(KAlloc, call.Pos(), t, a.ctx.node, typeLabel(t))
+			a.addTo(n, o.ID)
+		}
+		for _, arg := range call.Args[1:] {
+			vn := a.evalExpr(arg)
+			if call.Ellipsis.IsValid() {
+				// append(s, t...): spread the source elements.
+				vn = a.loadFrom(vn, elemField, elem)
+			}
+			if elem != nil {
+				if structlike(elem) {
+					a.attach(n, storeSubC{elemField, elem, vn})
+				} else if pointerish(elem) {
+					a.attach(n, storeC{elemField, vn})
+				}
+			}
+		}
+		a.recordObjWrite(call, n, elemField)
+		return n
+	case "copy":
+		dst := a.evalExpr(call.Args[0])
+		src := a.evalExpr(call.Args[1])
+		var elem types.Type
+		if t := typeOf(info, call.Args[0]); t != nil {
+			if sl, ok := t.Underlying().(*types.Slice); ok {
+				elem = sl.Elem()
+			}
+		}
+		if elem != nil {
+			vn := a.loadFrom(src, elemField, elem)
+			if structlike(elem) {
+				a.attach(dst, storeSubC{elemField, elem, vn})
+			} else if pointerish(elem) {
+				a.attach(dst, storeC{elemField, vn})
+			}
+		}
+		a.recordObjWrite(call, dst, elemField)
+		return a.deadNode()
+	case "new":
+		t := typeOf(info, call)
+		var pointee types.Type
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			pointee = p.Elem()
+		}
+		o := a.newObject(KAlloc, call.Pos(), pointee, a.ctx.node, typeLabel(pointee))
+		n := a.newNode()
+		a.addTo(n, o.ID)
+		return n
+	case "make":
+		t := typeOf(info, call)
+		for _, arg := range call.Args[1:] {
+			a.evalExpr(arg)
+		}
+		o := a.newObject(KAlloc, call.Pos(), t, a.ctx.node, typeLabel(t))
+		n := a.newNode()
+		a.addTo(n, o.ID)
+		return n
+	case "delete":
+		m := a.evalExpr(call.Args[0])
+		a.evalExpr(call.Args[1])
+		a.recordObjWrite(call, m, elemField)
+		return a.deadNode()
+	case "clear":
+		x := a.evalExpr(call.Args[0])
+		a.recordObjWrite(call, x, elemField)
+		return a.deadNode()
+	case "recover":
+		n := a.newNode()
+		a.addTo(n, a.unknown.ID)
+		return n
+	default: // len, cap, close, panic, print, println, min, max, complex, real, imag
+		for _, arg := range call.Args {
+			a.evalExpr(arg)
+		}
+		return a.deadNode()
+	}
+}
+
+// ---- recording ----
+
+func (a *Analysis) recordLoad(base int, field string) {
+	a.loads = append(a.loads, Access{Node: a.ctx.node, Base: base, Field: field})
+}
+
+func (a *Analysis) recordObjWrite(lhs ast.Expr, base int, field string) {
+	a.writes = append(a.writes, Write{
+		Pos:   lhs.Pos(),
+		Node:  a.ctx.node,
+		Base:  base,
+		Field: field,
+		What:  exprText(a.ctx.pkg.Fset, lhs),
+		Expr:  lhs,
+	})
+}
+
+func (a *Analysis) recordVarWrite(lhs ast.Expr, v *types.Var) {
+	a.writes = append(a.writes, Write{
+		Pos:  lhs.Pos(),
+		Node: a.ctx.node,
+		Base: -1,
+		Var:  v,
+		What: v.Name(),
+		Expr: lhs,
+	})
+}
+
+// recordWriteExpr records a mutation through an arbitrary lvalue
+// (IncDec, compound assignment) without generating flow.
+func (a *Analysis) recordWriteExpr(lhs ast.Expr, pos token.Pos) {
+	info := a.info()
+	lhs = callgraph.Unparen(lhs)
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if v := varFor(info, lhs); v != nil {
+			a.recordVarWrite(lhs, v)
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[lhs.Sel].(*types.Var); ok && info.Selections[lhs] == nil {
+			a.recordVarWrite(lhs, v)
+			return
+		}
+		a.recordObjWrite(lhs, a.evalExpr(lhs.X), lhs.Sel.Name)
+	case *ast.IndexExpr:
+		a.evalExpr(lhs.Index)
+		a.recordObjWrite(lhs, a.evalExpr(lhs.X), elemField)
+	case *ast.StarExpr:
+		a.recordObjWrite(lhs, a.evalExpr(lhs.X), elemField)
+	}
+}
+
+// ---- small helpers ----
+
+func varFor(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() {
+		return v
+	}
+	return nil
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func resultCount(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return 0
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len()
+	default:
+		if b, ok := t.(*types.Basic); ok && b.Kind() == types.Invalid {
+			return 0
+		}
+		return 1
+	}
+}
+
+func genericFuncValue(info *types.Info, e ast.Expr) *types.Func {
+	var x ast.Expr
+	switch e := e.(type) {
+	case *ast.IndexExpr:
+		x = e.X
+	case *ast.IndexListExpr:
+		x = e.X
+	default:
+		return nil
+	}
+	switch x := callgraph.Unparen(x).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[x].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[x.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func typeLabel(t types.Type) string {
+	if t == nil {
+		return "<unknown type>"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	if buf.Len() > 60 {
+		return buf.String()[:57] + "..."
+	}
+	return buf.String()
+}

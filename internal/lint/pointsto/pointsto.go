@@ -1,0 +1,997 @@
+// Package pointsto implements a flow-insensitive, field-sensitive-lite
+// Andersen-style points-to analysis over one package closure, using
+// only the standard library (like the rest of internal/lint).
+//
+// Abstract objects are allocation sites (new, make, composite
+// literals, &T{}), the implicit storage of addressed or struct-typed
+// variables, package-level variables, function values, and one
+// distinguished Unknown object standing for everything the analyzed
+// set cannot see.  Constraint nodes hold points-to sets; assignments
+// add subset edges, field accesses add load/store constraints, and
+// calls through interfaces or func values add resolution constraints,
+// all propagated to a fixpoint with a delta worklist.
+//
+// Field sensitivity is "lite": named struct fields are distinguished
+// by their final name (embedded promotion flattens into the outer
+// object's namespace), while slice, array, map and channel contents
+// collapse into a single "[*]" cell.  Struct values are modeled with
+// per-variable storage objects; struct assignments, argument bindings
+// and stores copy field cells between objects instead of aliasing
+// them, so a callee mutating its by-value parameter never taints the
+// caller's storage.
+//
+// Soundness posture mirrors the call graph's: within the analyzed
+// set the analysis over-approximates except for the explicitly
+// documented holes (values escaping through standard-library calls
+// are tainted Unknown on the way out but their internals are not
+// tracked; pointers written through Unknown are dropped).  Every
+// consumer treats Unknown as "resolution failed, stay conservative".
+package pointsto
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hyades/internal/lint/callgraph"
+)
+
+// Kind classifies an abstract object.
+type Kind int
+
+const (
+	// KAlloc is a heap allocation site: new, make, a composite
+	// literal, or an append that may grow.
+	KAlloc Kind = iota
+	// KStorage is the implicit storage of a local variable or
+	// parameter (materialized when the variable is addressed or holds
+	// a struct/array value).
+	KStorage
+	// KGlobal is the storage of a package-level variable.
+	KGlobal
+	// KFunc is a function value: a declared function, a bound method
+	// value, or a function literal.
+	KFunc
+	// KField is a materialized struct-typed field (or element) of
+	// another object.
+	KField
+	// KUnknown is the taint object for everything outside the
+	// analyzed set.
+	KUnknown
+)
+
+// An Object is one abstract memory location.
+type Object struct {
+	ID   int
+	Kind Kind
+	Pos  token.Pos
+	// Type is the allocated/stored type (the pointee for &x, the
+	// composite type for literals); nil for Unknown.
+	Type types.Type
+	// Fn is the in-set body behind a KFunc object; nil when the
+	// function lives outside the analyzed set.
+	Fn *callgraph.Node
+	// FuncObj is the declared function behind a KFunc object (nil for
+	// literals).
+	FuncObj *types.Func
+	// Var is the variable behind KStorage/KGlobal objects.
+	Var *types.Var
+	// In is the body the allocation happens in; nil for package-level
+	// objects (use Analysis.OwnerOf for a position-based fallback).
+	In *callgraph.Node
+	// RecvNode holds the bound receiver set for method-value KFunc
+	// objects; -1 otherwise.
+	RecvNode int
+	// ExprRecv marks method-expression values (T.M): the receiver is
+	// passed as the first call argument.
+	ExprRecv bool
+	// What is a short human label for witness rendering.
+	What string
+
+	// unknownCells: every cell of this object additionally holds
+	// Unknown (set for by-value copies of tainted values).
+	unknownCells bool
+}
+
+// A Write is one recorded mutation: a store through a selector, index
+// or dereference (Base >= 0), or a direct assignment to a variable
+// (Var != nil, Base == -1).  Composite-literal initialization is
+// deliberately not recorded: an object is initialized before it can
+// be published.
+type Write struct {
+	Pos   token.Pos
+	Node  *callgraph.Node // writing body; nil for package-level initializers
+	Base  int             // constraint node of the written base objects; -1 for var writes
+	Field string
+	Var   *types.Var // non-nil for direct variable writes
+	What  string     // rendered lvalue
+	Expr  ast.Expr   // the lvalue (or builtin call) as written
+}
+
+// An Access is one recorded pointer-carrying load: reading cell Field
+// of the objects in Base, from within Node.
+type Access struct {
+	Node  *callgraph.Node // nil for package-level initializers
+	Base  int
+	Field string
+}
+
+// A Resolution is the points-to verdict for one dynamic or interface
+// call site.
+type Resolution struct {
+	// Callees are the in-set bodies the call can reach, deduped.
+	Callees []*callgraph.Node
+	// Incomplete is set when an Unknown or out-of-set function value
+	// reached the call: the callee set is a lower bound, not a proof.
+	Incomplete bool
+}
+
+type cellKey struct {
+	obj   int
+	field string
+}
+
+type retKey struct {
+	node int
+	i    int
+}
+
+type resKey struct {
+	call *ast.CallExpr
+	i    int
+}
+
+type bindKey struct {
+	call *ast.CallExpr
+	fn   int
+	recv int
+}
+
+// elemField is the collapsed cell for slice/array/map/chan contents
+// and dereferenced pointees.
+const elemField = "[*]"
+
+// ElemField is the exported name of the collapsed element cell, for
+// clients inspecting recorded Writes and Accesses.
+const ElemField = elemField
+
+// Analysis is the result of one points-to run over a call graph.
+type Analysis struct {
+	Graph   *callgraph.Graph
+	Objects []*Object
+
+	unknown     *Object
+	unknownNode int
+
+	pts    []map[int]bool
+	delta  []map[int]bool
+	queued []bool
+	work   []int
+	succ   [][]int
+	edges  map[uint64]bool
+	cons   [][]constraint
+
+	varNodes  map[*types.Var]int
+	exprNodes map[ast.Expr]int
+	retNodes  map[retKey]int
+	resNodes  map[resKey]int
+	cells     map[cellKey]int
+	cellsOf   map[int][]string
+
+	sub       map[cellKey]*Object
+	pairSeen  map[uint64]bool
+	copyBySrc map[int][]int
+	copyByDst map[int][]int
+	bindSeen  map[bindKey]bool
+	taintSeen map[int]bool
+
+	objForVar   map[*types.Var]*Object
+	funcValues  map[*types.Func]int // node holding the KFunc object
+	litValues   map[*ast.FuncLit]int
+	variadicObj map[*types.Var]*Object
+
+	globals []*Object
+	writes  []Write
+	loads   []Access
+	res     map[*ast.CallExpr]*Resolution
+	free    map[*callgraph.Node][]*types.Var
+	owner   map[*Object]*callgraph.Node
+
+	siteOf map[*ast.CallExpr]*callgraph.Site
+	ctx    genCtx
+}
+
+// Analyze runs the analysis over g's packages to a fixpoint.
+func Analyze(g *callgraph.Graph) *Analysis {
+	a := &Analysis{
+		Graph:       g,
+		edges:       map[uint64]bool{},
+		varNodes:    map[*types.Var]int{},
+		exprNodes:   map[ast.Expr]int{},
+		retNodes:    map[retKey]int{},
+		resNodes:    map[resKey]int{},
+		cells:       map[cellKey]int{},
+		cellsOf:     map[int][]string{},
+		sub:         map[cellKey]*Object{},
+		pairSeen:    map[uint64]bool{},
+		copyBySrc:   map[int][]int{},
+		copyByDst:   map[int][]int{},
+		bindSeen:    map[bindKey]bool{},
+		taintSeen:   map[int]bool{},
+		objForVar:   map[*types.Var]*Object{},
+		funcValues:  map[*types.Func]int{},
+		litValues:   map[*ast.FuncLit]int{},
+		variadicObj: map[*types.Var]*Object{},
+		res:         map[*ast.CallExpr]*Resolution{},
+		free:        map[*callgraph.Node][]*types.Var{},
+		owner:       map[*Object]*callgraph.Node{},
+		siteOf:      map[*ast.CallExpr]*callgraph.Site{},
+	}
+	a.unknown = a.newObject(KUnknown, token.NoPos, nil, nil, "<unknown>")
+	a.unknownNode = a.newNode()
+	a.addTo(a.unknownNode, a.unknown.ID)
+	for _, n := range g.Nodes {
+		for _, s := range n.Sites {
+			a.siteOf[s.Call] = s
+		}
+	}
+	for _, pkg := range g.Packages {
+		a.genPackageInits(pkg)
+	}
+	for _, n := range g.Nodes {
+		a.genNode(n)
+	}
+	a.seedExported()
+	a.solve()
+	return a
+}
+
+// ---- object and node allocation ----
+
+func (a *Analysis) newObject(k Kind, pos token.Pos, t types.Type, in *callgraph.Node, what string) *Object {
+	o := &Object{ID: len(a.Objects), Kind: k, Pos: pos, Type: t, In: in, RecvNode: -1, What: what}
+	a.Objects = append(a.Objects, o)
+	return o
+}
+
+func (a *Analysis) newNode() int {
+	a.pts = append(a.pts, map[int]bool{})
+	a.delta = append(a.delta, map[int]bool{})
+	a.queued = append(a.queued, false)
+	a.succ = append(a.succ, nil)
+	a.cons = append(a.cons, nil)
+	return len(a.pts) - 1
+}
+
+// deadNode is a fresh node that nothing flows into.
+func (a *Analysis) deadNode() int { return a.newNode() }
+
+// Unknown returns the taint object.
+func (a *Analysis) Unknown() *Object { return a.unknown }
+
+// ---- propagation core ----
+
+func (a *Analysis) addTo(n, objID int) {
+	if a.pts[n][objID] {
+		return
+	}
+	a.pts[n][objID] = true
+	a.delta[n][objID] = true
+	if !a.queued[n] {
+		a.queued[n] = true
+		a.work = append(a.work, n)
+	}
+}
+
+func (a *Analysis) ensureEdge(src, dst int) {
+	if src == dst {
+		return
+	}
+	key := uint64(src)<<32 | uint64(uint32(dst))
+	if a.edges[key] {
+		return
+	}
+	a.edges[key] = true
+	a.succ[src] = append(a.succ[src], dst)
+	for _, oid := range sortedKeys(a.pts[src]) {
+		a.addTo(dst, oid)
+	}
+}
+
+func (a *Analysis) attach(n int, c constraint) {
+	a.cons[n] = append(a.cons[n], c)
+	for _, oid := range sortedKeys(a.pts[n]) {
+		c.apply(a, a.Objects[oid])
+	}
+}
+
+func (a *Analysis) solve() {
+	for len(a.work) > 0 {
+		n := a.work[0]
+		a.work = a.work[1:]
+		a.queued[n] = false
+		d := sortedKeys(a.delta[n])
+		a.delta[n] = map[int]bool{}
+		for _, oid := range d {
+			o := a.Objects[oid]
+			// cons/succ may grow while applying; new entries replay the
+			// full set themselves, so a plain snapshot iteration is safe.
+			for _, c := range a.cons[n] {
+				c.apply(a, o)
+			}
+			for _, s := range a.succ[n] {
+				a.addTo(s, oid)
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ---- cells, storage, copy pairs ----
+
+// cellOf returns the constraint node for field f of o, creating it on
+// demand.  The "[*]" cell of a non-struct variable's storage IS the
+// variable's node (so *(&x) reads and writes x), and every cell of
+// Unknown is the Unknown node.
+func (a *Analysis) cellOf(o *Object, field string) int {
+	if o.Kind == KUnknown {
+		return a.unknownNode
+	}
+	if (o.Kind == KStorage || o.Kind == KGlobal) && field == elemField && !structlike(o.Var.Type()) {
+		return a.varNodeFor(o.Var)
+	}
+	ck := cellKey{o.ID, field}
+	if n, ok := a.cells[ck]; ok {
+		return n
+	}
+	n := a.newNode()
+	a.cells[ck] = n
+	a.cellsOf[o.ID] = append(a.cellsOf[o.ID], field)
+	if o.unknownCells {
+		a.addTo(n, a.unknown.ID)
+	}
+	// Wire the new cell into existing copy pairs, registering the cell
+	// before recursing so cyclic pairs terminate.
+	for _, src := range a.copyByDst[o.ID] {
+		a.ensureEdge(a.cellOf(a.Objects[src], field), n)
+	}
+	for _, dst := range a.copyBySrc[o.ID] {
+		a.ensureEdge(n, a.cellOf(a.Objects[dst], field))
+	}
+	return n
+}
+
+// addCopyPair records "dst's fields are copied from src's fields":
+// every present and future cell of src flows into the same-named cell
+// of dst.
+func (a *Analysis) addCopyPair(src, dst *Object) {
+	if src == dst || src.Kind == KUnknown {
+		return
+	}
+	key := uint64(src.ID)<<32 | uint64(uint32(dst.ID))
+	if a.pairSeen[key] {
+		return
+	}
+	a.pairSeen[key] = true
+	a.copyBySrc[src.ID] = append(a.copyBySrc[src.ID], dst.ID)
+	a.copyByDst[dst.ID] = append(a.copyByDst[dst.ID], src.ID)
+	if src.unknownCells {
+		a.markUnknownCells(dst)
+	}
+	for _, f := range a.cellsOf[src.ID] {
+		a.ensureEdge(a.cells[cellKey{src.ID, f}], a.cellOf(dst, f))
+	}
+}
+
+// markUnknownCells taints every cell of o (present and future) with
+// Unknown, propagating through copy pairs.
+func (a *Analysis) markUnknownCells(o *Object) {
+	if o.unknownCells || o.Kind == KUnknown {
+		return
+	}
+	o.unknownCells = true
+	for _, f := range a.cellsOf[o.ID] {
+		a.addTo(a.cells[cellKey{o.ID, f}], a.unknown.ID)
+	}
+	for _, dst := range a.copyBySrc[o.ID] {
+		a.markUnknownCells(a.Objects[dst])
+	}
+}
+
+// subObject materializes the struct-typed field f of o as its own
+// object, seeded into the field's cell, so nested selectors have a
+// target.
+func (a *Analysis) subObject(o *Object, field string, t types.Type) *Object {
+	ck := cellKey{o.ID, field}
+	if so, ok := a.sub[ck]; ok {
+		return so
+	}
+	so := a.newObject(KField, o.Pos, t, o.In, o.What+"."+field)
+	a.sub[ck] = so
+	if o.unknownCells {
+		so.unknownCells = true
+	}
+	a.addTo(a.cellOf(o, field), so.ID)
+	return so
+}
+
+// varNodeFor returns the constraint node holding variable v's value,
+// creating it (and, for struct/array variables, its storage object)
+// on demand.
+func (a *Analysis) varNodeFor(v *types.Var) int {
+	if n, ok := a.varNodes[v]; ok {
+		return n
+	}
+	n := a.newNode()
+	a.varNodes[v] = n
+	if structlike(v.Type()) {
+		o := a.storageFor(v)
+		a.addTo(n, o.ID)
+	}
+	return n
+}
+
+// storageFor returns the storage object of v, creating it on demand.
+func (a *Analysis) storageFor(v *types.Var) *Object {
+	if o, ok := a.objForVar[v]; ok {
+		return o
+	}
+	kind := KStorage
+	if isGlobalVar(v) {
+		kind = KGlobal
+	}
+	// In stays nil: storage can be materialized from a caller's
+	// binding, so the declaring body is recovered positionally by
+	// OwnerOf instead.
+	o := a.newObject(kind, v.Pos(), v.Type(), nil, v.Name())
+	o.Var = v
+	a.objForVar[v] = o
+	if kind == KGlobal {
+		a.globals = append(a.globals, o)
+		if v.Exported() {
+			// Exported globals can be read and written outside the
+			// analyzed closure: their content is open.
+			a.addTo(a.varNodeFor(v), a.unknown.ID)
+			a.markUnknownCells(o)
+		}
+	}
+	return o
+}
+
+func isGlobalVar(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// ---- constraints ----
+
+type constraint interface {
+	apply(a *Analysis, o *Object)
+}
+
+// loadC: dst ⊇ cell(o, field) for every o arriving at the base node.
+type loadC struct {
+	field string
+	dst   int
+}
+
+func (c loadC) apply(a *Analysis, o *Object) {
+	if o.Kind == KUnknown {
+		a.addTo(c.dst, a.unknown.ID)
+		return
+	}
+	a.ensureEdge(a.cellOf(o, c.field), c.dst)
+}
+
+// loadSubC: like loadC for struct-typed fields — materializes the
+// field sub-object first so the cell is never empty.
+type loadSubC struct {
+	field string
+	typ   types.Type
+	dst   int
+}
+
+func (c loadSubC) apply(a *Analysis, o *Object) {
+	if o.Kind == KUnknown {
+		a.addTo(c.dst, a.unknown.ID)
+		return
+	}
+	a.subObject(o, c.field, c.typ)
+	a.ensureEdge(a.cellOf(o, c.field), c.dst)
+}
+
+// storeC: cell(o, field) ⊇ src.  Stores through Unknown are dropped
+// (documented escape hole).
+type storeC struct {
+	field string
+	src   int
+}
+
+func (c storeC) apply(a *Analysis, o *Object) {
+	if o.Kind == KUnknown {
+		return
+	}
+	a.ensureEdge(c.src, a.cellOf(o, c.field))
+}
+
+// storeSubC: a struct value stored into field — copy the value's
+// cells into the materialized field sub-object.
+type storeSubC struct {
+	field string
+	typ   types.Type
+	src   int
+}
+
+func (c storeSubC) apply(a *Analysis, o *Object) {
+	if o.Kind == KUnknown {
+		return
+	}
+	so := a.subObject(o, c.field, c.typ)
+	a.attach(c.src, copyIntoC{dst: so})
+}
+
+// copyIntoC: every struct object arriving at the source node has its
+// cells copied into dst.
+type copyIntoC struct {
+	dst *Object
+}
+
+func (c copyIntoC) apply(a *Analysis, o *Object) {
+	if o.Kind == KUnknown {
+		a.markUnknownCells(c.dst)
+		return
+	}
+	a.addCopyPair(o, c.dst)
+}
+
+// escapeC taints the parameters of in-set functions whose value
+// escapes into a call the analysis cannot see.
+type escapeC struct{}
+
+func (escapeC) apply(a *Analysis, o *Object) {
+	if o.Kind == KFunc && o.Fn != nil {
+		a.taintParams(o.Fn)
+	}
+}
+
+// callInfo carries one call site's evaluated pieces for deferred
+// (constraint-driven) binding.
+type callInfo struct {
+	call     *ast.CallExpr
+	pkg      *types.Package
+	args     []int
+	ellipsis bool
+	results  []int
+	name     string // method name for interface dispatch
+}
+
+// funcC resolves a func-value call as KFunc objects arrive.
+type funcC struct {
+	ci *callInfo
+}
+
+func (c funcC) apply(a *Analysis, o *Object) {
+	switch o.Kind {
+	case KUnknown:
+		a.markIncomplete(c.ci)
+	case KFunc:
+		if o.Fn == nil {
+			a.markIncomplete(c.ci)
+			a.escapeArgs(c.ci)
+			return
+		}
+		recv := -1
+		if o.RecvNode >= 0 {
+			recv = o.RecvNode
+		}
+		a.bindCall(c.ci, o.Fn, recv, nil, o.ExprRecv)
+	}
+}
+
+// ifaceC resolves an interface method call as receiver objects
+// arrive.
+type ifaceC struct {
+	ci *callInfo
+}
+
+func (c ifaceC) apply(a *Analysis, o *Object) {
+	if o.Kind == KUnknown || o.Kind == KFunc || o.Type == nil {
+		a.markIncomplete(c.ci)
+		return
+	}
+	obj, _, _ := types.LookupFieldOrMethod(o.Type, true, c.ci.pkg, c.ci.name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		a.markIncomplete(c.ci)
+		return
+	}
+	node := a.Graph.FuncNode(fn.Origin())
+	if node == nil {
+		a.markIncomplete(c.ci)
+		return
+	}
+	a.bindCall(c.ci, node, -1, o, false)
+}
+
+func (a *Analysis) markIncomplete(ci *callInfo) {
+	r := a.resolutionFor(ci.call)
+	r.Incomplete = true
+	for _, rn := range ci.results {
+		a.addTo(rn, a.unknown.ID)
+	}
+}
+
+func (a *Analysis) escapeArgs(ci *callInfo) {
+	for _, an := range ci.args {
+		a.attach(an, escapeC{})
+	}
+}
+
+func (a *Analysis) resolutionFor(call *ast.CallExpr) *Resolution {
+	r, ok := a.res[call]
+	if !ok {
+		r = &Resolution{}
+		a.res[call] = r
+	}
+	return r
+}
+
+// bindCall wires one call site to one concrete callee: receiver,
+// arguments (with variadic packing and struct copy semantics) and
+// results.  recvNode/recvObj carry the receiver set for method-value
+// and interface dispatch; exprRecv shifts arguments for T.M method
+// expressions.
+func (a *Analysis) bindCall(ci *callInfo, fn *callgraph.Node, recvNode int, recvObj *Object, exprRecv bool) {
+	rk := recvNode
+	if recvObj != nil {
+		rk = -2 - recvObj.ID
+	}
+	key := bindKey{ci.call, fn.Index, rk}
+	if a.bindSeen[key] {
+		return
+	}
+	a.bindSeen[key] = true
+
+	r := a.resolutionFor(ci.call)
+	found := false
+	for _, c := range r.Callees {
+		if c == fn {
+			found = true
+			break
+		}
+	}
+	if !found {
+		r.Callees = append(r.Callees, fn)
+	}
+
+	sig := a.sigOf(fn)
+	if sig == nil {
+		return
+	}
+	args := ci.args
+	if rv := sig.Recv(); rv != nil {
+		switch {
+		case recvObj != nil:
+			a.bindValueObj(recvObj, rv)
+		case recvNode >= 0:
+			a.bindValue(recvNode, rv)
+		case exprRecv && len(args) > 0:
+			a.bindValue(args[0], rv)
+			args = args[1:]
+		}
+	}
+	np := sig.Params().Len()
+	for i, an := range args {
+		if sig.Variadic() && i >= np-1 {
+			pv := sig.Params().At(np - 1)
+			if ci.ellipsis {
+				a.ensureEdge(an, a.varNodeFor(pv))
+			} else {
+				vo := a.variadicFor(fn, pv)
+				a.ensureEdge(an, a.cellOf(vo, elemField))
+			}
+			continue
+		}
+		if i < np {
+			a.bindValue(an, sig.Params().At(i))
+		}
+	}
+	for i, rn := range ci.results {
+		if i < sig.Results().Len() {
+			a.ensureEdge(a.retNodeFor(fn, i), rn)
+		}
+	}
+}
+
+// bindValue binds a value node to a parameter/receiver variable:
+// struct-typed bindings copy fields, everything else aliases.
+func (a *Analysis) bindValue(src int, v *types.Var) {
+	if structlike(v.Type()) {
+		a.attach(src, copyIntoC{dst: a.storageFor(v)})
+		return
+	}
+	a.ensureEdge(src, a.varNodeFor(v))
+}
+
+func (a *Analysis) bindValueObj(o *Object, v *types.Var) {
+	if structlike(v.Type()) {
+		a.addCopyPair(o, a.storageFor(v))
+		return
+	}
+	a.addTo(a.varNodeFor(v), o.ID)
+}
+
+func (a *Analysis) variadicFor(fn *callgraph.Node, pv *types.Var) *Object {
+	if o, ok := a.variadicObj[pv]; ok {
+		return o
+	}
+	o := a.newObject(KAlloc, pv.Pos(), pv.Type(), fn, pv.Name()+"...")
+	a.variadicObj[pv] = o
+	a.addTo(a.varNodeFor(pv), o.ID)
+	return o
+}
+
+func (a *Analysis) retNodeFor(fn *callgraph.Node, i int) int {
+	k := retKey{fn.Index, i}
+	if n, ok := a.retNodes[k]; ok {
+		return n
+	}
+	n := a.newNode()
+	a.retNodes[k] = n
+	return n
+}
+
+func (a *Analysis) resNodeFor(call *ast.CallExpr, i int) int {
+	k := resKey{call, i}
+	if n, ok := a.resNodes[k]; ok {
+		return n
+	}
+	n := a.newNode()
+	a.resNodes[k] = n
+	return n
+}
+
+func (a *Analysis) sigOf(fn *callgraph.Node) *types.Signature {
+	if fn.Func != nil {
+		sig, _ := fn.Func.Type().(*types.Signature)
+		return sig
+	}
+	if tv, ok := fn.Pkg.Info.Types[fn.Lit]; ok {
+		sig, _ := tv.Type.(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// taintParams seeds fn's receiver and parameters with Unknown — fn is
+// callable from outside the analyzed set.
+func (a *Analysis) taintParams(fn *callgraph.Node) {
+	if a.taintSeen[fn.Index] {
+		return
+	}
+	a.taintSeen[fn.Index] = true
+	sig := a.sigOf(fn)
+	if sig == nil {
+		return
+	}
+	taint := func(v *types.Var) {
+		if structlike(v.Type()) {
+			a.markUnknownCells(a.storageFor(v))
+			return
+		}
+		if pointerish(v.Type()) {
+			a.addTo(a.varNodeFor(v), a.unknown.ID)
+		}
+	}
+	if rv := sig.Recv(); rv != nil {
+		taint(rv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		taint(sig.Params().At(i))
+	}
+}
+
+// seedExported taints the parameters of every exported declared
+// function and method: packages outside the closure (cmd/, tests,
+// other modules) can call them with pointers the analysis never saw.
+func (a *Analysis) seedExported() {
+	for _, n := range a.Graph.Nodes {
+		if n.Func != nil && ast.IsExported(n.Func.Name()) {
+			a.taintParams(n)
+		}
+	}
+}
+
+// ---- public queries ----
+
+// PointsTo returns the objects in constraint node n, sorted by ID.
+func (a *Analysis) PointsTo(n int) []*Object {
+	if n < 0 || n >= len(a.pts) {
+		return nil
+	}
+	ids := sortedKeys(a.pts[n])
+	out := make([]*Object, len(ids))
+	for i, id := range ids {
+		out[i] = a.Objects[id]
+	}
+	return out
+}
+
+// VarPointsTo returns the points-to set of variable v.
+func (a *Analysis) VarPointsTo(v *types.Var) []*Object {
+	n, ok := a.varNodes[v]
+	if !ok {
+		return nil
+	}
+	return a.PointsTo(n)
+}
+
+// ExprPointsTo returns the points-to set computed for expression e
+// (nil when e was never evaluated, e.g. a scalar).
+func (a *Analysis) ExprPointsTo(e ast.Expr) []*Object {
+	e = callgraph.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		for _, pkg := range a.Graph.Packages {
+			if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+				return a.VarPointsTo(v)
+			}
+			if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+				return a.VarPointsTo(v)
+			}
+		}
+	}
+	if n, ok := a.exprNodes[e]; ok {
+		return a.PointsTo(n)
+	}
+	return nil
+}
+
+// Resolution returns the points-to verdict for a call, or nil if the
+// call was never resolved through the constraint system (static
+// calls report their single callee; unreached dynamic sites report
+// nothing).
+func (a *Analysis) Resolution(call *ast.CallExpr) *Resolution {
+	r, ok := a.res[call]
+	if !ok {
+		return nil
+	}
+	sort.Slice(r.Callees, func(i, j int) bool { return r.Callees[i].Index < r.Callees[j].Index })
+	return r
+}
+
+// StorageOf returns v's storage object if one was materialized.
+func (a *Analysis) StorageOf(v *types.Var) *Object { return a.objForVar[v] }
+
+// Globals returns the package-level storage objects in creation
+// order.
+func (a *Analysis) Globals() []*Object { return a.globals }
+
+// Writes returns every recorded mutation.
+func (a *Analysis) Writes() []Write { return a.writes }
+
+// Loads returns every recorded pointer-carrying load.
+func (a *Analysis) Loads() []Access { return a.loads }
+
+// Cell returns the constraint node for field f of o, or -1 when the
+// cell was never materialized.
+func (a *Analysis) Cell(o *Object, field string) int {
+	if o.Kind == KUnknown {
+		return a.unknownNode
+	}
+	if (o.Kind == KStorage || o.Kind == KGlobal) && field == elemField && !structlike(o.Var.Type()) {
+		if n, ok := a.varNodes[o.Var]; ok {
+			return n
+		}
+		return -1
+	}
+	if n, ok := a.cells[cellKey{o.ID, field}]; ok {
+		return n
+	}
+	return -1
+}
+
+// CellFields returns the materialized field names of o, in creation
+// order.
+func (a *Analysis) CellFields(o *Object) []string { return a.cellsOf[o.ID] }
+
+// FreeVars returns the variables a literal's body (including nested
+// literals) references but does not declare — its capture set —
+// sorted by declaration position.  Package-level variables are not
+// captures.
+func (a *Analysis) FreeVars(n *callgraph.Node) []*types.Var {
+	if n.Lit == nil {
+		return nil
+	}
+	if fv, ok := a.free[n]; ok {
+		return fv
+	}
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(n.Lit.Body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := n.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || isGlobalVar(v) || seen[v] {
+			return true
+		}
+		if v.Pos() >= n.Lit.Pos() && v.Pos() <= n.Lit.End() {
+			return true // declared inside the literal (or its params)
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	a.free[n] = out
+	return out
+}
+
+// OwnerOf returns the body an object belongs to: its allocation site
+// for heap objects, the declaring body for variable storage, nil for
+// package-level objects.
+func (a *Analysis) OwnerOf(o *Object) *callgraph.Node {
+	if o.In != nil {
+		return o.In
+	}
+	if o.Kind == KGlobal || o.Kind == KUnknown || !o.Pos.IsValid() {
+		return nil
+	}
+	if n, ok := a.owner[o]; ok {
+		return n
+	}
+	var best *callgraph.Node
+	for _, n := range a.Graph.Nodes {
+		var lo, hi token.Pos
+		if n.Lit != nil {
+			lo, hi = n.Lit.Pos(), n.Lit.End()
+		} else {
+			lo, hi = n.Decl.Pos(), n.Decl.End()
+		}
+		if o.Pos < lo || o.Pos > hi {
+			continue
+		}
+		if best == nil || n.Pos() > best.Pos() {
+			// Deepest (latest-starting) containing body wins: literals
+			// start after their parents.
+			best = n
+		}
+	}
+	a.owner[o] = best
+	return best
+}
+
+// ---- type predicates ----
+
+// structlike: values with field/element cells of their own (struct
+// and array types), modeled by per-variable storage and field copies.
+func structlike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}
+
+// pointerish: types whose values carry references the analysis
+// tracks.
+func pointerish(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Map, *types.Chan, *types.Slice:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}

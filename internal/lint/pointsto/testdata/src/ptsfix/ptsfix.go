@@ -1,0 +1,106 @@
+// Package ptsfix exercises the points-to analysis: func values
+// through variables, slices, struct fields and method values,
+// interface narrowing, struct copy semantics, capture sets and
+// escape taint.
+package ptsfix
+
+import "sort"
+
+// ---- func values ----
+
+func alpha() {}
+func beta()  {}
+
+// viaVar stores one function in a local variable and calls it.
+func viaVar() {
+	f := alpha
+	f()
+}
+
+// viaSlice calls a function loaded from a locally built slice.
+func viaSlice() {
+	fs := []func(){alpha, beta}
+	fs[0]()
+}
+
+// viaField calls a function stored in a struct field.
+type holder struct {
+	fn func()
+}
+
+func viaField() {
+	h := &holder{fn: beta}
+	h.fn()
+}
+
+// viaMethodValue binds a method value and calls it through a
+// variable.
+type counter struct {
+	n int
+}
+
+func (c *counter) bump() { c.n++ }
+
+func viaMethodValue() {
+	c := &counter{}
+	f := c.bump
+	f()
+}
+
+// viaEscape hands a function to the standard library: the callee set
+// must stay incomplete.
+func viaEscape() {
+	f := func(i, j int) bool { return i < j }
+	sort.SliceStable([]int{2, 1}, f)
+}
+
+// ---- interface narrowing ----
+
+type animal interface{ sound() string }
+
+type dog struct{}
+type cat struct{}
+
+func (dog) sound() string { return "woof" }
+func (cat) sound() string { return "meow" }
+
+// onlyDogs builds a dog and calls through the interface: points-to
+// should narrow the CHA {dog, cat} pair down to dog alone.
+func onlyDogs() string {
+	var a animal = dog{}
+	return a.sound()
+}
+
+// ---- struct copy semantics ----
+
+type config struct {
+	name string
+	dst  *int
+}
+
+// mutate writes its by-value parameter: the caller's storage must not
+// be aliased.
+func mutate(c config) {
+	c.name = "changed"
+}
+
+func caller() {
+	target := 0
+	c := config{name: "orig", dst: &target}
+	mutate(c)
+}
+
+// ---- captures ----
+
+var registry = map[string]func(){}
+
+// capture registers closures over a loop variable and an outer
+// accumulator.
+func capture() func() int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		j := i
+		registry["k"] = func() { total += j }
+	}
+	return func() int { return total }
+}

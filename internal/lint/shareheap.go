@@ -1,0 +1,436 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hyades/internal/lint/analysis"
+	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/pointsto"
+)
+
+// Shareheap is the partition-safety certificate: every des.Proc runs
+// one rank of the modelled machine, and the determinism contract
+// requires each rank's results to be independent of the order the
+// engine interleaves rank coroutines.  That holds exactly when rank
+// code never writes state another rank can observe — rank state must
+// be disjoint ("partitioned"), and everything crossing the partition
+// must flow through the engine's sanctioned channels (mailboxes,
+// collectives), which serialize on virtual time.
+//
+// The rule is built on the Andersen points-to analysis:
+//
+//   - rank code is every body reachable (over the refined call graph)
+//     from a function value handed to des.Engine.Spawn;
+//   - cross-rank shared state is (a) any package-level variable, (b)
+//     any variable captured by a rank closure but declared on a frame
+//     that is NOT itself rank code — e.g. the launcher's locals, which
+//     every spawned rank closes over — (c) any heap object reachable
+//     from those roots through cells rank code actually loads, and
+//     (d) per-rank capture objects claimed by two distinct Spawn
+//     sites;
+//   - a variable declared inside the loop that wraps the Spawn call is
+//     per-rank by construction (each iteration gets a fresh slot) and
+//     is exempt, as is every object typed by package des — the engine
+//     IS the sanctioned cross-rank layer, with its own discipline
+//     checked by the other rules.
+//
+// One write shape crosses the partition safely without a mailbox: the
+// rank-indexed slot `slots[rank] = v`, where rank is an integer
+// parameter of the rank body.  Each rank owns one element, so writes
+// are disjoint by construction; the certificate trusts the launcher to
+// hand every rank a distinct id (the Spawn contract).  Everything else
+// is flagged with the access path from the shared root, and the waiver
+// is the usual //lint:allow shareheap.
+//
+// Known limits (documented, not silent): sharing is tracked from
+// captures and globals — a shared buffer threaded into per-rank
+// structs by the launcher without being captured or package-level is
+// not seen; and writes into objects the analysis lost to Unknown are
+// not reported (execpure's unresolvable findings cover that hole at
+// the offload boundary).
+var Shareheap = &analysis.Analyzer{
+	Name: "shareheap",
+	Doc:  "rank state must be partitioned: no writes to cross-rank shared heap outside rank-indexed slots",
+	Run:  runShareheap,
+}
+
+func runShareheap(pass *analysis.Pass) (interface{}, error) {
+	m := moduleOf(pass)
+	if m == nil {
+		return nil, nil
+	}
+	for _, f := range m.shareFindings() {
+		if f.pkg == pass.Pkg {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil, nil
+}
+
+type shareFinding struct {
+	pos token.Pos
+	pkg *types.Package
+	msg string
+}
+
+// shEntry is one spawned rank body and where it was spawned from.
+type shEntry struct {
+	body  *callgraph.Node // the rank body (usually the Spawn closure)
+	spawn *callgraph.Node // the body containing the Spawn call
+	loop  ast.Node        // innermost for/range around the call; nil if none
+}
+
+// shareFindings computes (once per module) every partition violation,
+// in deterministic recorded-write order.
+func (m *Module) shareFindings() []shareFinding {
+	if m.shareDone {
+		return m.share
+	}
+	m.shareDone = true
+	p := m.Points
+	if p == nil {
+		return nil
+	}
+
+	entries := m.spawnEntries()
+	if len(entries) == 0 {
+		return nil
+	}
+
+	// E: every body rank code can reach.
+	inE := map[*callgraph.Node]bool{}
+	var queue []*callgraph.Node
+	for _, e := range entries {
+		if !inE[e.body] {
+			inE[e.body] = true
+			queue = append(queue, e.body)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, site := range n.Sites {
+			for _, c := range site.Callees {
+				if !inE[c] {
+					inE[c] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+
+	// Cells rank code actually loads: expansion below follows only
+	// these, so state the ranks never traverse stays out of the shared
+	// set (a slot the launcher reads back after the run is not a rank
+	// observation).
+	loaded := map[cellID]bool{}
+	for _, l := range p.Loads() {
+		if l.Node == nil || !inE[l.Node] {
+			continue
+		}
+		for _, o := range p.PointsTo(l.Base) {
+			loaded[cellID{o.ID, l.Field}] = true
+		}
+	}
+
+	// Shared roots: package-level variables and cross-rank captures.
+	shared := map[int]string{} // object ID -> access path from its root
+	var expand func(o *pointsto.Object, path string)
+	expand = func(o *pointsto.Object, path string) {
+		if o.Kind == pointsto.KUnknown || o.Kind == pointsto.KFunc || desOwned(o.Type) {
+			return
+		}
+		if _, ok := shared[o.ID]; ok {
+			return
+		}
+		shared[o.ID] = path
+		for _, f := range p.CellFields(o) {
+			if !loaded[cellID{o.ID, f}] {
+				continue
+			}
+			cell := p.Cell(o, f)
+			if cell < 0 {
+				continue
+			}
+			for _, o2 := range p.PointsTo(cell) {
+				expand(o2, pathSeg(path, f))
+			}
+		}
+	}
+
+	for _, o := range p.Globals() {
+		if o.Var != nil && desOwned(o.Var.Type()) {
+			continue
+		}
+		expand(o, o.Var.Name())
+	}
+
+	// Captured variables: per lit body in E, classify each free
+	// variable by the frame it lives on.
+	sharedVars := map[*types.Var]*callgraph.Node{} // var -> declaring body
+	perRank := map[int]map[*callgraph.Node]bool{}  // object -> claiming rank bodies
+	var perRankObjs []*pointsto.Object
+	for _, n := range m.Graph.Nodes {
+		if n.Lit == nil || !inE[n] {
+			continue
+		}
+		for _, v := range p.FreeVars(n) {
+			owner := m.declOwner(v.Pos())
+			if owner != nil && inE[owner] {
+				continue // a rank frame: each rank has its own copy
+			}
+			if e := spawnLoopOf(entries, owner, v.Pos()); e != nil {
+				// Declared inside the loop wrapping the Spawn call:
+				// per-rank by construction, but remember which rank
+				// body claims the slot, so two distinct spawn sites
+				// sharing one slot are caught.
+				for _, o := range p.VarPointsTo(v) {
+					if perRank[o.ID] == nil {
+						perRank[o.ID] = map[*callgraph.Node]bool{}
+						perRankObjs = append(perRankObjs, o)
+					}
+					perRank[o.ID][n] = true
+				}
+				continue
+			}
+			if _, ok := sharedVars[v]; !ok {
+				sharedVars[v] = owner
+			}
+			for _, o := range p.VarPointsTo(v) {
+				expand(o, v.Name())
+			}
+		}
+	}
+	for _, o := range perRankObjs {
+		if len(perRank[o.ID]) >= 2 {
+			expand(o, fmt.Sprintf("%s (claimed by %d spawn sites)", o.What, len(perRank[o.ID])))
+		}
+	}
+
+	// Flag the writes.
+	var out []shareFinding
+	for _, w := range p.Writes() {
+		if w.Node == nil || !inE[w.Node] {
+			continue
+		}
+		pkg := w.Node.Pkg.Types
+		if w.Var != nil {
+			if isPackageLevel(w.Var) {
+				if !desOwned(w.Var.Type()) {
+					out = append(out, shareFinding{w.Pos, pkg, fmt.Sprintf(
+						"rank code writes package-level variable %q; partition the state per rank or move it through a mailbox", w.Var.Name())})
+				}
+			} else if owner, ok := sharedVars[w.Var]; ok {
+				where := "the launcher"
+				if owner != nil {
+					where = owner.String()
+				}
+				out = append(out, shareFinding{w.Pos, pkg, fmt.Sprintf(
+					"rank code writes variable %q, which is captured across ranks (declared in %s); give each rank its own slot", w.Var.Name(), where)})
+			}
+			continue
+		}
+		if m.rankIndexed(w) {
+			continue // the sanctioned disjoint-slot shape
+		}
+		for _, o := range p.PointsTo(w.Base) {
+			if path, ok := shared[o.ID]; ok {
+				out = append(out, shareFinding{w.Pos, pkg, fmt.Sprintf(
+					"rank code writes cross-rank shared state: %s reaches %s via %s; partition per rank (rank-indexed slot) or move it through a mailbox", w.What, o.What, path)})
+				break
+			}
+		}
+	}
+	m.share = out
+	return out
+}
+
+type cellID struct {
+	obj   int
+	field string
+}
+
+// pathSeg extends an access path by one cell: fields with a dot,
+// collapsed elements with the index marker.
+func pathSeg(path, field string) string {
+	if field == pointsto.ElemField {
+		return path + "[*]"
+	}
+	return path + "." + field
+}
+
+// spawnEntries locates every des.Engine.Spawn call in the module and
+// resolves the spawned body: a literal argument directly, anything
+// else through points-to.
+func (m *Module) spawnEntries() []shEntry {
+	var entries []shEntry
+	for _, n := range m.Graph.Nodes {
+		for _, site := range n.Sites {
+			if !isSpawnCallee(site.Static) || len(site.Call.Args) < 2 {
+				continue
+			}
+			loop := enclosingLoop(n, site.Call.Pos())
+			arg := unparen(site.Call.Args[1])
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				if ln := m.Graph.LitNode(lit); ln != nil {
+					entries = append(entries, shEntry{body: ln, spawn: n, loop: loop})
+				}
+				continue
+			}
+			for _, o := range m.Points.ExprPointsTo(arg) {
+				if o.Kind == pointsto.KFunc && o.Fn != nil {
+					entries = append(entries, shEntry{body: o.Fn, spawn: n, loop: loop})
+				}
+			}
+		}
+	}
+	return entries
+}
+
+// isSpawnCallee matches (*des.Engine).Spawn, including fixture doubles
+// of package des.
+func isSpawnCallee(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Spawn" || !pkgPathIs(fn.Pkg(), desPkgPath) {
+		return false
+	}
+	return recvOf(fn) != nil
+}
+
+// enclosingLoop returns the innermost for/range statement in n's body
+// containing pos, or nil.
+func enclosingLoop(n *callgraph.Node, pos token.Pos) ast.Node {
+	var loop ast.Node
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		switch x.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if x.Pos() <= pos && pos < x.End() {
+				loop = x // deeper matches overwrite: Inspect is outside-in
+			}
+		}
+		return true
+	})
+	return loop
+}
+
+// spawnLoopOf returns the entry whose spawn loop (in body `owner`)
+// contains the declaration at pos — the variable is a per-iteration,
+// per-rank slot of that entry.
+func spawnLoopOf(entries []shEntry, owner *callgraph.Node, pos token.Pos) *shEntry {
+	for i := range entries {
+		e := &entries[i]
+		if e.spawn == owner && e.loop != nil && e.loop.Pos() <= pos && pos < e.loop.End() {
+			return e
+		}
+	}
+	return nil
+}
+
+// declOwner returns the deepest function body (declaration or literal)
+// whose source range contains pos — the frame the declaration at pos
+// lives on.
+func (m *Module) declOwner(pos token.Pos) *callgraph.Node {
+	var best *callgraph.Node
+	var bestSpan token.Pos
+	for _, n := range m.Graph.Nodes {
+		var lo, hi token.Pos
+		switch {
+		case n.Lit != nil:
+			lo, hi = n.Lit.Pos(), n.Lit.End()
+		case n.Decl != nil:
+			lo, hi = n.Decl.Pos(), n.Decl.End()
+		default:
+			continue
+		}
+		if lo <= pos && pos < hi {
+			if best == nil || hi-lo < bestSpan {
+				best, bestSpan = n, hi-lo
+			}
+		}
+	}
+	return best
+}
+
+// rankIndexed reports whether w is the sanctioned disjoint-slot shape:
+// an element store `slots[rank] = v` whose index is an integer
+// parameter of the writing rank body.  Disjointness rests on the Spawn
+// contract that every rank body receives a distinct id.
+func (m *Module) rankIndexed(w pointsto.Write) bool {
+	if w.Field != pointsto.ElemField {
+		return false
+	}
+	ix, ok := w.Expr.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(ix.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := w.Node.Pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	b, ok := v.Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return false
+	}
+	sig := nodeSignature(w.Node)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+func nodeSignature(n *callgraph.Node) *types.Signature {
+	if n.Func != nil {
+		sig, _ := n.Func.Type().(*types.Signature)
+		return sig
+	}
+	if n.Lit != nil {
+		sig, _ := n.Pkg.Info.TypeOf(n.Lit).(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// desOwned reports whether t is (or contains at its core) a type
+// declared in package des — the engine's own synchronized state, out
+// of scope for the partition rule.
+func desOwned(t types.Type) bool {
+	for t != nil {
+		t = types.Unalias(t)
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Chan:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj() != nil && pkgPathIs(u.Obj().Pkg(), desPkgPath)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isPackageLevel reports whether v is a package-level variable.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,55 @@
+// Package capturealias exercises the offload capture rule: closures
+// handed to des.Proc.Exec must not capture engine-owned state by
+// reference — directly, through a wrapper, or behind an interface.
+package capturealias
+
+import (
+	"hyades/internal/des"
+	"hyades/internal/units"
+)
+
+type tile struct {
+	cells []float64
+	sum   float64
+}
+
+func Phases(p *des.Proc, m *des.Mailbox[int], t *tile) {
+	p.Exec(units.Time(1), func() { // want `offloaded Exec phase captures engine-owned \*des\.Proc "p" by reference`
+		_ = p
+	})
+	p.Exec(units.Time(1), func() { // want `offloaded Exec phase captures engine-owned \*des\.Mailbox\[int\] "m" by reference`
+		_ = m
+	})
+	p.Exec(units.Time(1), func() { // clean: the phase touches tile state only
+		t.sum = 0
+		for _, c := range t.cells {
+			t.sum += c
+		}
+	})
+}
+
+// helper forwards its parameter into the boundary: clean here, the
+// concrete closure is checked at helper's call sites.
+func helper(p *des.Proc, fn func()) {
+	p.Exec(0, fn)
+}
+
+func Outer(p *des.Proc) {
+	helper(p, func() { _ = p }) // want `offloaded Exec phase captures engine-owned \*des\.Proc "p" by reference`
+	x := 0
+	helper(p, func() { x++ }) // plain rank-local data through the wrapper
+	_ = x
+}
+
+// Aliased hides the engine value behind an any-typed variable: the
+// static type says nothing, the points-to set still does.
+func Aliased(p *des.Proc, eng *des.Engine) {
+	var box interface{} = des.NewMailbox[int](eng, "m")
+	p.Exec(0, func() { // want `offloaded Exec phase captures "box", which aliases engine-owned state`
+		_ = box
+	})
+}
+
+func Waived(p *des.Proc) {
+	p.Exec(0, func() { _ = p }) //lint:allow capturealias fixture: deliberate engine capture
+}

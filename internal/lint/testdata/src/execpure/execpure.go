@@ -50,6 +50,33 @@ func FromField(p *des.Proc, h holder) {
 	p.Exec(0, h.f) // want `cannot statically resolve the function offloaded to Exec \(func value from field/selector\)`
 }
 
+// resolvedVar builds its func-value set locally, so points-to proves
+// the complete candidate set and each phase is checked like a named
+// function: bump's global write is reported with its chain, the pure
+// literal stays silent, and the unresolvable escape hatch is never
+// needed.
+func resolvedVar(p *des.Proc) {
+	fs := []func(){bump, func() { _ = 1 }}
+	f := fs[0]
+	p.Exec(0, f) // want `offloaded Exec phase is not engine-pure: it reaches a package-level state write`
+}
+
+// resolvedClean: every candidate in the locally-built set is pure, so
+// a site CHA-only analysis would flag as unverifiable produces no
+// finding at all.
+func resolvedClean(p *des.Proc) {
+	ok := func() { _ = 2 }
+	fs := []func(){ok}
+	f := fs[0]
+	p.Exec(0, f) // resolved by points-to and pure: no finding
+}
+
+// resolvedField: the same through a locally-built struct field.
+func resolvedField(p *des.Proc) {
+	h := holder{f: bump}
+	p.Exec(0, h.f) // want `offloaded Exec phase is not engine-pure: it reaches a package-level state write`
+}
+
 func Foreign(p *des.Proc) {
 	p.Exec(0, runtime.GC) // want `offloaded function runtime\.GC is outside the analyzed module; its engine-purity cannot be verified`
 }

@@ -1,0 +1,86 @@
+// Package shareheap exercises the partition-safety rule: rank bodies
+// spawned on the engine must not write package-level state, launcher
+// locals captured across ranks, or heap objects reachable from either
+// — the sole sanctioned cross-partition write is the rank-indexed
+// slot, whose index is the rank body's own id parameter.
+package shareheap
+
+import (
+	"hyades/internal/des"
+)
+
+var tally int
+
+type worker struct {
+	rank int
+	sum  int
+}
+
+// Launch spawns one rank per iteration.  The worker allocated inside
+// the loop is a per-rank slot; the launcher locals and the global are
+// shared across every rank.
+func Launch(eng *des.Engine, n int) {
+	results := make([]int, n)
+	var last int
+	for r := 0; r < n; r++ {
+		w := &worker{rank: r}
+		eng.Spawn("w", func(p *des.Proc) {
+			w.sum++            // per-rank state: clean
+			results[0] = w.sum // want `rank code writes cross-rank shared state`
+			last = w.rank      // want `rank code writes variable "last", which is captured across ranks`
+			tally++            // want `rank code writes package-level variable "tally"`
+		})
+	}
+	_ = last
+	_ = results
+}
+
+// Indexed routes every store through the rank-indexed slot shape; the
+// helper is rank code (reached from the spawned closure), and only its
+// constant-index store crosses the partition.
+func Indexed(eng *des.Engine, n int) []int {
+	slots := make([]int, n)
+	for r := 0; r < n; r++ {
+		rank := r
+		eng.Spawn("x", func(p *des.Proc) { fill(rank, slots) })
+	}
+	return slots
+}
+
+func fill(rank int, slots []int) {
+	slots[rank] = rank // rank-indexed slot: certified, clean
+	slots[0] = rank    // want `rank code writes cross-rank shared state`
+}
+
+// Twin spawns two rank bodies per iteration over one per-iteration
+// buffer: the slot is per-rank for each site alone, but claimed by two
+// distinct spawn sites, so the partition does not hold.
+func Twin(eng *des.Engine, n int) {
+	for r := 0; r < n; r++ {
+		buf := make([]int, 4)
+		eng.Spawn("a", func(p *des.Proc) {
+			buf[0] = 1 // want `claimed by 2 spawn sites`
+		})
+		eng.Spawn("b", func(p *des.Proc) {
+			buf[1] = 2 // want `claimed by 2 spawn sites`
+		})
+	}
+}
+
+// Mailbox state is des-typed — the engine's own synchronized channel —
+// and is exempt wherever it appears.
+func Mailbox(eng *des.Engine, mb *des.Mailbox[int], n int) {
+	for r := 0; r < n; r++ {
+		rank := r
+		eng.Spawn("m", func(p *des.Proc) {
+			mb.Send(rank)
+		})
+	}
+}
+
+// Waived keeps the escape hatch audited.
+func Waived(eng *des.Engine) {
+	eng.Spawn("v", func(p *des.Proc) {
+		tally++ //lint:allow shareheap fixture: deliberate shared tally
+	})
+}
