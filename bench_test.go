@@ -8,11 +8,13 @@ package hyades
 // formatted tables.
 
 import (
+	"bytes"
 	"testing"
 
 	"hyades/internal/bench"
 	"hyades/internal/cluster"
 	"hyades/internal/comm"
+	"hyades/internal/fault"
 	"hyades/internal/gcm"
 	"hyades/internal/gcm/physics"
 	"hyades/internal/gcm/solver"
@@ -405,4 +407,85 @@ func measureMPIAllreduce(b *testing.B, n, reps int) units.Time {
 		b.Fatal(err)
 	}
 	return (end - start) / units.Time(reps)
+}
+
+// The crash-recovery benchmarks price the survival contract: what a
+// checkpoint costs to take, what a restore costs to load, and what a
+// whole crash-detect-rollback-replay cycle costs in virtual time.
+
+// BenchmarkCheckpointWrite measures serializing one tile's full
+// prognostic state (the per-rank cost of a coordinated checkpoint).
+func BenchmarkCheckpointWrite(b *testing.B) {
+	b.ReportAllocs()
+	d := tile.Decomp{NXg: 32, NYg: 32, Px: 1, Py: 1}
+	cfg := gcm.GyreConfig(32, 32, 3, d)
+	m, _, err := gcm.RunSerial(cfg, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := m.Checkpoint(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkCheckpointRestore measures loading that state back,
+// including the halo exchange that brings the overlap region current.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	b.ReportAllocs()
+	d := tile.Decomp{NXg: 32, NYg: 32, Px: 1, Py: 1}
+	cfg := gcm.GyreConfig(32, 32, 3, d)
+	m, _, err := gcm.RunSerial(cfg, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	m2, err := gcm.New(cfg, &comm.Serial{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m2.Restore(bytes.NewReader(blob)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(blob)))
+}
+
+// BenchmarkRecoveryOverhead measures one full crash cycle on a 4-node
+// gyre — detection, rendezvous, epoch reset, restore, replay — and
+// reports the availability metrics the report table prints: virtual
+// recovery stall, rolled-back integration time, and checkpoint volume.
+func BenchmarkRecoveryOverhead(b *testing.B) {
+	d := tile.Decomp{NXg: 32, NYg: 32, Px: 2, Py: 2}
+	cfg := gcm.GyreConfig(32, 32, 3, d)
+	fc := fault.Config{Seed: 7, NodeOutages: []fault.NodeOutage{
+		{Node: "1", From: 200 * units.Millisecond, Until: 201 * units.Millisecond},
+	}}
+	var rec gcm.RecoveryResult
+	for i := 0; i < b.N; i++ {
+		res, err := gcm.RunParallelOpts(4, 1, cfg, 0, 12,
+			gcm.ParallelOpts{Fault: fc, CheckpointEvery: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Recovery.Restarts != 1 {
+			b.Fatalf("staged 1 crash, survived %d", res.Recovery.Restarts)
+		}
+		rec = res.Recovery
+	}
+	b.ReportMetric(rec.RecoveryTime.Micros(), "recovery_us")
+	b.ReportMetric(rec.LostVirtual.Micros(), "lost_virtual_us")
+	b.ReportMetric(float64(rec.LostFlops), "replayed_flops")
+	b.ReportMetric(float64(rec.CheckpointBytes), "ckpt_bytes")
 }

@@ -13,6 +13,7 @@ package hyades
 import (
 	"crypto/sha256"
 	"errors"
+	"strings"
 	"testing"
 
 	"hyades/internal/cluster"
@@ -192,5 +193,281 @@ func TestPeerUnreachableSurfaces(t *testing.T) {
 	// simulated minute.
 	if cl.Eng.Now() > units.Minute {
 		t.Errorf("failure declared only at %v of virtual time", cl.Eng.Now())
+	}
+}
+
+// --- Whole-node crash/restart recovery ---
+
+// recoveryScenario is the small gyre every node-crash test runs: 4
+// tiles, 12 or 24 steps at ~25 ms of virtual time each, so the crash
+// windows below land at known phases of the integration.
+func recoveryScenario() gcm.Config {
+	d := tile.Decomp{NXg: 32, NYg: 32, Px: 2, Py: 2}
+	return gcm.GyreConfig(32, 32, 3, d)
+}
+
+// stateDigest hashes every rank's full prognostic state — the
+// survival contract's observable.
+func stateDigest(t *testing.T, res *gcm.Result) [32]byte {
+	t.Helper()
+	h := sha256.New()
+	for r, m := range res.Models {
+		if m == nil {
+			t.Fatalf("rank %d has no model", r)
+		}
+		if err := m.Checkpoint(h); err != nil {
+			t.Fatalf("rank %d: checkpoint: %v", r, err)
+		}
+	}
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// TestNodeCrashRecoveryDeterministic is the acceptance test for the
+// crash-recovery subsystem.  A run that loses node 1 for 1 ms (longer
+// than the peer lease: survivors detect the death by lease expiry) and
+// node 2 for 300 us (shorter than the lease: survivors learn from the
+// rejoin announcement) must, at every host worker count, end with the
+// same state digest, event count and final virtual clock — and the
+// digest must equal the fault-free run's, bit for bit.
+func TestNodeCrashRecoveryDeterministic(t *testing.T) {
+	cfg := recoveryScenario()
+	fc := fault.Config{Seed: 7, NodeOutages: []fault.NodeOutage{
+		{Node: "1", From: 200 * units.Millisecond, Until: 201 * units.Millisecond},
+		{Node: "2", From: 400 * units.Millisecond, Until: 400*units.Millisecond + 300*units.Microsecond},
+	}}
+
+	type obs struct {
+		digest [32]byte
+		events uint64
+		final  units.Time
+		rec    gcm.RecoveryResult
+	}
+	run := func(workers int) obs {
+		res, err := gcm.RunParallelOpts(4, 1, cfg, 0, 24,
+			gcm.ParallelOpts{Fault: fc, CheckpointEvery: 6, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return obs{stateDigest(t, res), res.Events, res.FinalTime, res.Recovery}
+	}
+
+	inline := run(-1)
+	pooled := run(2)
+
+	if inline.rec.Restarts != 2 {
+		t.Fatalf("scenario staged 2 crashes, run survived %d", inline.rec.Restarts)
+	}
+	if inline.rec.Checkpoints == 0 || inline.rec.RecoveryTime <= 0 || inline.rec.LostVirtual <= 0 {
+		t.Errorf("recovery accounting is vacuous: %+v", inline.rec)
+	}
+	if inline.events != pooled.events || inline.final != pooled.final {
+		t.Errorf("worker pool perturbs crash recovery: events %d vs %d, clock %v vs %v",
+			inline.events, pooled.events, inline.final, pooled.final)
+	}
+	if inline.digest != pooled.digest {
+		t.Errorf("worker pool changes recovered model state: %x vs %x", inline.digest, pooled.digest)
+	}
+	if inline.rec != pooled.rec {
+		t.Errorf("worker pool changes recovery counters:\n%+v\n%+v", inline.rec, pooled.rec)
+	}
+
+	res0, err := gcm.RunParallelOpts(4, 1, cfg, 0, 24, gcm.ParallelOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 := stateDigest(t, res0); d0 != inline.digest {
+		t.Errorf("crash recovery leaked into the physics: recovered state %x, fault-free state %x",
+			inline.digest, d0)
+	}
+	// Crashes cost virtual time (detection, backoff, replay), never
+	// correctness.
+	if inline.final <= res0.FinalTime {
+		t.Errorf("two crashes cost no virtual time: %v vs fault-free %v", inline.final, res0.FinalTime)
+	}
+}
+
+// TestNodeCrashMixModeRecovers runs the two-processor SMP
+// configuration: a node crash kills both rank procs of the SMP, and
+// recovery must restore the intra-node staging (shared-memory
+// mailboxes, pull locks) as well as the fabric state.
+func TestNodeCrashMixModeRecovers(t *testing.T) {
+	cfg := recoveryScenario()
+	fc := fault.Config{Seed: 7, NodeOutages: []fault.NodeOutage{
+		{Node: "1", From: 200 * units.Millisecond, Until: 201 * units.Millisecond},
+	}}
+	res, err := gcm.RunParallelOpts(2, 2, cfg, 0, 12,
+		gcm.ParallelOpts{Fault: fc, CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery.Restarts != 1 {
+		t.Fatalf("staged 1 crash, survived %d", res.Recovery.Restarts)
+	}
+	res0, err := gcm.RunParallelOpts(2, 2, cfg, 0, 12, gcm.ParallelOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, d0 := stateDigest(t, res), stateDigest(t, res0); d != d0 {
+		t.Errorf("mix-mode recovery diverged from fault-free state: %x vs %x", d, d0)
+	}
+}
+
+// TestCrashStormRecovers loses every node exactly once, staggered
+// through the run — including node 0, whose rank holds the timing
+// bookkeeping.  All four crashes must be survived with a fault-free
+// digest.
+func TestCrashStormRecovers(t *testing.T) {
+	cfg := recoveryScenario()
+	fc := fault.Config{Seed: 7, NodeOutages: []fault.NodeOutage{
+		{Node: "0", From: 120 * units.Millisecond, Until: 121 * units.Millisecond},
+		{Node: "1", From: 220 * units.Millisecond, Until: 221 * units.Millisecond},
+		{Node: "2", From: 320 * units.Millisecond, Until: 321 * units.Millisecond},
+		{Node: "3", From: 420 * units.Millisecond, Until: 421 * units.Millisecond},
+	}}
+	res, err := gcm.RunParallelOpts(4, 1, cfg, 0, 24,
+		gcm.ParallelOpts{Fault: fc, CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery.Restarts != 4 {
+		t.Fatalf("staged 4 crashes, survived %d", res.Recovery.Restarts)
+	}
+	res0, err := gcm.RunParallelOpts(4, 1, cfg, 0, 24, gcm.ParallelOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, d0 := stateDigest(t, res), stateDigest(t, res0); d != d0 {
+		t.Errorf("crash storm diverged from fault-free state: %x vs %x", d, d0)
+	}
+}
+
+// TestCrashDuringCheckpointDiscardsPending lands the crash inside a
+// checkpoint round — after some ranks have saved step 6 but before
+// all four have.  The two-phase store must discard the spoiled
+// pending set, restore from the previous commit, and still end
+// bit-identical to the fault-free run.
+func TestCrashDuringCheckpointDiscardsPending(t *testing.T) {
+	cfg := recoveryScenario()
+	fc := fault.Config{Seed: 7, NodeOutages: []fault.NodeOutage{
+		{Node: "2", From: 150900 * units.Microsecond, Until: 151900 * units.Microsecond},
+	}}
+	res, err := gcm.RunParallelOpts(4, 1, cfg, 0, 12,
+		gcm.ParallelOpts{Fault: fc, CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery.Restarts != 1 {
+		t.Fatalf("staged 1 crash, survived %d", res.Recovery.Restarts)
+	}
+	if res.Recovery.PendingDiscarded == 0 {
+		t.Fatalf("crash at 150.9ms no longer lands inside the step-6 checkpoint round (recalibrate the window): %+v", res.Recovery)
+	}
+	res0, err := gcm.RunParallelOpts(4, 1, cfg, 0, 12, gcm.ParallelOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, d0 := stateDigest(t, res), stateDigest(t, res0); d != d0 {
+		t.Errorf("discarded-checkpoint recovery diverged from fault-free state: %x vs %x", d, d0)
+	}
+}
+
+// TestCrashWithoutCheckpointFailsLoudly pins the two unrecoverable
+// failure modes: a crash with nothing to restore, and a permanent
+// node loss.  Both must surface as bounded diagnostic errors from the
+// driver — never a hang.
+func TestCrashWithoutCheckpointFailsLoudly(t *testing.T) {
+	cfg := recoveryScenario()
+
+	// No checkpoint interval: the restart finds nothing to restore.
+	fc := fault.Config{Seed: 7, NodeOutages: []fault.NodeOutage{
+		{Node: "2", From: 150200 * units.Microsecond, Until: 151200 * units.Microsecond},
+	}}
+	_, err := gcm.RunParallelOpts(4, 1, cfg, 0, 12, gcm.ParallelOpts{Fault: fc})
+	if err == nil {
+		t.Fatal("crash with no checkpoint produced no error")
+	}
+	if !strings.Contains(err.Error(), "no surviving checkpoint") {
+		t.Errorf("diagnostic does not name the missing checkpoint: %v", err)
+	}
+
+	// Permanent death: no restart is ever scheduled.
+	fc = fault.Config{Seed: 7, NodeOutages: []fault.NodeOutage{
+		{Node: "1", From: 100 * units.Millisecond},
+	}}
+	_, err = gcm.RunParallelOpts(4, 1, cfg, 0, 12, gcm.ParallelOpts{Fault: fc, CheckpointEvery: 3})
+	if err == nil {
+		t.Fatal("permanent node loss produced no error")
+	}
+	if !errors.Is(err, comm.ErrPeerUnreachable) {
+		t.Errorf("permanent loss does not wrap ErrPeerUnreachable: %v", err)
+	}
+	if !strings.Contains(err.Error(), "recovery impossible") {
+		t.Errorf("diagnostic does not say recovery is impossible: %v", err)
+	}
+}
+
+// TestNodeOutageGrammar covers the -node-outage spec grammar and the
+// cluster-level plan validation.
+func TestNodeOutageGrammar(t *testing.T) {
+	parse := []struct {
+		spec string
+		want string // "" = must parse
+	}{
+		{"3", ""},
+		{"3:1000", ""},
+		{"3:1000-2000", ""},
+		{"*", ""},
+		{"1*:500-900", ""},
+		{"3:1000-2000,2:5000-6000", ""},
+		{"3:1000,", "empty node selector"},
+		{"3:", "bad node-outage crash instant"},
+		{"3:abc", "bad node-outage crash instant"},
+		{"3:1000-abc", "bad node-outage restart instant"},
+		{"3:2000-1000", "reversed or empty window"},
+		{"3:1000-1000", "reversed or empty window"},
+		{"x*y", "bad node selector"},
+		{"**", "bad node selector"},
+		{"3:1000-2000,3:1000-2000", "duplicate node-outage spec"},
+	}
+	for _, tc := range parse {
+		_, err := fault.ParseNodeOutages(tc.spec)
+		switch {
+		case tc.want == "" && err != nil:
+			t.Errorf("%q: unexpected error %v", tc.spec, err)
+		case tc.want != "" && err == nil:
+			t.Errorf("%q: parsed, want error containing %q", tc.spec, tc.want)
+		case tc.want != "" && !strings.Contains(err.Error(), tc.want):
+			t.Errorf("%q: error %v, want %q", tc.spec, err, tc.want)
+		}
+	}
+
+	// Plan validation happens at cluster construction, not mid-run.
+	build := []struct {
+		outages []fault.NodeOutage
+		want    string
+	}{
+		{[]fault.NodeOutage{{Node: "7", From: 1}}, "machine has nodes 0..3"},
+		{[]fault.NodeOutage{
+			{Node: "1", From: 100 * units.Microsecond, Until: units.Millisecond},
+			{Node: "1", From: 500 * units.Microsecond, Until: 2 * units.Millisecond},
+		}, "crash windows overlap"},
+		{[]fault.NodeOutage{
+			{Node: "1", From: 100 * units.Microsecond},
+			{Node: "1", From: 5 * units.Millisecond, Until: 6 * units.Millisecond},
+		}, "after its permanent death"},
+	}
+	for _, tc := range build {
+		ccfg := cluster.DefaultConfig(4, 1)
+		ccfg.Fault = fault.Config{Seed: 1, NodeOutages: tc.outages}
+		_, err := cluster.New(ccfg)
+		if err == nil {
+			t.Errorf("outages %+v: cluster built, want error containing %q", tc.outages, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("outages %+v: error %v, want %q", tc.outages, err, tc.want)
+		}
 	}
 }

@@ -83,19 +83,43 @@ echo "== chaos (fault injection + reliable delivery)"
 # smoke run with a 1% packet-drop rate: it must exit cleanly and
 # report a nonzero retransmit count (the reliable channel is working,
 # not just lucky).
-go test -race -run 'TestChaosRunIsDeterministic|TestPeerUnreachableSurfaces' .
+go test -race -run 'TestChaosRunIsDeterministic|TestPeerUnreachableSurfaces|TestCrashWithoutCheckpointFailsLoudly' .
 
 echo "== determinism across worker counts (race)"
 # The worker-pool determinism matrix under the race detector: digests,
 # event counts and virtual clocks must be bit-identical for inline,
-# single-worker and GOMAXPROCS pools, with and without fault injection.
-go test -race -run 'TestDeterminismAcrossWorkerCounts|TestChaosDeterminismAcrossWorkerCounts' .
+# single-worker and GOMAXPROCS pools, with and without fault injection
+# — including the node-crash recovery matrix (two crashes exercising
+# both dead-peer detection paths, digest equal to the fault-free run).
+go test -race -run 'TestDeterminismAcrossWorkerCounts|TestChaosDeterminismAcrossWorkerCounts|TestNodeCrashRecoveryDeterministic' .
 chaos_out=$(go run ./cmd/hyades -model gyre -nodes 2 -ppn 1 -steps 2 -warmup 1 -drop-rate 1e-2)
 echo "$chaos_out" | tail -n 5
 retx=$(echo "$chaos_out" | awk '/^retransmits/ {print $(NF-2)}')
 retx=${retx:-0}
 if [ "$retx" -eq 0 ]; then
     echo "chaos smoke: drop-rate 1e-2 produced zero retransmits" >&2
+    exit 1
+fi
+
+echo "== node-failure smoke (crash, recover, bit-identical digest)"
+# Lose a whole node mid-run with checkpointing on: the driver must
+# survive a nonzero number of restarts and end with the same state
+# digest as the fault-free run.  This is the survival contract on the
+# CLI surface; the in-depth matrix ran under -race above.
+crash_args=(-model gyre -nodes 4 -ppn 1 -steps 6 -warmup 0 -px 2 -py 2 -digest)
+crash_out=$(go run ./cmd/hyades "${crash_args[@]}" \
+    -node-outage '1:500000-501000' -checkpoint-every 2)
+echo "$crash_out" | tail -n 6
+restarts=$(echo "$crash_out" | awk '/^node restarts survived/ {print $NF}')
+restarts=${restarts:-0}
+if [ "$restarts" -eq 0 ]; then
+    echo "node-failure smoke: staged crash produced zero restarts" >&2
+    exit 1
+fi
+crash_digest=$(echo "$crash_out" | awk '/^state digest/ {print $NF}')
+clean_digest=$(go run ./cmd/hyades "${crash_args[@]}" | awk '/^state digest/ {print $NF}')
+if [ -z "$crash_digest" ] || [ "$crash_digest" != "$clean_digest" ]; then
+    echo "node-failure smoke: recovered digest $crash_digest != fault-free digest $clean_digest" >&2
     exit 1
 fi
 
@@ -108,9 +132,9 @@ echo "== bench (hot-path benchmarks, artifact)"
 # The hyadeslint wall-clock measurement rides along as a synthetic
 # benchmark line, so the lint suite's cost has a committed trajectory
 # too.
-bench_out="${HYADES_BENCH_JSON:-BENCH_pr7.json}"
+bench_out="${HYADES_BENCH_JSON:-BENCH_pr8.json}"
 {
-    go test -run '^$' -bench '^(BenchmarkExchange|BenchmarkGlobalSum|BenchmarkCoupledStep)$' \
+    go test -run '^$' -bench '^(BenchmarkExchange|BenchmarkGlobalSum|BenchmarkCoupledStep|BenchmarkCheckpointWrite|BenchmarkCheckpointRestore|BenchmarkRecoveryOverhead)$' \
         -benchmem -benchtime 1x .
     printf 'BenchmarkHyadeslintFullTree 1 %d lint_wall_ms\n' "$lint_ms"
 } | go run ./cmd/benchjson "benchtime 1x gate run" > "$bench_out"

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"log"
@@ -43,6 +44,10 @@ func main() {
 	dropRate := flag.Float64("drop-rate", 0, "per-packet silent drop probability on every fabric link")
 	corruptRate := flag.Float64("corrupt-rate", 0, "per-packet corruption probability on every fabric link")
 	linkOutage := flag.String("link-outage", "", "comma-separated LINK[:FROM_US[-UNTIL_US]] outage windows (LINK may end in * as a prefix wildcard)")
+	nodeOutage := flag.String("node-outage", "", "comma-separated NODE[:FROM_US[-UNTIL_US]] whole-node crash windows (NODE may end in * or be *; no UNTIL means permanent)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "save a coordinated checkpoint every N model steps (0 = never; required to survive node crashes)")
+	maxRestarts := flag.Int("max-restarts", 0, "abort after this many node crashes (0 = controller default)")
+	digest := flag.Bool("digest", false, "print a SHA-256 over the final model state (the survival-contract observable)")
 	flag.Parse()
 
 	fcfg := fault.Config{Seed: *faultSeed, DropRate: *dropRate, CorruptRate: *corruptRate}
@@ -52,6 +57,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fcfg.Outages = outages
+	}
+	if *nodeOutage != "" {
+		outages, err := fault.ParseNodeOutages(*nodeOutage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fcfg.NodeOutages = outages
 	}
 	if fcfg.Enabled() && (*serial || *netName != "") {
 		log.Fatal("fault injection models the Arctic fabric: drop -serial / -net to use it")
@@ -101,6 +113,13 @@ func main() {
 			}
 			fmt.Printf("checkpoint written to %s (step %d)\n", *saveTo, m.Steps)
 		}
+		if *digest {
+			h := sha256.New()
+			if err := m.Checkpoint(h); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("state digest: %x\n", h.Sum(nil))
+		}
 		return
 	}
 
@@ -116,7 +135,8 @@ func main() {
 		res, err = gcm.RunParallelNet(prm, cfg, *warmup, *steps)
 	} else {
 		res, err = gcm.RunParallelOpts(*nodes, *ppn, cfg, *warmup, *steps,
-			gcm.ParallelOpts{Fault: fcfg, Workers: *poolWorkers})
+			gcm.ParallelOpts{Fault: fcfg, Workers: *poolWorkers,
+				CheckpointEvery: *checkpointEvery, MaxRestarts: *maxRestarts})
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -142,7 +162,27 @@ func main() {
 		t.Addf("goodput|%.1f%% of %d wire bytes",
 			report.Goodput(res.Net.PayloadBytes, res.Net.WireBytes), res.Net.WireBytes)
 	}
+	if res.Recovery.Enabled {
+		t.AddAvailability(report.Availability{
+			Restarts:         res.Recovery.Restarts,
+			RecoveryTime:     res.Recovery.RecoveryTime.Micros(),
+			LostVirtual:      res.Recovery.LostVirtual.Micros(),
+			LostFlops:        res.Recovery.LostFlops,
+			Checkpoints:      res.Recovery.Checkpoints,
+			CheckpointBytes:  res.Recovery.CheckpointBytes,
+			PendingDiscarded: res.Recovery.PendingDiscarded,
+		})
+	}
 	fmt.Print(t)
+	if *digest {
+		h := sha256.New()
+		for r, m := range res.Models {
+			if err := m.Checkpoint(h); err != nil {
+				log.Fatalf("rank %d: %v", r, err)
+			}
+		}
+		fmt.Printf("state digest: %x\n", h.Sum(nil))
+	}
 }
 
 func decompFor(model string, workers, px, py int) tile.Decomp {

@@ -101,6 +101,15 @@ type Packet struct {
 	// the wire words; its wire cost is accounted in the tag space.
 	Rel *RelHeader
 
+	// Epoch stamps the sending NIU's communication incarnation: after a
+	// node crash and recovery rollback every NIU re-synchronizes on a
+	// new epoch, and traffic still in flight from before the rollback is
+	// discarded at the receiver.  HB marks an unsequenced heartbeat
+	// packet, consumed by dead-peer detection and never delivered to
+	// software.  Both are simulator bookkeeping like Rel.
+	Epoch uint32
+	HB    bool
+
 	// crc is the checksum computed at injection time.  corrupted marks
 	// packets damaged by fault injection after the CRC was sealed;
 	// sealed records whether crc is valid at all.

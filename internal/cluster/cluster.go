@@ -11,6 +11,7 @@ package cluster
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 
 	"hyades/internal/arctic"
 	"hyades/internal/des"
@@ -75,6 +76,24 @@ type Cluster struct {
 	Fabric *arctic.Fabric
 	Nodes  []*node.Node
 	Pool   *des.Pool // host worker pool for offloaded compute (nil if disabled)
+
+	// Crash/restart machinery (armed by Start when the fault plan
+	// crashes nodes).  body is the rank body, re-run by respawned
+	// incarnations; workers tracks the current incarnation per rank.
+	body    func(w *Worker)
+	workers []*Worker
+
+	// Crashes / Restarts count executed node-crash and node-restart
+	// events.
+	Crashes  int
+	Restarts int
+
+	// OnNodeCrash and OnNodeRestart, if set, observe (in engine
+	// context) a node's crash — permanent means no restart is scheduled
+	// — and its return.  The comm layer's recovery controller hangs off
+	// these.
+	OnNodeCrash   func(nodeID int, permanent bool)
+	OnNodeRestart func(nodeID int)
 }
 
 // New builds the machine on a fresh engine.
@@ -91,6 +110,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Fault.Enabled() {
 		cfg.Arctic.Faults = fault.NewPlan(cfg.Fault)
 		cfg.NIU.Reliable = true
+	}
+	if cfg.Fault.NodesEnabled() {
+		if err := validateNodePlan(cfg); err != nil {
+			return nil, err
+		}
 	}
 	fab, err := arctic.New(eng, cfg.Arctic)
 	if err != nil {
@@ -113,6 +137,24 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// validateNodePlan rejects node-outage configs the machine cannot
+// execute: a spec naming a node that does not exist (an exact index out
+// of range matches nothing and would silently inject no fault — a typo,
+// like a duplicate spec) and overlapping crash windows on one node.
+func validateNodePlan(cfg Config) error {
+	for _, o := range cfg.Fault.NodeOutages {
+		if idx, err := strconv.Atoi(o.Node); err == nil && (idx < 0 || idx >= cfg.Nodes) {
+			return fmt.Errorf("cluster: node outage names node %d, but the machine has nodes 0..%d", idx, cfg.Nodes-1)
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := cfg.Arctic.Faults.Node(i).Validate(); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+	}
+	return nil
+}
+
 // Processors returns the total processor count.
 func (c *Cluster) Processors() int { return c.Cfg.Nodes * c.Cfg.ProcsPerNode }
 
@@ -127,19 +169,93 @@ type Worker struct {
 // Start spawns one application process per processor.  Ranks are dense:
 // rank r runs on node r/ProcsPerNode, CPU r%ProcsPerNode, so CPU 0 of
 // each SMP (the communication master of §4.1) holds the even ranks in
-// the two-way configuration.
+// the two-way configuration.  When the fault plan crashes nodes, Start
+// also arms the crash events; respawned incarnations re-run body from
+// the top.
 func (c *Cluster) Start(body func(w *Worker)) []*Worker {
-	workers := make([]*Worker, c.Processors())
+	c.body = body
+	c.workers = make([]*Worker, c.Processors())
 	for r := 0; r < c.Processors(); r++ {
-		nd := c.Nodes[r/c.Cfg.ProcsPerNode]
-		w := &Worker{Rank: r, CPU: r % c.Cfg.ProcsPerNode, Node: nd}
-		workers[r] = w
-		w.Proc = c.Eng.Spawn(fmt.Sprintf("rank%d", r), func(p *des.Proc) {
-			w.Proc = p
-			body(w)
-		})
+		c.spawnRank(r, 0)
 	}
-	return workers
+	c.armNodeFaults()
+	return c.workers
+}
+
+// Worker returns rank r's current incarnation (nil before Start).
+func (c *Cluster) Worker(r int) *Worker {
+	if c.workers == nil {
+		return nil
+	}
+	return c.workers[r]
+}
+
+// spawnRank creates (or respawns, generation > 0) rank r's process.
+func (c *Cluster) spawnRank(r, gen int) {
+	nd := c.Nodes[r/c.Cfg.ProcsPerNode]
+	w := &Worker{Rank: r, CPU: r % c.Cfg.ProcsPerNode, Node: nd}
+	c.workers[r] = w
+	name := fmt.Sprintf("rank%d", r)
+	if gen > 0 {
+		name = fmt.Sprintf("rank%d.r%d", r, gen)
+	}
+	w.Proc = c.Eng.Spawn(name, func(p *des.Proc) {
+		// Rank-partitioned by construction: only rank r's own proc ever
+		// writes workers[r].Proc, but the slot now lives on the Cluster
+		// (respawn needs it), which the partition analysis cannot see.
+		//lint:allow shareheap worker slot is rank-indexed; only rank r's proc writes it
+		w.Proc = p
+		c.body(w)
+	})
+}
+
+// armNodeFaults schedules every compiled crash window of the fault
+// plan as virtual-time events.
+func (c *Cluster) armNodeFaults() {
+	if !c.Cfg.Fault.NodesEnabled() {
+		return
+	}
+	plan := c.Cfg.Arctic.Faults
+	for i := range c.Nodes {
+		for _, win := range plan.Node(i).Windows() {
+			win, nodeID := win, i
+			c.Eng.ScheduleAt(win.From, func() { c.crashNode(nodeID, win) })
+		}
+	}
+}
+
+// crashNode executes one crash window: the node's rank procs die at
+// the current instant (their pending wake-ups become dropped events and
+// any parked waits are abandoned), the NIU goes dark, and — for a
+// finite window — the restart is scheduled.
+func (c *Cluster) crashNode(nodeID int, win fault.NodeWindow) {
+	c.Crashes++
+	for r := nodeID * c.Cfg.ProcsPerNode; r < (nodeID+1)*c.Cfg.ProcsPerNode; r++ {
+		if w := c.workers[r]; w != nil && w.Proc != nil {
+			w.Proc.Kill()
+		}
+	}
+	c.Nodes[nodeID].NIU.Crash()
+	if c.OnNodeCrash != nil {
+		c.OnNodeCrash(nodeID, win.Until <= 0)
+	}
+	if win.Until > 0 {
+		c.Eng.ScheduleAt(win.Until, func() { c.restartNode(nodeID) })
+	}
+}
+
+// restartNode brings a crashed node back: the NIU comes up and fresh
+// rank incarnations run the body from the top.
+func (c *Cluster) restartNode(nodeID int) {
+	c.Restarts++
+	c.Nodes[nodeID].NIU.Restart()
+	gen := c.Restarts
+	for r := nodeID * c.Cfg.ProcsPerNode; r < (nodeID+1)*c.Cfg.ProcsPerNode; r++ {
+		c.spawnRank(r, gen)
+	}
+	if c.OnNodeRestart != nil {
+		c.OnNodeRestart(nodeID)
+	}
 }
 
 // Run executes the simulation until all activity drains.  It returns an

@@ -114,6 +114,7 @@ type Hyades struct {
 	cl    *cluster.Cluster
 	cfg   HyadesConfig
 	nodes []*nodeComm
+	rec   *Recovery
 }
 
 // NewHyades builds the library over an assembled cluster.  Mix-mode
@@ -138,13 +139,74 @@ func NewHyades(cl *cluster.Cluster, cfg HyadesConfig) (*Hyades, error) {
 		}
 		nd.NIU.OnPIODeliver = nc.pioSig.Broadcast
 		// An exhausted retransmit budget stops the run with a typed
-		// error instead of leaving the peer's receive parked forever.
+		// error instead of leaving the peer's receive parked forever —
+		// unless the crash-recovery controller recognizes the stalled
+		// stream as collateral of a node crash it is already rolling
+		// back, in which case it unwinds the sender instead.
+		nodeID := nd.ID
 		nd.NIU.OnUnreachable = func(u startx.UnreachableInfo) {
+			if h.rec != nil && h.rec.unreachable(nodeID, u) {
+				return
+			}
 			cl.Eng.Fail(unreachableError(cl.Cfg.ProcsPerNode, u))
 		}
 		h.nodes = append(h.nodes, nc)
 	}
+	if cl.Cfg.Fault.NodesEnabled() {
+		h.rec = newRecovery(h)
+		cl.OnNodeCrash = h.rec.nodeCrashed
+		cl.OnNodeRestart = h.rec.nodeRestarted
+		for _, nd := range cl.Nodes {
+			nodeID := nd.ID
+			nd.NIU.OnPeerDead = func(peer int) { h.rec.peerDead(nodeID, peer) }
+			nd.NIU.StartPeerMonitor()
+		}
+	}
 	return h, nil
+}
+
+// Recovery returns the crash-recovery controller, or nil when the
+// fault plan crashes no nodes and EnableRecovery was not called.
+func (h *Hyades) Recovery() *Recovery { return h.rec }
+
+// EnableRecovery attaches a recovery controller to a cluster whose
+// fault plan crashes no nodes — checkpoint-only runs still want the
+// rendezvous and the committed-checkpoint store.  With no node faults
+// there is nothing to detect, so no heartbeat traffic is started.
+// Must be called before the simulation runs.  Idempotent.
+func (h *Hyades) EnableRecovery() *Recovery {
+	if h.rec == nil {
+		h.rec = newRecovery(h)
+	}
+	return h.rec
+}
+
+// resetNodeComm rebuilds the per-node matching state at a recovery
+// release: pull locks possibly left held by an unwound rank, match
+// boxes and staging mailboxes possibly holding pre-crash deliveries.
+// The delivery signal survives — each NIU's OnPIODeliver closure holds
+// it, and a spurious wake of a signal waiter is harmless by design.
+func (h *Hyades) resetNodeComm() {
+	for i, nd := range h.cl.Nodes {
+		nc := h.nodes[i]
+		nc.pioLock = des.NewSemaphore(h.cl.Eng, fmt.Sprintf("node%d.piolock", nd.ID), 1)
+		nc.viLock = des.NewSemaphore(h.cl.Eng, fmt.Sprintf("node%d.vilock", nd.ID), 1)
+		nc.pioBox = make(map[matchKey]*des.Mailbox[startx.Message])
+		nc.viBox = make(map[matchKey]*des.Mailbox[startx.Transfer])
+		nc.shm = make(map[[2]int]*des.Mailbox[[]byte])
+		for {
+			if _, ok := nc.partial.TryRecv(); !ok {
+				break
+			}
+		}
+		for _, rb := range nc.results {
+			for {
+				if _, ok := rb.TryRecv(); !ok {
+					break
+				}
+			}
+		}
+	}
 }
 
 // Bind creates the endpoint for a started worker.

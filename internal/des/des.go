@@ -374,6 +374,24 @@ func (e *Engine) dropProc(p *Proc) {
 // stopSignal is the panic payload used to unwind a killed process.
 type stopSignal struct{}
 
+// Interrupt is the panic payload raised inside a process that was
+// asynchronously interrupted with Proc.Interrupt.  Unlike stopSignal it
+// unwinds through the process's own code, so rank bodies can recover it
+// at a well-defined frame, inspect the cause and retry.  Anything other
+// than an *Interrupt recovered in such a handler must be re-panicked.
+type Interrupt struct {
+	Proc  string
+	Cause error
+}
+
+// Error implements error.
+func (i *Interrupt) Error() string {
+	return fmt.Sprintf("des: process %s interrupted: %v", i.Proc, i.Cause)
+}
+
+// Unwrap exposes the interrupt cause.
+func (i *Interrupt) Unwrap() error { return i.Cause }
+
 // waiterList is a blocking facility that can detach a parked process —
 // the deadline-expiry hook of parkDeadline.  Implemented by Mailbox and
 // Signal; an interface rather than a closure so arming a deadline wait
@@ -411,6 +429,18 @@ type Proc struct {
 	wdFireFn   func()
 	wdFacility waiterList
 	expired    bool
+
+	// Asynchronous-termination state.  intr is a pending Interrupt
+	// cause, raised in process context at the next blocking boundary;
+	// parkFac is the facility of the current park (so Interrupt and
+	// Kill can detach a parked process); inExec marks a pool-offloaded
+	// compute phase, during which termination is deferred until the
+	// phase's completion wake (preserving the happens-before edge with
+	// the pool worker); killPending records a Kill deferred that way.
+	intr        error
+	parkFac     waiterList
+	inExec      bool
+	killPending bool
 }
 
 // Spawn creates a process running fn and schedules its first activation
@@ -435,7 +465,10 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(stopSignal); ok {
-					return // killed by Engine.Close
+					// Killed by Engine.Close or Proc.Kill.  Hand the baton
+					// back so the killer can proceed synchronously.
+					p.yield <- struct{}{}
+					return
 				}
 				// Real bug in simulation code: capture it and hand the
 				// baton back so wake re-raises in engine context, where
@@ -467,6 +500,14 @@ func (p *Proc) wake() {
 	if p.dead {
 		return
 	}
+	if p.killPending {
+		// A Kill arrived while the process was off in a pool-offloaded
+		// compute phase; its completion wake is the first safe point to
+		// unwind (the pool worker has finished with the process's data).
+		p.killPending = false
+		p.finishKill()
+		return
+	}
 	p.blocked = false
 	p.resume <- true
 	<-p.yield
@@ -483,6 +524,75 @@ func (p *Proc) kill() {
 	}
 	p.dead = true
 	p.resume <- false
+	<-p.yield
+}
+
+// Kill terminates a blocked process at the current virtual instant, as
+// a node crash does: the process unwinds without running any more
+// simulated work, it is detached from whatever facility it was parked
+// on, and its pending wake-ups become no-ops (dropped events).  Must be
+// called from engine or another process's context, never on the running
+// process itself.  Killing a dead process is a no-op.
+func (p *Proc) Kill() {
+	if p.dead {
+		return
+	}
+	if p.inExec {
+		// Mid-Exec: the pool worker may still be touching the process's
+		// arrays on another OS thread.  Defer the unwind to the phase's
+		// completion wake, which synchronizes with the worker first.
+		p.killPending = true
+		return
+	}
+	p.finishKill()
+}
+
+// finishKill detaches and unwinds a blocked process (engine context).
+func (p *Proc) finishKill() {
+	if p.parkFac != nil {
+		p.parkFac.dropWaiter(p)
+		p.parkFac = nil
+	}
+	p.disarmWd()
+	p.wdFacility = nil
+	p.dead = true
+	p.eng.dropProc(p)
+	p.resume <- false
+	<-p.yield
+}
+
+// Interrupt arranges for cause to be raised inside the process as an
+// *Interrupt panic at its current (or next) blocking boundary: the end
+// of a park, delay or offloaded compute phase.  A parked process is
+// detached from its facility and woken at the current virtual instant;
+// a running or pool-offloaded one surfaces the interrupt when it next
+// yields.  Interrupting a dead process, or one with an interrupt
+// already pending, is a no-op.  Must be called from engine or another
+// process's context.
+func (p *Proc) Interrupt(cause error) {
+	if p.dead || p.intr != nil {
+		return
+	}
+	p.intr = cause
+	if !p.blocked || p.inExec {
+		return
+	}
+	if p.parkFac != nil && p.parkFac.dropWaiter(p) {
+		p.eng.Schedule(0, p.wakeFn)
+	}
+	// A facility park whose wake was already in flight, and a plain
+	// Delay, surface the interrupt when that pending wake fires.
+}
+
+// maybeInterrupt raises a pending interrupt (process context), called
+// at every blocking boundary after the park state is torn down.
+func (p *Proc) maybeInterrupt() {
+	if p.intr == nil {
+		return
+	}
+	cause := p.intr
+	p.intr = nil
+	panic(&Interrupt{Proc: p.name, Cause: cause})
 }
 
 // block yields the baton back to the kernel and waits to be woken.
@@ -538,15 +648,20 @@ func (p *Proc) wdFire() {
 
 // park blocks p on the named facility, arming the engine's watchdog if
 // one is configured.  The watchdog event fires in engine context, so
-// its panic unwinds Run rather than the baton goroutine.
-func (p *Proc) park(on string) {
+// its panic unwinds Run rather than the baton goroutine.  fac is the
+// facility whose waiter list holds p, so Interrupt and Kill can detach
+// it; a pending interrupt is raised as the park ends.
+func (p *Proc) park(on string, fac waiterList) {
 	p.waitOn, p.waitStart = on, p.eng.now
+	p.parkFac = fac
 	if limit := p.eng.watchdog; limit > 0 {
 		p.armWd(limit)
 	}
 	p.block()
 	p.disarmWd()
+	p.parkFac = nil
 	p.waitOn = ""
+	p.maybeInterrupt()
 }
 
 // parkDeadline blocks p on the named facility for at most d; it returns
@@ -558,11 +673,14 @@ func (p *Proc) parkDeadline(on string, d units.Time, fac waiterList) bool {
 	p.waitOn, p.waitStart = on, p.eng.now
 	p.expired = false
 	p.wdFacility = fac
+	p.parkFac = fac
 	p.armWd(d)
 	p.block()
 	p.disarmWd()
 	p.wdFacility = nil
+	p.parkFac = nil
 	p.waitOn = ""
+	p.maybeInterrupt()
 	return !p.expired
 }
 
@@ -581,6 +699,7 @@ func (p *Proc) Now() units.Time { return p.eng.now }
 func (p *Proc) Delay(d units.Time) {
 	p.eng.Schedule(d, p.wakeFn)
 	p.block()
+	p.maybeInterrupt()
 }
 
 // String implements fmt.Stringer.
@@ -616,7 +735,7 @@ func (m *Mailbox[T]) Send(v T) {
 func (m *Mailbox[T]) Recv(p *Proc) T {
 	for len(m.items) == 0 {
 		m.waiters = append(m.waiters, p)
-		p.park(m.name)
+		p.park(m.name, m)
 	}
 	v := m.items[0]
 	m.items = m.items[1:]
@@ -693,9 +812,21 @@ func NewSemaphore(e *Engine, name string, initial int) *Semaphore {
 func (s *Semaphore) Acquire(p *Proc) {
 	for s.count == 0 {
 		s.waiters = append(s.waiters, p)
-		p.park(s.name)
+		p.park(s.name, s)
 	}
 	s.count--
+}
+
+// dropWaiter removes p from the waiter list, reporting whether it was
+// still parked there.
+func (s *Semaphore) dropWaiter(p *Proc) bool {
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Release increments the semaphore and wakes one waiter.  Callable from
@@ -750,7 +881,7 @@ func (s *Signal) Wait(p *Proc, snapshot uint64) {
 		return
 	}
 	s.waiters = append(s.waiters, p)
-	p.park(s.name)
+	p.park(s.name, s)
 }
 
 // WaitDeadline is Wait with a virtual-time bound: it returns true if

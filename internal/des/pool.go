@@ -117,10 +117,16 @@ func (p *Proc) Exec(d units.Time, fn func()) {
 		p.Delay(d)
 		return
 	}
+	// inExec defers Kill/Interrupt to the completion wake: the worker
+	// may be touching this rank's arrays on another OS thread, so the
+	// <-done synchronization must happen before any unwind.
+	p.inExec = true
 	done := pool.submit(fn)
 	p.eng.Schedule(d, func() {
 		<-done
 		p.wake()
 	})
 	p.block()
+	p.inExec = false
+	p.maybeInterrupt()
 }

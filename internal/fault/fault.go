@@ -101,6 +101,12 @@ type Config struct {
 	CorruptRate  float64 // per-packet, per-link corruption probability
 	Outages      []Outage
 	Degradations []Degradation
+
+	// NodeOutages crash whole nodes (see node.go); RestartJitter, when
+	// positive, stretches each finite window's restart instant by a
+	// per-node seeded draw uniform in [0, RestartJitter).
+	NodeOutages   []NodeOutage
+	RestartJitter units.Time
 }
 
 // Enabled reports whether the config injects any fault at all.  The
@@ -108,8 +114,14 @@ type Config struct {
 // run carries zero protocol overhead and its packet counts and timings
 // are identical to a build without this package.
 func (c Config) Enabled() bool {
-	return c.DropRate > 0 || c.CorruptRate > 0 || len(c.Outages) > 0 || len(c.Degradations) > 0
+	return c.DropRate > 0 || c.CorruptRate > 0 || len(c.Outages) > 0 ||
+		len(c.Degradations) > 0 || len(c.NodeOutages) > 0
 }
+
+// NodesEnabled reports whether the config crashes whole nodes; the
+// cluster layer uses it to gate heartbeat-based dead-peer detection and
+// the crash-recovery controller.
+func (c Config) NodesEnabled() bool { return len(c.NodeOutages) > 0 }
 
 // Plan is a compiled Config: per-link PRNG streams plus the static
 // outage/degradation windows.  Build one with NewPlan and share it
@@ -120,6 +132,8 @@ type Plan struct {
 	// links caches per-link state by name.  Insertion-ordered slice, not
 	// a map: Plan is on the event path and bans map iteration.
 	links []*Link
+	// nodes caches compiled per-node crash plans the same way.
+	nodes []*NodeFault
 }
 
 // NewPlan compiles cfg.

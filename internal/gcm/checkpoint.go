@@ -33,12 +33,15 @@ func (m *Model) Checkpoint(w io.Writer) error {
 			return fmt.Errorf("gcm: checkpoint header: %w", err)
 		}
 	}
-	for _, f := range m.checkpointFields() {
-		if err := writeF3(w, f); err != nil {
-			return err
+	for _, sec := range m.checkpointSections() {
+		if err := writeF3(w, sec.f); err != nil {
+			return fmt.Errorf("gcm: checkpoint section %s: %w", sec.name, err)
 		}
 	}
-	return writeF2(w, m.S.Ps)
+	if err := writeF2(w, m.S.Ps); err != nil {
+		return fmt.Errorf("gcm: checkpoint section Ps: %w", err)
+	}
+	return nil
 }
 
 // Restore loads a checkpoint written by a model with the same
@@ -63,13 +66,13 @@ func (m *Model) Restore(r io.Reader) error {
 	if int(h[5]) != m.EP.Rank() {
 		return fmt.Errorf("gcm: checkpoint for rank %d restored on rank %d", h[5], m.EP.Rank())
 	}
-	for _, f := range m.checkpointFields() {
-		if err := readF3(r, f); err != nil {
-			return err
+	for _, sec := range m.checkpointSections() {
+		if err := readF3(r, sec.f); err != nil {
+			return fmt.Errorf("gcm: restore section %s: %w", sec.name, err)
 		}
 	}
 	if err := readF2(r, m.S.Ps); err != nil {
-		return err
+		return fmt.Errorf("gcm: restore section Ps: %w", err)
 	}
 	m.Steps = int(h[6])
 	m.S.SetABCursor(int(h[7]), m.Steps > 0)
@@ -82,12 +85,25 @@ func (m *Model) Restore(r io.Reader) error {
 	return nil
 }
 
-// checkpointFields lists every 3-D array a bit-exact restart needs.
-func (m *Model) checkpointFields() []*field.F3 {
+// checkpointSection names one 3-D array of the stream so a read or
+// write failure reports exactly which part of the state it lost.
+type checkpointSection struct {
+	name string
+	f    *field.F3
+}
+
+// checkpointSections lists every 3-D array a bit-exact restart needs,
+// in stream order.
+func (m *Model) checkpointSections() []checkpointSection {
 	s := m.S
-	fields := []*field.F3{s.U, s.V, s.W, s.Theta, s.Salt, s.Phy}
-	fields = append(fields, s.ABBuffers()...)
-	return fields
+	secs := []checkpointSection{
+		{"U", s.U}, {"V", s.V}, {"W", s.W},
+		{"Theta", s.Theta}, {"Salt", s.Salt}, {"Phy", s.Phy},
+	}
+	for i, f := range s.ABBuffers() {
+		secs = append(secs, checkpointSection{fmt.Sprintf("AB%d", i), f})
+	}
+	return secs
 }
 
 func writeF3(w io.Writer, f *field.F3) error {

@@ -3,6 +3,7 @@ package gcm
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"hyades/internal/comm"
@@ -100,6 +101,40 @@ func TestCheckpointRejectsMismatch(t *testing.T) {
 	raw[0] ^= 0xff
 	if err := m3.Restore(bytes.NewReader(raw)); err == nil {
 		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestRestoreNamesFailedSection: a stream that dies mid-state must say
+// exactly which section of the state was lost, so a bad restart file
+// is diagnosable without a hex dump.
+func TestRestoreNamesFailedSection(t *testing.T) {
+	cfg := smallGyre(1, 1)
+	m, _, err := RunSerial(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *Model {
+		m2, err := New(cfg, &comm.Serial{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m2
+	}
+
+	// Truncated just past the header: the first 3-D section fails.
+	err = fresh().Restore(bytes.NewReader(buf.Bytes()[:100]))
+	if err == nil || !strings.Contains(err.Error(), "restore section U") {
+		t.Errorf("early truncation error does not name section U: %v", err)
+	}
+
+	// Truncated one byte short: the trailing 2-D section fails.
+	err = fresh().Restore(bytes.NewReader(buf.Bytes()[:buf.Len()-1]))
+	if err == nil || !strings.Contains(err.Error(), "restore section Ps") {
+		t.Errorf("late truncation error does not name section Ps: %v", err)
 	}
 }
 

@@ -29,6 +29,15 @@ type Result struct {
 	// the timed region — retransmission counters are not resettable).
 	Fault comm.FaultStats
 	Net   arctic.Stats
+
+	// Recovery reports availability behaviour when the run used the
+	// crash-recovery controller (node faults or a checkpoint interval).
+	Recovery RecoveryResult
+
+	// Engine observables of the whole simulation (Hyades runs only):
+	// determinism tests compare them bit for bit across worker counts.
+	Events    uint64
+	FinalTime units.Time
 }
 
 // TotalFlops returns all floating-point work in the timed region.
@@ -66,6 +75,20 @@ type ParallelOpts struct {
 	// negative runs everything inline on the DES baton.  Every value
 	// produces the identical virtual schedule (see cluster.Config).
 	Workers int
+
+	// CheckpointEvery saves a coordinated checkpoint every so many
+	// model steps (0 disables).  With node faults enabled it bounds
+	// the work a crash can destroy; without them it still exercises
+	// the checkpoint machinery (the state digest is unaffected).
+	CheckpointEvery int
+
+	// MaxRestarts overrides the recovery controller's crash budget
+	// when positive.
+	MaxRestarts int
+
+	// RecoveryBackoff overrides the controller's base release backoff
+	// when positive.
+	RecoveryBackoff units.Time
 }
 
 // RunParallel executes cfg for the given number of timed steps (plus
@@ -94,16 +117,33 @@ func RunParallelOpts(nodes, ppn int, cfg Config, warmup, steps int, opts Paralle
 	if err != nil {
 		return nil, err
 	}
-	launch := func(body func(rank int, ep comm.Endpoint)) error {
-		cl.Start(func(w *cluster.Worker) { body(w.Rank, lib.Bind(w)) })
-		return cl.Run()
+	rec := lib.Recovery()
+	if rec == nil && opts.CheckpointEvery > 0 {
+		rec = lib.EnableRecovery()
 	}
-	res, err := runOn(cl.Processors(), launch, cfg, warmup, steps)
+	var res *Result
+	if rec != nil {
+		if opts.MaxRestarts > 0 {
+			rec.MaxRestarts = opts.MaxRestarts
+		}
+		if opts.RecoveryBackoff > 0 {
+			rec.Backoff = opts.RecoveryBackoff
+		}
+		res, err = runRecovery(cl, lib, cfg, warmup, steps, opts.CheckpointEvery)
+	} else {
+		launch := func(body func(rank int, ep comm.Endpoint)) error {
+			cl.Start(func(w *cluster.Worker) { body(w.Rank, lib.Bind(w)) })
+			return cl.Run()
+		}
+		res, err = runOn(cl.Processors(), launch, cfg, warmup, steps)
+	}
 	if err != nil {
 		return nil, err
 	}
 	res.Fault = lib.FaultStats()
 	res.Net = cl.Fabric.Stats()
+	res.Events = cl.Eng.Events()
+	res.FinalTime = cl.Eng.Now()
 	return res, nil
 }
 

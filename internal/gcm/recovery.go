@@ -1,0 +1,221 @@
+package gcm
+
+import (
+	"bytes"
+	"fmt"
+
+	"hyades/internal/cluster"
+	"hyades/internal/comm"
+	"hyades/internal/des"
+	"hyades/internal/units"
+)
+
+// Crash-surviving parallel runner.  Where runOn assumes every rank
+// process lives from launch to completion, this runner assumes any
+// node can die mid-step: each rank executes a loop of *attempts*, one
+// per recovery generation.  An attempt passes the controller's
+// rendezvous, builds a fresh model, restores the committed checkpoint
+// (if one exists), and integrates step by step, depositing coordinated
+// checkpoints into the controller's two-phase store.  A node crash
+// unwinds every surviving rank with a *des.Interrupt; the rank falls
+// back into the loop and retries from the next released generation.
+// The survival contract — same digest as the fault-free run, bit for
+// bit — holds because the checkpoint captures the complete prognostic
+// state and the replay is the same deterministic integration.
+
+// RecoveryResult summarizes the availability behaviour of a run.
+type RecoveryResult struct {
+	Enabled          bool
+	Restarts         int        // node crashes survived
+	RecoveryTime     units.Time // summed crash-to-release virtual time
+	LostVirtual      units.Time // virtual integration time rolled back
+	LostFlops        int64      // flops of abandoned attempts (work redone)
+	Checkpoints      int        // committed checkpoint rounds
+	CheckpointBytes  int64      // bytes across all committed rounds
+	PendingDiscarded int        // checkpoint rounds spoiled by a crash
+}
+
+// runRecovery executes cfg under the comm layer's crash-recovery
+// controller.  every is the checkpoint interval in steps (0 saves no
+// checkpoints: a crash then fails loudly at restore time).
+//
+// Flop accounting differs from runOn: TotalPS/TotalDS count the
+// timed-region work actually executed, including work that a rollback
+// later repeated; the rolled-back portion is also reported separately
+// as Recovery.LostFlops.  Elapsed spans the first warmup-boundary
+// crossing to final completion on rank 0, so recovery stalls and
+// replays lengthen it — that is the availability cost the report's
+// recovery rows quantify.
+func runRecovery(cl *cluster.Cluster, lib *comm.Hyades, cfg Config, warmup, steps, every int) (*Result, error) {
+	n := cl.Processors()
+	if cfg.Decomp.Tiles() != n {
+		return nil, fmt.Errorf("gcm: %d tiles for %d workers", cfg.Decomp.Tiles(), n)
+	}
+	rec := lib.Recovery()
+	total := warmup + steps
+	// Rank-partitioned launcher-frame state (one slot per rank, as in
+	// runOn) plus per-rank accumulators that survive incarnations.
+	res := &Result{Models: make([]*Model, n), Steps: steps}
+	eps := make([]comm.Endpoint, n)
+	retired := make([]comm.Stats, n) // stats of dead incarnations' endpoints
+	buildErrs := make([]error, n)
+	t0s := make([]units.Time, n)
+	t1s := make([]units.Time, n)
+	t0set := make([]bool, n)
+	ps := make([]int64, n) // timed-region flops executed (incl. replays)
+	ds := make([]int64, n)
+	lost := make([]int64, n) // flops of abandoned attempts
+
+	// attempt runs one generation's worth of work for a rank.  It
+	// returns true when the rank is finished (job complete or a fatal
+	// error already reported); false means the attempt was unwound by
+	// a crash interrupt and the rank must re-enter the rendezvous.
+	// rank is threaded as a parameter into every writing closure so the
+	// shareheap partition analysis certifies the rank-indexed stores.
+	attempt := func(rank int, w *cluster.Worker, ep comm.Endpoint) (finished bool) {
+		var m *Model
+		var psBase, dsBase int64
+		timed := false // this attempt has entered the timed region
+		defer func(rank int) {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if _, ok := r.(*des.Interrupt); !ok {
+				panic(r)
+			}
+			// Crash collateral: everything this attempt computed will
+			// be recomputed after the rollback.
+			if m != nil {
+				lost[rank] += m.C.PS + m.C.DS
+				if timed {
+					ps[rank] += m.C.PS - psBase
+					ds[rank] += m.C.DS - dsBase
+				}
+			}
+			finished = false
+		}(rank)
+		if rec.Enter(w) {
+			return true
+		}
+		var err error
+		m, err = New(cfg, ep)
+		if err != nil {
+			buildErrs[rank] = err
+			return true
+		}
+		res.Models[rank] = m
+		if step, blob, ok := rec.Checkpoint(rank); ok {
+			if err := m.Restore(bytes.NewReader(blob)); err != nil {
+				cl.Eng.Fail(fmt.Errorf("gcm: rank %d restore from step-%d checkpoint: %w", rank, step, err))
+				return true
+			}
+			// Reading the checkpoint back through memory costs what the
+			// write did.
+			ep.Busy(w.Node.Cfg.MemcpyBandwidth.Transfer(len(blob)))
+			if m.Steps >= warmup {
+				timed = true
+				psBase, dsBase = m.C.PS, m.C.DS
+			}
+		} else if rec.Restarts() > 0 {
+			cl.Eng.Fail(fmt.Errorf("gcm: node crash #%d with no surviving checkpoint: nothing to restore; run with a checkpoint interval (-checkpoint-every) to make crashes survivable", rec.Restarts()))
+			return true
+		}
+		for m.Steps < total {
+			if !timed && m.Steps >= warmup {
+				// First crossing of the warmup boundary brackets the
+				// timed region exactly as runOn does.
+				ep.Barrier()
+				if !t0set[rank] {
+					t0set[rank] = true
+					t0s[rank] = ep.Now()
+				}
+				timed = true
+				psBase, dsBase = m.C.PS, m.C.DS
+			}
+			m.Run(1)
+			if every > 0 && m.Steps%every == 0 && m.Steps > rec.CommittedStep() && m.Steps < total {
+				var buf bytes.Buffer
+				if err := m.Checkpoint(&buf); err != nil {
+					cl.Eng.Fail(fmt.Errorf("gcm: rank %d checkpoint at step %d: %w", rank, m.Steps, err))
+					return true
+				}
+				// Serializing the state is a memory-bandwidth copy on the
+				// rank's processor; it is charged in virtual time so the
+				// recovery-overhead rows price checkpointing honestly.
+				ep.Busy(w.Node.Cfg.MemcpyBandwidth.Transfer(buf.Len()))
+				rec.SaveCheckpoint(rank, m.Steps, buf.Bytes())
+			}
+		}
+		ep.Barrier()
+		t1s[rank] = ep.Now()
+		if timed {
+			ps[rank] += m.C.PS - psBase
+			ds[rank] += m.C.DS - dsBase
+		}
+		rec.Done(w)
+		return true
+	}
+
+	runRank := func(rank int, w *cluster.Worker) {
+		// A respawned incarnation gets a fresh endpoint; bank the dead
+		// one's accounting first.
+		if prev := eps[rank]; prev != nil {
+			s := prev.Stats()
+			bank := retired[rank]
+			bank.ComputeTime += s.ComputeTime
+			bank.ExchangeTime += s.ExchangeTime
+			bank.GsumTime += s.GsumTime
+			retired[rank] = bank
+		}
+		ep := lib.Bind(w)
+		eps[rank] = ep
+		for !attempt(rank, w, ep) {
+		}
+	}
+	cl.Start(func(w *cluster.Worker) { runRank(w.Rank, w) })
+	if err := cl.Run(); err != nil {
+		return nil, err
+	}
+	for _, e := range buildErrs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	for r := range ps {
+		res.TotalPS += ps[r]
+		res.TotalDS += ds[r]
+	}
+	res.Elapsed = t1s[0] - t0s[0]
+	for r, ep := range eps {
+		if ep == nil {
+			continue
+		}
+		s := ep.Stats()
+		res.ComputeTime += retired[r].ComputeTime + s.ComputeTime
+		res.ExchangeTime += retired[r].ExchangeTime + s.ExchangeTime
+		res.GsumTime += retired[r].GsumTime + s.GsumTime
+	}
+	var iters, solves int64
+	for _, m := range res.Models {
+		iters += m.Solver.TotalIters
+		solves += m.Solver.Solves
+	}
+	if solves > 0 {
+		res.MeanNi = float64(iters) / float64(solves)
+	}
+	st := rec.Stats()
+	res.Recovery = RecoveryResult{
+		Enabled:          true,
+		Restarts:         st.Restarts,
+		RecoveryTime:     st.RecoveryTime,
+		LostVirtual:      st.LostVirtual,
+		Checkpoints:      st.Checkpoints,
+		CheckpointBytes:  st.CheckpointBytes,
+		PendingDiscarded: st.PendingDiscarded,
+	}
+	for _, l := range lost {
+		res.Recovery.LostFlops += l
+	}
+	return res, nil
+}

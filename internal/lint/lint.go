@@ -94,6 +94,11 @@ var eventPathPackages = []string{
 	"hyades/internal/fault",
 	"hyades/internal/arctic",
 	"hyades/internal/comm",
+	// The crash-recovery path: peer monitors (startx) and the crash /
+	// respawn events (cluster) dispatch in engine context, where map
+	// iteration order would reorder simultaneous events.
+	"hyades/internal/startx",
+	"hyades/internal/cluster",
 }
 
 func underAny(path string, prefixes []string) bool {

@@ -98,6 +98,16 @@ func TestAnalyzersForScope(t *testing.T) {
 			t.Errorf("fault: missing analyzer %s (fault plans run on the event path)", want)
 		}
 	}
+	// The crash-recovery path dispatches in engine context: peer
+	// monitors in startx, crash/respawn events in cluster.
+	for _, pkg := range []string{"hyades/internal/startx", "hyades/internal/cluster"} {
+		rec := names(pkg)
+		for _, want := range []string{"detsource", "maprange"} {
+			if !rec[want] {
+				t.Errorf("%s: missing analyzer %s (recovery code runs on the event path)", pkg, want)
+			}
+		}
+	}
 	gcm := names("hyades/internal/gcm/solver")
 	if !gcm["detsource"] || !gcm["nogoroutine"] {
 		t.Errorf("gcm subpackages must get the sim-core rules, got %v", gcm)

@@ -1,0 +1,20 @@
+package detsource
+
+import "time"
+
+// badRecovery mimics a crash-recovery controller timing its pieces
+// with the wall clock: dead-peer leases, release backoff and
+// recovery-overhead accounting must all run in virtual time, or the
+// recovered run replays differently on every host.
+func badRecovery(restarts int) time.Duration {
+	crashedAt := time.Now() // want `time\.Now reads the wall clock`
+	backoff := time.Duration(restarts) * time.Millisecond
+	time.Sleep(backoff)          // want `time\.Sleep reads the wall clock`
+	return time.Since(crashedAt) // want `time\.Since reads the wall clock`
+}
+
+// badLease mimics heartbeat lease expiry checked against the host
+// clock instead of a DES timer.
+func badLease(deadline time.Time) bool {
+	return time.Now().After(deadline) // want `time\.Now reads the wall clock`
+}

@@ -113,6 +113,11 @@ func (n *NIU) relRx(src int, pri arctic.Priority) *relRxStream {
 // inject is the single funnel between the NIU transmit paths and the
 // fabric.  With the reliable channel off it is a plain injection.
 func (n *NIU) inject(pkt *arctic.Packet) {
+	if n.down {
+		// A transmit scheduled before the crash: the NIU died under it.
+		return
+	}
+	pkt.Epoch = n.epoch
 	if !n.cfg.Reliable {
 		n.fab.Inject(n.ep, pkt)
 		return
@@ -157,6 +162,9 @@ func (st *relStream) armTimer() {
 // and give up loudly once the retry budget is spent.
 func (st *relStream) onTimeout() {
 	n := st.niu
+	if n.down {
+		return
+	}
 	n.Rel.Timeouts++
 	st.retries++
 	if st.retries > n.cfg.RelRetryBudget {
@@ -260,10 +268,14 @@ var relAckPayload = make([]uint32, arctic.MinPayloadWords)
 // themselves unsequenced and unprotected: a lost ACK is recovered by
 // the next one, or by the duplicate re-ack after a retransmission.
 func (n *NIU) sendAck(dst int, ch arctic.Priority, ackSeq uint64) {
+	if n.down {
+		return
+	}
 	ack := &arctic.Packet{
 		Pri:     arctic.High,
 		Payload: relAckPayload,
 		Rel:     &arctic.RelHeader{Ack: true, AckSeq: ackSeq, Chan: ch},
+		Epoch:   n.epoch,
 	}
 	n.fab.RouteFor(ack, n.ep, dst)
 	n.Rel.AcksSent++

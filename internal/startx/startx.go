@@ -69,6 +69,15 @@ type Config struct {
 	// RelWindow is the go-back-N window: the maximum number of
 	// unacknowledged packets per (destination, priority) stream.
 	RelWindow int
+
+	// Heartbeat and PeerLease configure NIU-level dead-peer detection
+	// (see peer.go).  With Heartbeat > 0 a started monitor broadcasts a
+	// small high-priority heartbeat packet every Heartbeat of virtual
+	// time, and declares a peer dead once nothing — heartbeat or data —
+	// has been heard from it for PeerLease.  Zero leaves detection off;
+	// the cluster layer fills in defaults when node faults are enabled.
+	Heartbeat units.Time
+	PeerLease units.Time
 }
 
 // DefaultConfig returns the calibrated StarT-X pipeline latencies.
@@ -134,6 +143,30 @@ type NIU struct {
 
 	// windows holds the registered remote-memory regions.
 	windows map[int]*rmemWindow
+
+	// Node-failure state (see peer.go).  down marks a crashed NIU: it
+	// transmits nothing and drops every arrival.  epoch is the
+	// communication incarnation stamped on outgoing traffic; arrivals
+	// from another epoch are pre-rollback stragglers and are dropped.
+	// lastHeard/peerDead are the dead-peer detector's per-endpoint
+	// lease state (slices, not maps: this is the event path).
+	down      bool
+	epoch     uint32
+	lastHeard []units.Time
+	peerDead  []bool
+	hbTimer   *des.Timer
+	lsTimer   *des.Timer
+
+	// OnPeerDead, if set, observes (in engine context) a peer whose
+	// lease expired; fired once per peer per monitoring epoch.
+	OnPeerDead func(peer int)
+
+	// DownDropped / StaleDropped / Heartbeats count node-failure
+	// machinery events: arrivals discarded while down, stale-epoch
+	// arrivals discarded after a rollback, heartbeat packets sent.
+	DownDropped  int64
+	StaleDropped int64
+	Heartbeats   int64
 }
 
 // dmaJob is one queued VI-mode or remote-memory transmit; offset is
@@ -272,7 +305,7 @@ func (n *NIU) DMASend(p *des.Proc, dst int, tag int, data []byte, pri arctic.Pri
 // pumpTx moves the next packet quantum of the transmit queue's head job
 // across the PCI bus and into the fabric, then re-arms itself.
 func (n *NIU) pumpTx() {
-	if len(n.txQueue) == 0 {
+	if n.down || len(n.txQueue) == 0 {
 		n.txActive = false
 		return
 	}
@@ -327,6 +360,28 @@ func (n *NIU) VIPending() int { return n.rxVI.Len() }
 // receive is the fabric delivery handler: it dispatches packets to the
 // PIO queues or runs the VI receive DMA.
 func (n *NIU) receive(pkt *arctic.Packet) {
+	if pkt.HB {
+		// Heartbeats prove liveness across epochs and are never
+		// delivered to software; a downed NIU hears nothing.
+		if !n.down && !pkt.Corrupted() {
+			n.noteHeard(pkt.Src)
+		}
+		return
+	}
+	if n.down {
+		n.DownDropped++
+		return
+	}
+	if n.lastHeard != nil && !pkt.Corrupted() {
+		n.noteHeard(pkt.Src)
+	}
+	if n.cfg.Reliable && pkt.Epoch != n.epoch {
+		// A straggler from before a recovery rollback: the reliable
+		// streams it belongs to no longer exist.  Dropping it (ACKs
+		// included) keeps the fresh epoch's sequence spaces clean.
+		n.StaleDropped++
+		return
+	}
 	if pkt.Corrupted() {
 		n.CorruptSeen++
 	}
