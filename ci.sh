@@ -132,12 +132,38 @@ echo "== bench (hot-path benchmarks, artifact)"
 # The hyadeslint wall-clock measurement rides along as a synthetic
 # benchmark line, so the lint suite's cost has a committed trajectory
 # too.
-bench_out="${HYADES_BENCH_JSON:-BENCH_pr8.json}"
+bench_out="${HYADES_BENCH_JSON:-BENCH_pr9.json}"
 {
-    go test -run '^$' -bench '^(BenchmarkExchange|BenchmarkGlobalSum|BenchmarkCoupledStep|BenchmarkCheckpointWrite|BenchmarkCheckpointRestore|BenchmarkRecoveryOverhead)$' \
+    # The hot-path microbenchmarks run long enough to amortize one-time
+    # setup (cluster construction, freelist warm-up): at 1x their
+    # allocs/op is all setup and the zero-alloc event path is invisible.
+    go test -run '^$' -bench '^(BenchmarkExchange|BenchmarkGlobalSum)$' \
+        -benchmem -benchtime 100x .
+    # Scheduler throughput: ladder vs heap at three backlog depths.
+    # Iterations are bounded so the 1e7-pending prefill dominates once,
+    # not per-measurement, but high enough (200k ops is ~tens of ms)
+    # that rung-refill spikes amortize instead of landing whole in a
+    # tiny measurement window.
+    go test -run '^$' -bench '^BenchmarkSchedule$' \
+        -benchmem -benchtime 200000x .
+    go test -run '^$' -bench '^(BenchmarkCoupledStep|BenchmarkCheckpointWrite|BenchmarkCheckpointRestore|BenchmarkRecoveryOverhead)$' \
         -benchmem -benchtime 1x .
     printf 'BenchmarkHyadeslintFullTree 1 %d lint_wall_ms\n' "$lint_ms"
-} | go run ./cmd/benchjson "benchtime 1x gate run" > "$bench_out"
+} | go run ./cmd/benchjson "gate run: 100x hot path, 200000x scheduler, 1x heavies" > "$bench_out"
 echo "wrote $bench_out"
+
+echo "== bench compare (soft gate vs previous committed artifact)"
+# Diff the fresh artifact against the newest committed BENCH_pr*.json
+# from an earlier PR.  Allocation regressions over 10% print loudly but
+# do not fail the build: cross-PR artifacts were produced at different
+# benchtimes, so the hard gate is the hotalloc ratchet above — this
+# stage is the early-warning trajectory.
+prev=$(ls BENCH_pr*.json 2>/dev/null | grep -vx "$bench_out" | sort -V | tail -n 1 || true)
+if [ -n "$prev" ]; then
+    go run ./cmd/benchjson -compare "$prev" "$bench_out" ||
+        echo "bench compare: allocs/op regression vs $prev (soft gate — investigate before merging)" >&2
+else
+    echo "no previous BENCH_pr*.json to compare against"
+fi
 
 echo "CI OK"

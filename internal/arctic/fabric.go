@@ -61,13 +61,43 @@ type LinkStats struct {
 	OutageDropped int64
 }
 
+// transitQueue is a FIFO ring of transits.  Links queue and dequeue
+// packets on every hop of every journey; a ring recycles one buffer in
+// steady state where the old append + [1:] idiom leaked front capacity
+// and re-grew the slice every few packets — the fabric's dominant
+// allocation site before the zero-alloc hunt.
+type transitQueue struct {
+	buf     []*transit
+	head, n int
+}
+
+func (q *transitQueue) push(t *transit) {
+	if q.n == len(q.buf) {
+		grown := make([]*transit, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = t
+	q.n++
+}
+
+func (q *transitQueue) pop() *transit {
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return t
+}
+
 // link is one directed link with two-priority FIFO queueing.
 type link struct {
 	fab     *Fabric
 	name    string
 	busy    bool
-	queueHi []*transit
-	queueLo []*transit
+	queueHi transitQueue
+	queueLo transitQueue
 	// sink receives the packet when its head has crossed this link;
 	// exactly one of nextRouter/endpoint is set.
 	deliver func(t *transit)
@@ -119,6 +149,34 @@ type Fabric struct {
 	rng     *rand.Rand
 	stats   Stats
 	free    []*transit // recycled transit objects
+	freePkt []*Packet  // recycled pooled packets (see AcquirePacket)
+}
+
+// AcquirePacket returns a zeroed packet from the fabric's freelist (or
+// a fresh one), marked so the fabric reclaims it when its journey ends:
+// after the endpoint's receive handler returns, or at whichever router
+// or link drops it.  Receive handlers must therefore copy out what they
+// keep — the payload slice header is fine to move, the *Packet is not.
+// Callers that need a packet to outlive delivery (tests, diagnostics)
+// should build one directly instead.
+func (f *Fabric) AcquirePacket() *Packet {
+	if n := len(f.freePkt); n > 0 {
+		p := f.freePkt[n-1]
+		f.freePkt[n-1] = nil
+		f.freePkt = f.freePkt[:n-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// releasePacket reclaims a pooled packet at the end of its journey.
+// Unpooled packets are left alone (their owner may have retained them).
+func (f *Fabric) releasePacket(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	*p = Packet{pooled: true}
+	f.freePkt = append(f.freePkt, p)
 }
 
 // newTransit pops the freelist or allocates; the bound deliverFn is
@@ -320,6 +378,7 @@ func (f *Fabric) routerInput(r *router) func(*transit) {
 			// Paper §2.2: correctness is verified at every router
 			// stage; a corrupted packet cannot propagate silently.
 			f.stats.Dropped++
+			f.releasePacket(t.pkt)
 			f.recycle(t)
 			return
 		}
@@ -373,6 +432,7 @@ func (f *Fabric) deliverToEndpoint(ep int, p *Packet) {
 	if rx := f.rx[ep]; rx != nil {
 		rx(p)
 	}
+	f.releasePacket(p)
 }
 
 // enqueue places a transit on the link, starting transmission if idle.
@@ -380,9 +440,9 @@ func (f *Fabric) deliverToEndpoint(ep int, p *Packet) {
 // preempt a transmission in progress.
 func (l *link) enqueue(t *transit) {
 	if t.pkt.Pri == High {
-		l.queueHi = append(l.queueHi, t)
+		l.queueHi.push(t)
 	} else {
-		l.queueLo = append(l.queueLo, t)
+		l.queueLo.push(t)
 	}
 	if !l.busy {
 		l.startNext()
@@ -393,10 +453,10 @@ func (l *link) enqueue(t *transit) {
 func (l *link) startNext() {
 	var t *transit
 	switch {
-	case len(l.queueHi) > 0:
-		t, l.queueHi = l.queueHi[0], l.queueHi[1:]
-	case len(l.queueLo) > 0:
-		t, l.queueLo = l.queueLo[0], l.queueLo[1:]
+	case l.queueHi.n > 0:
+		t = l.queueHi.pop()
+	case l.queueLo.n > 0:
+		t = l.queueLo.pop()
 	default:
 		l.busy = false
 		return
@@ -413,6 +473,7 @@ func (l *link) startNext() {
 			// be lost while the outage lasts, in FIFO order).
 			l.stats.OutageDropped++
 			f.stats.OutageDropped++
+			f.releasePacket(t.pkt)
 			f.recycle(t)
 			f.eng.Schedule(0, l.startNextFn)
 			return
@@ -428,6 +489,7 @@ func (l *link) startNext() {
 			l.stats.FaultDropped++
 			f.stats.FaultDropped++
 			f.eng.Schedule(bw.Transfer(t.pkt.WireBytes()), l.startNextFn)
+			f.releasePacket(t.pkt)
 			f.recycle(t)
 			return
 		case fault.Corrupt:

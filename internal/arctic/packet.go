@@ -116,6 +116,14 @@ type Packet struct {
 	crc       uint32
 	sealed    bool
 	corrupted bool
+
+	// pooled marks a packet obtained from a Fabric freelist
+	// (Fabric.AcquirePacket); the fabric recycles such packets once
+	// their journey ends.  Packets constructed directly (tests, one-off
+	// probes) stay unpooled and are left to the garbage collector, so a
+	// caller that retains a delivered packet it built itself never sees
+	// it reused under its feet.
+	pooled bool
 }
 
 // RelHeader is the go-back-N protocol state attached to a packet by the
@@ -133,6 +141,10 @@ type RelHeader struct {
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.corrupted = false
+	// The clone is fabric-owned from injection to delivery (the
+	// retransmitting NIU never sees it again), so the fabric may pool it
+	// regardless of where the original came from.
+	q.pooled = true
 	if p.Rel != nil {
 		rel := *p.Rel
 		q.Rel = &rel

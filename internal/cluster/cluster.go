@@ -49,6 +49,11 @@ type Config struct {
 	// virtual schedule is identical for every value); negative disables
 	// the pool entirely so phases run inline on the baton.
 	Workers int
+
+	// Scheduler selects the engine's event-queue implementation.  The
+	// zero value is the ladder queue; des.SchedHeap keeps the original
+	// binary heap for the scheduler-equivalence determinism tests.
+	Scheduler des.SchedulerKind
 }
 
 // DefaultConfig returns the published Hyades machine with the given SMP
@@ -104,7 +109,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ProcsPerNode < 1 || cfg.ProcsPerNode > 8 {
 		return nil, fmt.Errorf("cluster: %d processors per node out of range", cfg.ProcsPerNode)
 	}
-	eng := des.NewEngine()
+	eng := des.NewEngineWithScheduler(cfg.Scheduler)
 	eng.SetWatchdog(cfg.Watchdog)
 	cfg.Arctic.Endpoints = cfg.Nodes
 	if cfg.Fault.Enabled() {

@@ -115,6 +115,37 @@ type Hyades struct {
 	cfg   HyadesConfig
 	nodes []*nodeComm
 	rec   *Recovery
+
+	// words pools the two-word control payloads (gsum partials, exchange
+	// REQ/ACK handshakes).  PIOSend transfers payload ownership to the
+	// NIU and the receive path hands the same backing array to the
+	// matching pioWait, so the waiter returns the slice here once it has
+	// extracted the fields.  The engine baton serializes every process,
+	// so the pool needs no lock and its reuse order is deterministic.
+	// Reliable-mode retransmission may clone a packet whose retained
+	// payload was already recycled and rewritten; that is safe because
+	// duplicates are dropped by sequence number before any payload read,
+	// and the clone re-Seals so its CRC is self-consistent.
+	words [][]uint32
+}
+
+// getWords pops a 2-word payload buffer from the pool.
+func (h *Hyades) getWords() []uint32 {
+	if k := len(h.words); k > 0 {
+		w := h.words[k-1]
+		h.words[k-1] = nil
+		h.words = h.words[:k-1]
+		return w
+	}
+	return make([]uint32, 2)
+}
+
+// putWords returns a consumed control payload to the pool.
+func (h *Hyades) putWords(w []uint32) {
+	if cap(w) < 2 {
+		return
+	}
+	h.words = append(h.words, w[:2])
 }
 
 // NewHyades builds the library over an assembled cluster.  Mix-mode
@@ -424,8 +455,11 @@ func (ep *HyadesEndpoint) chargeCopy(layout Block) {
 // (§4.1).
 func (ep *HyadesEndpoint) transferSend(peer int, data []byte, layout Block) {
 	ep.chargeCopy(layout) // pack into the VI region
-	ep.pioSend(peer, clsExchReq, 0, []uint32{uint32(len(data)), uint32(ep.w.Rank)})
-	ep.pioWait(clsExchAck, peer, 0)
+	req := ep.h.getWords()
+	req[0], req[1] = uint32(len(data)), uint32(ep.w.Rank)
+	ep.pioSend(peer, clsExchReq, 0, req)
+	ack := ep.pioWait(clsExchAck, peer, 0)
+	ep.h.putWords(ack.Words)
 	ep.w.Proc.Delay(ep.h.cfg.SetupCost)
 	tag := encodeTag(clsExchData, ep.w.CPU, ep.cpuOf(peer), 0)
 	ep.w.Node.NIU.DMASend(ep.w.Proc, ep.nodeOf(peer), tag, data, arctic.Low)
@@ -433,8 +467,11 @@ func (ep *HyadesEndpoint) transferSend(peer int, data []byte, layout Block) {
 
 // transferRecv accepts one direction of an exchange.
 func (ep *HyadesEndpoint) transferRecv(peer int, layout Block) []byte {
-	ep.pioWait(clsExchReq, peer, 0)
-	ep.pioSend(peer, clsExchAck, 0, []uint32{uint32(ep.w.Rank), 0})
+	req := ep.pioWait(clsExchReq, peer, 0)
+	ep.h.putWords(req.Words)
+	ack := ep.h.getWords()
+	ack[0], ack[1] = uint32(ep.w.Rank), 0
+	ep.pioSend(peer, clsExchAck, 0, ack)
 	t := ep.viWait(peer)
 	ep.chargeCopy(layout) // unpack from the VI region
 	return t.Data
@@ -615,12 +652,16 @@ func log2(v int) int {
 func (ep *HyadesEndpoint) gsumSendTo(nodeID, seq int, v float64) {
 	bits := math.Float64bits(v)
 	tag := encodeTag(clsGsum, 0, 0, seq)
-	ep.w.Node.NIU.PIOSend(ep.w.Proc, nodeID, tag, []uint32{uint32(bits >> 32), uint32(bits)}, arctic.Low)
+	w := ep.h.getWords()
+	w[0], w[1] = uint32(bits>>32), uint32(bits)
+	ep.w.Node.NIU.PIOSend(ep.w.Proc, nodeID, tag, w, arctic.Low)
 }
 
 func (ep *HyadesEndpoint) gsumRecvFrom(nodeID, seq int) float64 {
 	m := ep.pioWaitNode(clsGsum, nodeID, seq)
-	return math.Float64frombits(uint64(m.Words[0])<<32 | uint64(m.Words[1]))
+	v := math.Float64frombits(uint64(m.Words[0])<<32 | uint64(m.Words[1]))
+	ep.h.putWords(m.Words)
+	return v
 }
 
 // pioWaitNode matches on the sending node with CPU 0 (masters only).

@@ -24,7 +24,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 	"strings"
@@ -32,57 +31,30 @@ import (
 	"hyades/internal/units"
 )
 
-// event is a scheduled activity.  idx tracks the event's heap slot so a
-// cancelled timer can be removed outright: a lazily-cancelled event
-// would still advance the virtual clock to its expiry when popped,
-// corrupting every run that armed (and then cancelled) a long timeout.
+// event is a scheduled activity.  The scheduler owns the bookkeeping
+// fields: idx is the event's slot within its container (heap position,
+// or position inside an unsorted ladder region, where it makes
+// cancellation an O(1) swap-remove); rng and bkt locate that container
+// in the ladder; dead marks a tombstoned cancellation awaiting drain.
+// Cancelled timers must not advance the virtual clock to their expiry,
+// so a dead event is skipped — never executed — when popped.
 type event struct {
-	at  units.Time
-	seq uint64 // tie-break: FIFO among simultaneous events
-	fn  func()
-	idx int
+	at   units.Time
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	fn   func()
+	idx  int
+	bkt  int32
+	rng  int8
+	dead bool
 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) peek() *event   { return h[0] }
-func (h *eventHeap) pop() *event   { return heap.Pop(h).(*event) }
-func (h *eventHeap) push(e *event) { heap.Push(h, e) }
-func (h eventHeap) empty() bool    { return len(h) == 0 }
 
 // Engine is the simulation kernel.  Create one with NewEngine; it is not
 // safe for concurrent use from multiple OS-level goroutines other than
 // through the coroutine discipline described in the package comment.
 type Engine struct {
-	now    units.Time
-	events eventHeap
-	seq    uint64
+	now   units.Time
+	sched scheduler
+	seq   uint64
 	// procs holds the live processes in spawn order.  A slice, not a
 	// map: Blocked and Close iterate it, and map iteration order is
 	// randomized — a determinism hazard the maprange analyzer bans
@@ -112,9 +84,25 @@ type Engine struct {
 	procFailure *ProcPanic
 }
 
-// NewEngine returns an empty kernel at virtual time zero.
+// NewEngine returns an empty kernel at virtual time zero, using the
+// default ladder-queue scheduler.
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineWithScheduler(SchedLadder)
+}
+
+// NewEngineWithScheduler returns an empty kernel with an explicit
+// event-queue implementation.  Both kinds execute events in the same
+// strict (at, seq) order, so a simulation's digest is identical under
+// either — the determinism suite asserts exactly that.
+func NewEngineWithScheduler(kind SchedulerKind) *Engine {
+	e := &Engine{}
+	switch kind {
+	case SchedHeap:
+		e.sched = &heapSched{}
+	default:
+		e.sched = &ladderQueue{}
+	}
+	return e
 }
 
 // Now returns the current virtual time.
@@ -144,7 +132,44 @@ func (e *Engine) newEvent(at units.Time, fn func()) *event {
 // closure is dropped so recycling never retains captured state.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.dead = false
 	e.free = append(e.free, ev)
+}
+
+// cancelEvent removes a queued event.  Schedulers that tombstone
+// instead of removing hand the event back through popNext, which
+// recycles it there.
+func (e *Engine) cancelEvent(ev *event) {
+	if e.sched.cancel(ev) {
+		e.recycle(ev)
+	}
+}
+
+// popNext returns the next live event, draining (and recycling) any
+// tombstoned cancellations in front of it.  Nil means the queue is
+// empty.
+func (e *Engine) popNext() *event {
+	for {
+		ev := e.sched.pop()
+		if ev == nil || !ev.dead {
+			return ev
+		}
+		e.recycle(ev)
+	}
+}
+
+// peekNext returns the next live event without removing it; dead events
+// at the front are drained so the caller's timestamp check sees a real
+// activity.
+func (e *Engine) peekNext() *event {
+	for {
+		ev := e.sched.peek()
+		if ev == nil || !ev.dead {
+			return ev
+		}
+		e.sched.pop()
+		e.recycle(ev)
+	}
 }
 
 // Schedule runs fn at now+d.  A non-positive d means "as soon as
@@ -154,7 +179,7 @@ func (e *Engine) Schedule(d units.Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.events.push(e.newEvent(e.now+d, fn))
+	e.sched.push(e.newEvent(e.now+d, fn))
 }
 
 // ScheduleAt runs fn at absolute time t (clamped to the present).
@@ -162,7 +187,7 @@ func (e *Engine) ScheduleAt(t units.Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.events.push(e.newEvent(t, fn))
+	e.sched.push(e.newEvent(t, fn))
 }
 
 // Run executes events until the event queue is empty.  Processes blocked
@@ -175,11 +200,12 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= limit.
 func (e *Engine) RunUntil(limit units.Time) {
-	for !e.events.empty() && !e.stopped && e.failed == nil {
-		if e.events.peek().at > limit {
+	for !e.stopped && e.failed == nil {
+		ev := e.peekNext()
+		if ev == nil || ev.at > limit {
 			return
 		}
-		ev := e.events.pop()
+		e.sched.pop()
 		if ev.at > e.now {
 			e.now = ev.at
 		}
@@ -300,7 +326,7 @@ func (e *Engine) After(d units.Time, fn func()) *Timer {
 		fn()
 	}
 	t.ev = ev
-	e.events.push(ev)
+	e.sched.push(ev)
 	return t
 }
 
@@ -310,9 +336,9 @@ func (t *Timer) Cancel() {
 	if t.ev == nil {
 		return
 	}
-	ev := heap.Remove(&t.eng.events, t.ev.idx).(*event)
+	ev := t.ev
 	t.ev = nil
-	t.eng.recycle(ev)
+	t.eng.cancelEvent(ev)
 }
 
 // Active reports whether the timer is still pending.
@@ -320,10 +346,13 @@ func (t *Timer) Active() bool { return t.ev != nil }
 
 // Step executes a single event and reports whether one was available.
 func (e *Engine) Step() bool {
-	if e.events.empty() || e.stopped {
+	if e.stopped {
 		return false
 	}
-	ev := e.events.pop()
+	ev := e.popNext()
+	if ev == nil {
+		return false
+	}
 	if ev.at > e.now {
 		e.now = ev.at
 	}
@@ -332,8 +361,8 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of queued (uncancelled) events.
+func (e *Engine) Pending() int { return e.sched.len() }
 
 // Blocked returns the number of live processes currently waiting on a
 // blocking primitive.
@@ -614,16 +643,16 @@ func (p *Proc) armWd(d units.Time) {
 	}
 	ev := p.eng.newEvent(p.eng.now+d, p.wdFireFn)
 	p.wdEv = ev
-	p.eng.events.push(ev)
+	p.eng.sched.push(ev)
 }
 
 func (p *Proc) disarmWd() {
 	if p.wdEv == nil {
 		return
 	}
-	ev := heap.Remove(&p.eng.events, p.wdEv.idx).(*event)
+	ev := p.wdEv
 	p.wdEv = nil
-	p.eng.recycle(ev)
+	p.eng.cancelEvent(ev)
 }
 
 // wdFire is the park-expiry handler (engine context).  A watchdog park
@@ -705,12 +734,27 @@ func (p *Proc) Delay(d units.Time) {
 // String implements fmt.Stringer.
 func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }
 
+// popWaiter removes and returns the front of a waiter list in place,
+// shifting the tail down so the slice keeps its capacity.  The old
+// `w = w[1:]` idiom leaked front capacity, making every park/wake cycle
+// re-grow the list — one of the dominant hot-path allocations.  Waiter
+// lists are a handful of processes, so the shift is a short memmove.
+func popWaiter(ws []*Proc) (*Proc, []*Proc) {
+	w := ws[0]
+	n := copy(ws, ws[1:])
+	ws[n] = nil
+	return w, ws[:n]
+}
+
 // Mailbox is an unbounded FIFO queue connecting activities.  Send may be
 // called from event or process context; Recv only from process context.
+// Items live in a ring buffer so steady-state traffic recycles one
+// allocation instead of re-growing a front-sliced append slice.
 type Mailbox[T any] struct {
 	eng     *Engine
 	name    string
-	items   []T
+	buf     []T
+	head, n int
 	waiters []*Proc
 }
 
@@ -719,13 +763,37 @@ func NewMailbox[T any](e *Engine, name string) *Mailbox[T] {
 	return &Mailbox[T]{eng: e, name: name}
 }
 
+// enqueue appends v to the ring, growing it when full.
+func (m *Mailbox[T]) enqueue(v T) {
+	if m.n == len(m.buf) {
+		grown := make([]T, max(4, 2*len(m.buf)))
+		for i := 0; i < m.n; i++ {
+			grown[i] = m.buf[(m.head+i)%len(m.buf)]
+		}
+		m.buf, m.head = grown, 0
+	}
+	m.buf[(m.head+m.n)%len(m.buf)] = v
+	m.n++
+}
+
+// dequeue removes and returns the oldest item.  The vacated slot is
+// zeroed so the ring never retains pointers past their dequeue.
+func (m *Mailbox[T]) dequeue() T {
+	var zero T
+	v := m.buf[m.head]
+	m.buf[m.head] = zero
+	m.head = (m.head + 1) % len(m.buf)
+	m.n--
+	return v
+}
+
 // Send enqueues v and wakes the longest-waiting receiver, if any.  The
 // receiver observes the item at the current virtual time.
 func (m *Mailbox[T]) Send(v T) {
-	m.items = append(m.items, v)
+	m.enqueue(v)
 	if len(m.waiters) > 0 {
-		w := m.waiters[0]
-		m.waiters = m.waiters[1:]
+		var w *Proc
+		w, m.waiters = popWaiter(m.waiters)
 		m.eng.Schedule(0, w.wakeFn)
 	}
 }
@@ -733,13 +801,11 @@ func (m *Mailbox[T]) Send(v T) {
 // Recv dequeues the oldest item, blocking the calling process until one
 // is available.  The park is subject to the engine watchdog.
 func (m *Mailbox[T]) Recv(p *Proc) T {
-	for len(m.items) == 0 {
+	for m.n == 0 {
 		m.waiters = append(m.waiters, p)
 		p.park(m.name, m)
 	}
-	v := m.items[0]
-	m.items = m.items[1:]
-	return v
+	return m.dequeue()
 }
 
 // RecvDeadline dequeues the oldest item, blocking for at most d of
@@ -749,7 +815,7 @@ func (m *Mailbox[T]) Recv(p *Proc) T {
 // bound, so the engine watchdog does not apply to them.
 func (m *Mailbox[T]) RecvDeadline(p *Proc, d units.Time) (T, bool) {
 	deadline := m.eng.now + d
-	for len(m.items) == 0 {
+	for m.n == 0 {
 		if m.eng.now >= deadline {
 			var zero T
 			return zero, false
@@ -760,9 +826,7 @@ func (m *Mailbox[T]) RecvDeadline(p *Proc, d units.Time) (T, bool) {
 			return zero, false
 		}
 	}
-	v := m.items[0]
-	m.items = m.items[1:]
-	return v, true
+	return m.dequeue(), true
 }
 
 // dropWaiter removes p from the waiter list, reporting whether it was
@@ -770,7 +834,9 @@ func (m *Mailbox[T]) RecvDeadline(p *Proc, d units.Time) (T, bool) {
 func (m *Mailbox[T]) dropWaiter(p *Proc) bool {
 	for i, w := range m.waiters {
 		if w == p {
-			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			n := copy(m.waiters[i:], m.waiters[i+1:])
+			m.waiters[i+n] = nil
+			m.waiters = m.waiters[:i+n]
 			return true
 		}
 	}
@@ -779,17 +845,15 @@ func (m *Mailbox[T]) dropWaiter(p *Proc) bool {
 
 // TryRecv dequeues the oldest item without blocking.
 func (m *Mailbox[T]) TryRecv() (T, bool) {
-	var zero T
-	if len(m.items) == 0 {
+	if m.n == 0 {
+		var zero T
 		return zero, false
 	}
-	v := m.items[0]
-	m.items = m.items[1:]
-	return v, true
+	return m.dequeue(), true
 }
 
 // Len reports the number of queued items.
-func (m *Mailbox[T]) Len() int { return len(m.items) }
+func (m *Mailbox[T]) Len() int { return m.n }
 
 // Semaphore is a counting semaphore with FIFO wake-up order, used to
 // model the shared-memory semaphores of the mix-mode primitives (§4.1,
@@ -822,7 +886,9 @@ func (s *Semaphore) Acquire(p *Proc) {
 func (s *Semaphore) dropWaiter(p *Proc) bool {
 	for i, w := range s.waiters {
 		if w == p {
-			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			n := copy(s.waiters[i:], s.waiters[i+1:])
+			s.waiters[i+n] = nil
+			s.waiters = s.waiters[:i+n]
 			return true
 		}
 	}
@@ -834,8 +900,8 @@ func (s *Semaphore) dropWaiter(p *Proc) bool {
 func (s *Semaphore) Release() {
 	s.count++
 	if len(s.waiters) > 0 {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
+		var w *Proc
+		w, s.waiters = popWaiter(s.waiters)
 		s.eng.Schedule(0, w.wakeFn)
 	}
 }
@@ -852,6 +918,10 @@ type Signal struct {
 	name    string
 	seq     uint64
 	waiters []*Proc
+	// spare is the waiter buffer retired by the last Broadcast, swapped
+	// back in so steady-state wait/broadcast cycles recycle two buffers
+	// instead of allocating a fresh waiter list per generation.
+	spare []*Proc
 }
 
 // NewSignal creates a signal on engine e.  The name identifies it in
@@ -863,14 +933,21 @@ func NewSignal(e *Engine, name string) *Signal { return &Signal{eng: e, name: na
 func (s *Signal) Seq() uint64 { return s.seq }
 
 // Broadcast advances the generation and wakes all current waiters.
-// Callable from event or process context.
+// Callable from event or process context.  Scheduling a wake can park
+// no one (wakes are events), so swapping the retired buffer back in as
+// the next waiter list is safe even if a woken process re-Waits before
+// the next Broadcast.
 func (s *Signal) Broadcast() {
 	s.seq++
 	waiters := s.waiters
-	s.waiters = nil
-	for _, w := range waiters {
+	s.waiters = s.spare[:0]
+	for i, w := range waiters {
 		s.eng.Schedule(0, w.wakeFn)
+		waiters[i] = nil
 	}
+	// The retiring buffer becomes the next spare; the buffers alternate
+	// so neither slice header ever aliases the other's backing array.
+	s.spare = waiters[:0]
 }
 
 // Wait blocks the process until the generation advances past the
@@ -901,7 +978,9 @@ func (s *Signal) WaitDeadline(p *Proc, snapshot uint64, d units.Time) bool {
 func (s *Signal) dropWaiter(p *Proc) bool {
 	for i, w := range s.waiters {
 		if w == p {
-			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			n := copy(s.waiters[i:], s.waiters[i+1:])
+			s.waiters[i+n] = nil
+			s.waiters = s.waiters[:i+n]
 			return true
 		}
 	}

@@ -1,0 +1,106 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyades/internal/units"
+)
+
+// TestLadderMatchesHeapOrder drives a ladder queue and a binary heap
+// with the same deterministic stream of pushes, pops and cancellations
+// and requires identical pop order.  The mix is adversarial for the
+// ladder: timestamp clusters (same-instant storms), far-future spikes
+// (watchdog-like arms that are almost always cancelled), and pops
+// interleaved with pushes so events land in top, rungs and bottom.
+func TestLadderMatchesHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lad := &ladderQueue{}
+	hp := &heapSched{}
+
+	var now units.Time
+	var seq uint64
+	mk := func(at units.Time) (*event, *event) {
+		seq++
+		return &event{at: at, seq: seq}, &event{at: at, seq: seq}
+	}
+	// cancellable holds paired (ladder, heap) events still pending.
+	type pair struct{ l, h *event }
+	var cancellable []pair
+
+	popBoth := func() bool {
+		var le *event
+		for {
+			le = lad.pop()
+			if le == nil || !le.dead {
+				break
+			}
+		}
+		he := hp.pop()
+		if (le == nil) != (he == nil) {
+			t.Fatalf("emptiness mismatch: ladder %v heap %v", le, he)
+		}
+		if le == nil {
+			return false
+		}
+		if le.at != he.at || le.seq != he.seq {
+			t.Fatalf("pop order diverged: ladder (%d,%d) heap (%d,%d)",
+				le.at, le.seq, he.at, he.seq)
+		}
+		if le.at > now {
+			now = le.at
+		}
+		return true
+	}
+
+	for i := 0; i < 200000; i++ {
+		switch r := rng.Intn(100); {
+		case r < 45: // near-future push, heavy same-instant ties
+			at := now + units.Time(rng.Intn(4))
+			le, he := mk(at)
+			lad.push(le)
+			hp.push(he)
+			cancellable = append(cancellable, pair{le, he})
+		case r < 65: // mid-range push
+			at := now + units.Time(rng.Intn(100000))
+			le, he := mk(at)
+			lad.push(le)
+			hp.push(he)
+			cancellable = append(cancellable, pair{le, he})
+		case r < 75: // watchdog-like far-future push
+			at := now + units.Time(3600)*units.Time(1e12)
+			le, he := mk(at)
+			lad.push(le)
+			hp.push(he)
+			cancellable = append(cancellable, pair{le, he})
+		case r < 90: // pop
+			popBoth()
+		default: // cancel a random pending event
+			if len(cancellable) == 0 {
+				continue
+			}
+			j := rng.Intn(len(cancellable))
+			p := cancellable[j]
+			cancellable[j] = cancellable[len(cancellable)-1]
+			cancellable = cancellable[:len(cancellable)-1]
+			// Skip events that already popped (cheap check: a popped
+			// ladder event was returned by pop; we cannot tell without
+			// tracking, so track via dead/idx is unreliable — instead
+			// only cancel events strictly in the future).
+			if p.l.at <= now {
+				continue
+			}
+			lad.cancel(p.l)
+			hp.cancel(p.h)
+		}
+		if lad.len() != hp.len() {
+			t.Fatalf("live count diverged: ladder %d heap %d", lad.len(), hp.len())
+		}
+	}
+	// Drain both to empty.
+	for popBoth() {
+	}
+	if lad.len() != 0 {
+		t.Fatalf("ladder reports %d live events after drain", lad.len())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"hyades/internal/lint/analysis"
 	"hyades/internal/lint/load"
@@ -24,8 +25,11 @@ import (
 // owns them, so every site is attributed to exactly one budget line.
 //
 // The measured count is compared to lint/allocbudget.json.  At or
-// under budget the rule is silent; over budget it reports EVERY
-// unwaived site, so the report is the worklist.  Lowering a budget
+// under budget the rule is silent; over budget it reports the
+// heaviest unwaived sites — ranked by how many allocation sites each
+// one reaches — and only as many as the overage demands, so the
+// report is the minimal worklist that gets the package back under its
+// ratchet.  Lowering a budget
 // below the measured count is how an optimization gets locked in (and
 // is exactly what the CI stage checks).  //lint:allow hotalloc waives
 // a site out of the count — the escape hatch for allocations that are
@@ -53,27 +57,50 @@ func runHotalloc(pass *analysis.Pass) (interface{}, error) {
 	// Waived sites leave the count entirely: the budget covers what the
 	// ratchet actually tracks.
 	allowed := analysis.AllowMatcher(pass.Fset, pass.Files)
-	measured := 0
+	unwaived := cands[:0]
 	for _, c := range cands {
 		if !allowed(c.pos, "hotalloc") {
-			measured++
+			unwaived = append(unwaived, c)
 		}
 	}
+	measured := len(unwaived)
 	budget := m.Budget.Packages[pass.Pkg.Path()]
 	if measured <= budget {
 		return nil, nil
 	}
-	for _, c := range cands {
-		pass.Reportf(c.pos, "%s; package %s is over its allocation budget (%d sites measured, budget %d in %s)",
-			c.msg, pass.Pkg.Path(), measured, budget, budgetName(m))
+	// Over budget: rank by weight (reachable allocation sites), heaviest
+	// first, position as the deterministic tie-break, and report the top
+	// N where N is the overage (capped so a fresh package does not drown
+	// the findings list).  Fixing the reported sites — or waiving them
+	// with justification — is exactly enough to satisfy the ratchet.
+	sort.SliceStable(unwaived, func(i, j int) bool {
+		if unwaived[i].weight != unwaived[j].weight {
+			return unwaived[i].weight > unwaived[j].weight
+		}
+		return unwaived[i].pos < unwaived[j].pos
+	})
+	n := measured - budget
+	if n > hotallocTopN {
+		n = hotallocTopN
+	}
+	for i, c := range unwaived[:n] {
+		pass.Reportf(c.pos, "%s; package %s is over its allocation budget (%d sites measured, budget %d in %s; top site %d/%d, weight %d)",
+			c.msg, pass.Pkg.Path(), measured, budget, budgetName(m), i+1, n, c.weight)
 	}
 	return nil, nil
 }
 
-// hotallocCand is one countable allocation site with its report text.
+// hotallocTopN caps the number of ranked sites reported for one
+// over-budget package.
+const hotallocTopN = 20
+
+// hotallocCand is one countable allocation site with its report text
+// and ranking weight (the number of allocation sites the call reaches;
+// 1 for a direct allocation).
 type hotallocCand struct {
-	pos token.Pos
-	msg string
+	pos    token.Pos
+	msg    string
+	weight int
 }
 
 // hotallocCands collects the package's countable sites: its own
@@ -86,8 +113,9 @@ func hotallocCands(m *Module, tpkg *types.Package) []hotallocCand {
 		in := s.Of(n)
 		for _, a := range in.Allocs {
 			cands = append(cands, hotallocCand{
-				pos: a.Pos,
-				msg: fmt.Sprintf("event-path heap allocation in %s: %s", n, a.What),
+				pos:    a.Pos,
+				msg:    fmt.Sprintf("event-path heap allocation in %s: %s", n, a.What),
+				weight: 1,
 			})
 		}
 		for _, site := range n.Sites {
@@ -105,6 +133,7 @@ func hotallocCands(m *Module, tpkg *types.Package) []hotallocCand {
 					pos: site.Pos(),
 					msg: fmt.Sprintf("call from %s allocates outside the event path (%d reachable sites): %s",
 						n, s.ReachableAllocCount(c), s.ChainString(c, summary.Alloc)),
+					weight: s.ReachableAllocCount(c),
 				})
 				break // one candidate per call site
 			}

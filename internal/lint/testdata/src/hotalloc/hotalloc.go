@@ -1,8 +1,9 @@
 // Package hotalloc exercises the event-path allocation ratchet
-// against a fixture-local budget of zero: every unwaived site is
-// reported, each carrying the measured-vs-budget accounting, and a
-// call into allocating code outside the event path counts as one site
-// at the call.
+// against a fixture-local budget of zero: the top unwaived sites are
+// reported ranked by weight (reachable allocation sites), each
+// carrying the measured-vs-budget accounting, and a call into
+// allocating code outside the event path counts as one site at the
+// call.
 package hotalloc
 
 import (
@@ -16,8 +17,8 @@ var sink *payload
 var buf []int
 
 func Fill(n int) {
-	sink = &payload{a: n} // want `event-path heap allocation in hotalloc\.Fill: &hotalloc\.payload composite literal; package hotalloc is over its allocation budget \(3 sites measured, budget 0 in hotalloc/allocbudget\.json\)`
-	buf = append(buf, n)  // want `event-path heap allocation in hotalloc\.Fill: append growth; package hotalloc is over its allocation budget \(3 sites measured, budget 0 in hotalloc/allocbudget\.json\)`
+	sink = &payload{a: n} // want `event-path heap allocation in hotalloc\.Fill: &hotalloc\.payload composite literal; package hotalloc is over its allocation budget \(3 sites measured, budget 0 in hotalloc/allocbudget\.json; top site \d/3, weight 1\)`
+	buf = append(buf, n)  // want `event-path heap allocation in hotalloc\.Fill: append growth; package hotalloc is over its allocation budget \(3 sites measured, budget 0 in hotalloc/allocbudget\.json; top site \d/3, weight 1\)`
 }
 
 func Via(b *pci.Bus, p *des.Proc) {

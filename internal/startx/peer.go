@@ -81,12 +81,11 @@ func (n *NIU) hbTick() {
 		if p == n.ep {
 			continue
 		}
-		pkt := &arctic.Packet{
-			Pri:     arctic.High,
-			Payload: hbPayload,
-			HB:      true,
-			Epoch:   n.epoch,
-		}
+		pkt := n.fab.AcquirePacket()
+		pkt.Pri = arctic.High
+		pkt.Payload = hbPayload
+		pkt.HB = true
+		pkt.Epoch = n.epoch
 		n.fab.RouteFor(pkt, n.ep, p)
 		n.fab.Inject(n.ep, pkt)
 		n.Heartbeats++

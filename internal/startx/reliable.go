@@ -271,12 +271,11 @@ func (n *NIU) sendAck(dst int, ch arctic.Priority, ackSeq uint64) {
 	if n.down {
 		return
 	}
-	ack := &arctic.Packet{
-		Pri:     arctic.High,
-		Payload: relAckPayload,
-		Rel:     &arctic.RelHeader{Ack: true, AckSeq: ackSeq, Chan: ch},
-		Epoch:   n.epoch,
-	}
+	ack := n.fab.AcquirePacket()
+	ack.Pri = arctic.High
+	ack.Payload = relAckPayload
+	ack.Rel = &arctic.RelHeader{Ack: true, AckSeq: ackSeq, Chan: ch}
+	ack.Epoch = n.epoch
 	n.fab.RouteFor(ack, n.ep, dst)
 	n.Rel.AcksSent++
 	n.fab.Inject(n.ep, ack)

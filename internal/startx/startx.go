@@ -119,6 +119,16 @@ type NIU struct {
 	txQueue  []*dmaJob
 	txActive bool
 
+	// pumpTxFn is the bound method value of pumpTx, created once so
+	// re-arming the transmit pump schedules no closure.  freeRx, freeTx
+	// and freeDma are the delivery-job, inject-job and DMA-job
+	// freelists: each job carries its own bound fn, so the steady-state
+	// receive and transmit paths allocate nothing.
+	pumpTxFn func()
+	freeRx   []*rxJob
+	freeTx   []*txJob
+	freeDma  []*dmaJob
+
 	// CorruptSeen counts packets that arrived with a failed CRC; the
 	// software layer observes this through Message.Corrupt.
 	CorruptSeen int64
@@ -182,6 +192,124 @@ type dmaJob struct {
 	winOff int
 }
 
+// acquireDma pops a zeroed dmaJob from the freelist (or allocates one).
+func (n *NIU) acquireDma() *dmaJob {
+	if k := len(n.freeDma); k > 0 {
+		j := n.freeDma[k-1]
+		n.freeDma[k-1] = nil
+		n.freeDma = n.freeDma[:k-1]
+		return j
+	}
+	return &dmaJob{}
+}
+
+// releaseDma returns a finished job to the freelist.  Jobs dropped
+// wholesale (Crash nils the queue) are simply left to the GC.
+func (n *NIU) releaseDma(j *dmaJob) {
+	*j = dmaJob{}
+	n.freeDma = append(n.freeDma, j)
+}
+
+// popTxJob removes and returns the head of the transmit queue without
+// shedding the slice's capacity.
+func (n *NIU) popTxJob() *dmaJob {
+	j := n.txQueue[0]
+	k := copy(n.txQueue, n.txQueue[1:])
+	n.txQueue[k] = nil
+	n.txQueue = n.txQueue[:k]
+	return j
+}
+
+// txJob is a scheduled fabric injection.  Each job owns a fn bound to
+// itself once, so arming a TxLatency delay schedules no closure.
+type txJob struct {
+	n   *NIU
+	pkt *arctic.Packet
+	fn  func()
+}
+
+func (j *txJob) run() {
+	pkt := j.pkt
+	j.pkt = nil
+	j.n.freeTx = append(j.n.freeTx, j)
+	j.n.inject(pkt)
+}
+
+// scheduleInject arms a packet injection d from now via the job pool.
+func (n *NIU) scheduleInject(d units.Time, pkt *arctic.Packet) {
+	var j *txJob
+	if k := len(n.freeTx); k > 0 {
+		j = n.freeTx[k-1]
+		n.freeTx[k-1] = nil
+		n.freeTx = n.freeTx[:k-1]
+	} else {
+		j = &txJob{n: n}
+		j.fn = j.run
+	}
+	j.pkt = pkt
+	n.eng.Schedule(d, j.fn)
+}
+
+// rxJob is a scheduled receive-side delivery: a PIO message headed for
+// a mailbox, a completed VI transfer, or a remote-memory landing.  The
+// delivered packet's fields are captured eagerly — the fabric reclaims
+// pooled packets as soon as the receive handler returns, so nothing
+// here may hold a *Packet across the RxLatency delay.
+type rxJob struct {
+	n    *NIU
+	kind int8 // rxPIO, rxVI or rxRmem
+	hi   bool
+	msg  Message
+	xfer Transfer
+
+	window, offset int
+	data           []byte
+
+	fn func()
+}
+
+const (
+	rxPIO = int8(iota)
+	rxVI
+	rxRmem
+)
+
+func (n *NIU) acquireRx() *rxJob {
+	if k := len(n.freeRx); k > 0 {
+		j := n.freeRx[k-1]
+		n.freeRx[k-1] = nil
+		n.freeRx = n.freeRx[:k-1]
+		return j
+	}
+	j := &rxJob{n: n}
+	j.fn = j.run
+	return j
+}
+
+func (j *rxJob) run() {
+	n := j.n
+	kind, hi := j.kind, j.hi
+	msg, xfer := j.msg, j.xfer
+	window, offset, data := j.window, j.offset, j.data
+	j.msg, j.xfer, j.data = Message{}, Transfer{}, nil
+	n.freeRx = append(n.freeRx, j)
+	switch kind {
+	case rxPIO:
+		if hi {
+			n.rxHi.Send(msg)
+		} else {
+			n.rxLo.Send(msg)
+		}
+		if n.OnPIODeliver != nil {
+			n.OnPIODeliver()
+		}
+	case rxVI:
+		n.rxVI.Send(xfer)
+	case rxRmem:
+		n.completeRemotePut(window, offset, data)
+	}
+}
+
 // New attaches a NIU for endpoint ep to fabric fab and bus.
 func New(e *des.Engine, bus *pci.Bus, fab *arctic.Fabric, ep int, cfg Config) *NIU {
 	if cfg.Reliable {
@@ -204,6 +332,7 @@ func New(e *des.Engine, bus *pci.Bus, fab *arctic.Fabric, ep int, cfg Config) *N
 		rxLo: des.NewMailbox[Message](e, fmt.Sprintf("niu%d.rxLo", ep)),
 		rxVI: des.NewMailbox[Transfer](e, fmt.Sprintf("niu%d.rxVI", ep)),
 	}
+	n.pumpTxFn = n.pumpTx
 	fab.Attach(ep, n.receive)
 	return n
 }
@@ -243,13 +372,12 @@ func (n *NIU) PIOSend(p *des.Proc, dst int, tag int, words []uint32, pri arctic.
 		panic(fmt.Sprintf("startx: tag %d out of range", tag))
 	}
 	n.bus.MMapWriteN(p, pioAccesses(len(words)))
-	pkt := &arctic.Packet{
-		Pri:     pri,
-		Tag:     uint16(tag),
-		Payload: words,
-	}
+	pkt := n.fab.AcquirePacket()
+	pkt.Pri = pri
+	pkt.Tag = uint16(tag)
+	pkt.Payload = words
 	n.fab.RouteFor(pkt, n.ep, dst)
-	n.eng.Schedule(n.cfg.TxLatency, func() { n.inject(pkt) })
+	n.scheduleInject(n.cfg.TxLatency, pkt)
 }
 
 // PIORecv blocks until a PIO message of the given priority is available,
@@ -295,7 +423,9 @@ func (n *NIU) DMASend(p *des.Proc, dst int, tag int, data []byte, pri arctic.Pri
 		panic("startx: empty DMA transfer")
 	}
 	n.bus.MMapWriteN(p, 2)
-	n.txQueue = append(n.txQueue, &dmaJob{dst: dst, tag: tag, data: data, pri: pri})
+	j := n.acquireDma()
+	j.dst, j.tag, j.data, j.pri = dst, tag, data, pri
+	n.txQueue = append(n.txQueue, j)
 	if !n.txActive {
 		n.txActive = true
 		n.pumpTx()
@@ -316,29 +446,30 @@ func (n *NIU) pumpTx() {
 	}
 	job.offset += chunk
 	final := job.offset == len(job.data)
-	if final {
-		n.txQueue = n.txQueue[1:]
-	}
 	_, end := n.bus.DMA(n.eng.Now(), chunk+arctic.HeaderBytes)
 	words := (chunk + 3) / 4
 	if words < arctic.MinPayloadWords {
 		words = arctic.MinPayloadWords
 	}
-	pkt := &arctic.Packet{
-		Pri:       job.pri,
-		Tag:       uint16(job.tag | viTagFlag),
-		BulkWords: words,
-		Final:     final,
-	}
+	pkt := n.fab.AcquirePacket()
+	pkt.Pri = job.pri
+	pkt.Tag = uint16(job.tag | viTagFlag)
+	pkt.BulkWords = words
+	pkt.Final = final
 	pkt.Rmem = job.rmem
 	if final {
 		pkt.Bulk = job.data
 		pkt.RmemOffset = job.winOff
 	}
-	n.fab.RouteFor(pkt, n.ep, job.dst)
+	dst := job.dst
+	if final {
+		n.popTxJob()
+		n.releaseDma(job)
+	}
+	n.fab.RouteFor(pkt, n.ep, dst)
 	inject := end - n.eng.Now() + n.cfg.TxLatency
-	n.eng.Schedule(inject, func() { n.inject(pkt) })
-	n.eng.ScheduleAt(end, n.pumpTx)
+	n.scheduleInject(inject, pkt)
+	n.eng.ScheduleAt(end, n.pumpTxFn)
 }
 
 // VIRecv blocks until a completed bulk transfer is available and returns
@@ -394,29 +525,25 @@ func (n *NIU) receive(pkt *arctic.Packet) {
 		// packet's burst lands.
 		_, end := n.bus.DMA(n.eng.Now(), pkt.PayloadBytes()+arctic.HeaderBytes)
 		if pkt.Final {
+			j := n.acquireRx()
 			if pkt.Rmem {
-				window := int(pkt.Tag) &^ viTagFlag
-				offset := pkt.RmemOffset
-				data := pkt.Bulk
-				n.eng.ScheduleAt(end+n.cfg.RxLatency, func() { n.completeRemotePut(window, offset, data) })
-				return
+				j.kind = rxRmem
+				j.window = int(pkt.Tag) &^ viTagFlag
+				j.offset = pkt.RmemOffset
+				j.data = pkt.Bulk
+			} else {
+				j.kind = rxVI
+				j.xfer = Transfer{Src: pkt.Src, Tag: int(pkt.Tag &^ viTagFlag), Data: pkt.Bulk}
 			}
-			t := Transfer{Src: pkt.Src, Tag: int(pkt.Tag &^ viTagFlag), Data: pkt.Bulk}
-			n.eng.ScheduleAt(end+n.cfg.RxLatency, func() { n.rxVI.Send(t) })
+			n.eng.ScheduleAt(end+n.cfg.RxLatency, j.fn)
 		}
 		return
 	}
-	m := Message{Src: pkt.Src, Tag: int(pkt.Tag), Words: pkt.Payload, Corrupt: pkt.Corrupted()}
-	n.eng.Schedule(n.cfg.RxLatency, func() {
-		if pkt.Pri == arctic.High {
-			n.rxHi.Send(m)
-		} else {
-			n.rxLo.Send(m)
-		}
-		if n.OnPIODeliver != nil {
-			n.OnPIODeliver()
-		}
-	})
+	j := n.acquireRx()
+	j.kind = rxPIO
+	j.hi = pkt.Pri == arctic.High
+	j.msg = Message{Src: pkt.Src, Tag: int(pkt.Tag), Words: pkt.Payload, Corrupt: pkt.Corrupted()}
+	n.eng.Schedule(n.cfg.RxLatency, j.fn)
 }
 
 // ---- Remote-memory mechanism ----
