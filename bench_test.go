@@ -433,6 +433,13 @@ func benchCoupledSteps(b *testing.B, workers int) {
 		b.Fatal(buildErr)
 	}
 	b.ReportMetric(cl.Eng.Now().Millis()/float64(b.N), "simulated_ms")
+	// The provisioning metric for the Fig. 9 science run: model years
+	// integrated per hour of host wall clock, at this benchmark's grid
+	// and time step.
+	modelYears := float64(b.N) * cfg.Ocean.Kernel.Dt / (360 * 86400)
+	if hours := b.Elapsed().Hours(); hours > 0 {
+		b.ReportMetric(modelYears/hours, "model_years_per_wall_hour")
+	}
 }
 
 func measureMPIAllreduce(b *testing.B, n, reps int) units.Time {

@@ -20,9 +20,10 @@
 // over the benchmarks the two documents share (GOMAXPROCS name
 // suffixes are normalized away).  The exit status is the regression
 // gate: nonzero iff any shared benchmark's allocs/op grew by more
-// than 10% — wall-clock deltas are reported but never gate, since
-// they are host-noise on shared CI machines while allocation counts
-// are deterministic.
+// than 10% — wall-clock deltas never gate, since they are host-noise
+// on shared CI machines while allocation counts are deterministic.
+// An ns/op growth past 25% is flagged SLOW in the table as a soft
+// warning, visible but never failing.
 package main
 
 import (
@@ -107,6 +108,13 @@ var compareMetrics = []string{"ns/op", "allocs/op", "events_per_sec"}
 // setup shifts with the iteration count.
 const allocRegressionLimit = 0.10
 
+// nsRegressionLimit is the fractional ns/op growth past which -compare
+// prints a SLOW warning.  Wall clock is host noise on shared CI
+// machines, so the warning never fails the run — it exists to make a
+// large slowdown impossible to merge unread, while leaving the hard
+// gate to the deterministic allocation counts.
+const nsRegressionLimit = 0.25
+
 // compare diffs two benchmark artifacts and returns the process exit
 // code: 1 if any shared benchmark's allocs/op regressed beyond
 // allocRegressionLimit, else 0.
@@ -128,6 +136,7 @@ func compare(oldPath, newPath string) int {
 
 	fmt.Printf("%-44s %-14s %14s %14s %9s\n", "benchmark", "metric", oldPath, newPath, "delta")
 	regressions := 0
+	slowdowns := 0
 	shared := 0
 	for _, nr := range newDoc.Benchmarks {
 		or, ok := old[normalizeName(nr.Name)]
@@ -150,11 +159,15 @@ func compare(oldPath, newPath string) int {
 				flag = "  REGRESSION"
 				regressions++
 			}
+			if m == "ns/op" && ov > 0 && (nv-ov)/ov > nsRegressionLimit {
+				flag = "  SLOW"
+				slowdowns++
+			}
 			fmt.Printf("%-44s %-14s %14.4g %14.4g %9s%s\n", normalizeName(nr.Name), m, ov, nv, delta, flag)
 		}
 	}
-	fmt.Printf("%d shared benchmarks compared; %d allocs/op regression(s) over the %.0f%% gate\n",
-		shared, regressions, 100*allocRegressionLimit)
+	fmt.Printf("%d shared benchmarks compared; %d allocs/op regression(s) over the %.0f%% gate; %d ns/op slowdown(s) over the %.0f%% warning line (non-failing)\n",
+		shared, regressions, 100*allocRegressionLimit, slowdowns, 100*nsRegressionLimit)
 	if regressions > 0 {
 		return 1
 	}

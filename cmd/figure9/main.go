@@ -3,14 +3,24 @@
 // ~25 m depth and the atmospheric zonal velocity in the upper
 // troposphere.  Output is written as CSV and PGM files plus an ASCII
 // quick-look; longer runs (-days) give a better-developed circulation.
+//
+// Long climate integrations run through -years (360-day model years)
+// with periodic checkpoint plates: -checkpoint-every Y writes one
+// plate file per rank under <out>/plates every Y model years, and
+// -resume restarts from the newest complete plate set, reaching a
+// state digest bit-identical to the uninterrupted run.  The final
+// line reports model-years-per-wall-hour, the metric a real science
+// run is provisioned by.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"math"
 
@@ -25,15 +35,51 @@ import (
 	"hyades/internal/report"
 )
 
+// yearSeconds is one 360-day model year, the climate-model calendar
+// convention (12 equal 30-day months).
+const yearSeconds = 360 * 86400
+
 func main() {
 	days := flag.Float64("days", 10, "model days to integrate")
+	years := flag.Float64("years", 0, "model years to integrate (360-day years; overrides -days)")
+	ckEvery := flag.Float64("checkpoint-every", 0, "model years between checkpoint plates (0 = none)")
+	resume := flag.Bool("resume", false, "resume from the newest complete plate set in <out>/plates")
+	nx := flag.Int("nx", 128, "global grid points in x")
+	ny := flag.Int("ny", 64, "global grid points in y")
 	outDir := flag.String("out", "fig9_out", "output directory")
 	flag.Parse()
 
-	d := tile.Decomp{NXg: 128, NYg: 64, Px: 4, Py: 2, PeriodicX: true}
+	d := tile.Decomp{NXg: *nx, NYg: *ny, Px: 4, Py: 2, PeriodicX: true}
 	cfg := gcm.DefaultCoupledConfig(d)
-	steps := int(*days * 86400 / cfg.Ocean.Kernel.Dt)
+	var steps int
+	if *years > 0 {
+		steps = int(*years * yearSeconds / cfg.Ocean.Kernel.Dt)
+	} else {
+		steps = int(*days * 86400 / cfg.Ocean.Kernel.Dt)
+	}
+	chunk := 0
+	if *ckEvery > 0 {
+		chunk = int(*ckEvery * yearSeconds / cfg.Ocean.Kernel.Dt)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
 	nWorkers := 2 * d.Tiles()
+
+	plateDir := filepath.Join(*outDir, "plates")
+	startStep := 0
+	if *resume {
+		s, err := newestPlateStep(plateDir, nWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		startStep = s
+	}
+	if chunk > 0 || *resume {
+		if err := os.MkdirAll(plateDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	cl, err := cluster.New(cluster.DefaultConfig(8, 2))
 	if err != nil {
@@ -48,6 +94,7 @@ func main() {
 	fields := map[string]*field.F2{}
 	var oceanDiag *diag.State
 	var buildErr error
+	wall0 := time.Now()
 	cl.Start(func(w *cluster.Worker) {
 		c := cfg
 		if w.Rank < d.Tiles() {
@@ -61,7 +108,28 @@ func main() {
 			return
 		}
 		coupled[w.Rank] = cp
-		cp.Run(steps)
+		if startStep > 0 {
+			if err := restorePlate(plateDir, startStep, w.Rank, cp); err != nil {
+				buildErr = err
+				return
+			}
+		}
+		for s := startStep; s < steps; {
+			next := steps
+			if chunk > 0 {
+				if b := (s/chunk + 1) * chunk; b < next {
+					next = b
+				}
+			}
+			cp.Run(next - s)
+			s = next
+			if chunk > 0 && s%chunk == 0 {
+				if err := writePlate(plateDir, s, w.Rank, cp); err != nil {
+					buildErr = err
+					return
+				}
+			}
+		}
 		// Gather the figure fields on each component's root.
 		m := cp.M
 		if cp.IsOcean {
@@ -103,6 +171,7 @@ func main() {
 	if buildErr != nil {
 		log.Fatal(buildErr)
 	}
+	wall := time.Since(wall0)
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
@@ -115,7 +184,21 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("Figure 9 after %.0f coupled model days (%d steps); files in %s/\n\n", *days, steps, *outDir)
+	modelDays := float64(steps) * cfg.Ocean.Kernel.Dt / 86400
+	fmt.Printf("Figure 9 after %.1f coupled model days (%d steps); files in %s/\n", modelDays, steps, *outDir)
+	integratedYears := float64(steps-startStep) * cfg.Ocean.Kernel.Dt / yearSeconds
+	fmt.Printf("integrated %.4f model years in %v: %.2f model years per wall hour\n",
+		integratedYears, wall.Round(time.Millisecond), integratedYears/wall.Hours())
+	h := sha256.New()
+	for r, cp := range coupled {
+		if cp == nil {
+			log.Fatalf("worker %d did not build", r)
+		}
+		if err := cp.Checkpoint(h); err != nil {
+			log.Fatalf("worker %d: digest: %v", r, err)
+		}
+	}
+	fmt.Printf("state digest: %x\n\n", h.Sum(nil))
 	if f, ok := fields["atmos_u_250mb"]; ok {
 		fmt.Println("ATMOSPHERE: zonal velocity, upper troposphere (north up):")
 		fmt.Print(report.FieldASCII(f, 96))
@@ -182,3 +265,66 @@ func maskLand(coupled []*gcm.Coupled, f *field.F2) {
 }
 
 func nan() float64 { return math.NaN() }
+
+// platePath names one rank's plate file for a given step count.
+func platePath(dir string, step, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("plate_step%08d_rank%03d.ck", step, rank))
+}
+
+// writePlate atomically writes one rank's checkpoint plate: the plate
+// appears under its final name only once fully written, so a crashed
+// run never leaves a truncated plate that a -resume would trip over.
+func writePlate(dir string, step, rank int, cp *gcm.Coupled) error {
+	tmp := platePath(dir, step, rank) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := cp.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, platePath(dir, step, rank))
+}
+
+// restorePlate loads one rank's plate for the given step.
+func restorePlate(dir string, step, rank int, cp *gcm.Coupled) error {
+	f, err := os.Open(platePath(dir, step, rank))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return cp.Restore(f)
+}
+
+// newestPlateStep scans dir for the highest step count at which every
+// rank's plate is present, so -resume never starts from a partially
+// written set.
+func newestPlateStep(dir string, nWorkers int) (int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("figure9: -resume: %w", err)
+	}
+	count := map[int]int{}
+	for _, e := range ents {
+		var step, rank int
+		if _, err := fmt.Sscanf(e.Name(), "plate_step%d_rank%d.ck", &step, &rank); err == nil {
+			count[step]++
+		}
+	}
+	best := 0
+	for step, n := range count {
+		if n == nWorkers && step > best {
+			best = step
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("figure9: -resume: no complete plate set (all %d ranks) in %s", nWorkers, dir)
+	}
+	return best, nil
+}

@@ -1,0 +1,146 @@
+package hyades
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyades/internal/cluster"
+	"hyades/internal/comm"
+	"hyades/internal/gcm"
+	"hyades/internal/gcm/physics"
+	"hyades/internal/gcm/tile"
+	"hyades/internal/units"
+)
+
+// The coupled golden fixture pins the acceptance contract of the
+// flat-row kernel rewrite: after N coupled steps the model STATE
+// (every rank's checkpoint stream) and the virtual clock must be
+// bit-identical to the seed kernels, for every worker-pool size.
+// Unlike the determinism matrix — which compares runs against each
+// other within one binary — this fixture compares against a digest
+// recorded from the tree BEFORE the rewrite, so a numerics drift that
+// is internally consistent still fails.
+//
+// The engine's event count is recorded for information but not
+// asserted: it is host-side scheduling accounting, not model state,
+// and the worker-count determinism tests already pin its invariance
+// across pool sizes.  Regenerate (only for a deliberate numerics
+// change) with:
+//
+//	go test -run TestGoldenCoupledState -update .
+var updateCoupledGolden = flag.Bool("update", false, "rewrite testdata/golden_coupled.json from the current tree")
+
+// coupledStateDigest runs the small coupled configuration of the
+// determinism suite and returns the SHA-256 over all ranks' checkpoint
+// streams (state only — no engine accounting), plus the engine's
+// virtual clock and event count.
+func coupledStateDigest(t *testing.T, steps, workers int) (digest string, now units.Time, events uint64) {
+	t.Helper()
+	d := tile.Decomp{NXg: 16, NYg: 8, Px: 2, Py: 1, PeriodicX: true}
+	cfg := gcm.DefaultCoupledConfig(d)
+	cfg.Ocean.Grid.NX, cfg.Ocean.Grid.NY = 16, 8
+	cfg.Ocean.Grid.NZ = 4
+	cfg.Ocean.Grid.DZ = []float64{250, 500, 1000, 2250}
+	cfg.Atmos.Grid.NX, cfg.Atmos.Grid.NY = 16, 8
+	cfg.CoupleEvery = 5
+
+	tiles := cfg.Ocean.Decomp.Tiles()
+	nWorkers := 2 * tiles
+	ccfg := cluster.DefaultConfig(nWorkers, 1)
+	ccfg.Workers = workers
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	lib, err := comm.NewHyades(cl, comm.DefaultHyadesConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coupled := make([]*gcm.Coupled, nWorkers)
+	var buildErr error
+	cl.Start(func(w *cluster.Worker) {
+		c := cfg
+		if w.Rank < tiles {
+			ph := physics.New(physics.Default())
+			c.Atmos.Forcing = ph
+			c.Physics = ph
+		}
+		cp, err := gcm.NewCoupled(c, lib.Bind(w))
+		if err != nil {
+			buildErr = err
+			return
+		}
+		coupled[w.Rank] = cp
+		cp.Run(steps)
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	h := sha256.New()
+	for r, cp := range coupled {
+		if cp == nil {
+			t.Fatalf("worker %d did not build", r)
+		}
+		if err := cp.M.Checkpoint(h); err != nil {
+			t.Fatalf("worker %d: checkpoint: %v", r, err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), cl.Eng.Now(), cl.Eng.Events()
+}
+
+func TestGoldenCoupledState(t *testing.T) {
+	const steps = 12 // two coupling exchanges plus a fractional window
+	path := filepath.Join("testdata", "golden_coupled.json")
+	got := map[string]string{}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"inline", -1}, {"pool1", 1}, {"poolMax", 0}} {
+		digest, now, events := coupledStateDigest(t, steps, w.workers)
+		got["digest/"+w.name] = digest
+		got["now/"+w.name] = strconv.FormatInt(int64(now), 10)
+		got["events/"+w.name+"/info"] = strconv.FormatUint(events, 10)
+	}
+
+	if *updateCoupledGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to record): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	for k, w := range want {
+		if strings.HasSuffix(k, "/info") {
+			continue // informational only
+		}
+		if g := got[k]; g != w {
+			t.Errorf("%s: %q = %s, want %s (state/clock drift vs the seed kernels)", path, k, g, w)
+		}
+	}
+}

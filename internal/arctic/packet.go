@@ -264,6 +264,24 @@ func Decode(words []uint32) (*Packet, error) {
 // nothing of its own).
 var crcTable = crc32.MakeTable(crc32.IEEE)
 
+// crcSlice4 holds the slicing-by-4 extension tables: crcSlice4[0] is
+// crcTable itself, and crcSlice4[k][b] is the CRC contribution of byte
+// b positioned k bytes before the end of a 4-byte group.  Built once at
+// init from crcTable, so the folded form below is bit-identical to the
+// byte-at-a-time loop it replaces.
+var crcSlice4 = func() [4][256]uint32 {
+	var t [4][256]uint32
+	t[0] = *crcTable
+	for b := 0; b < 256; b++ {
+		crc := t[0][b]
+		for k := 1; k < 4; k++ {
+			crc = t[0][byte(crc)] ^ (crc >> 8)
+			t[k][b] = crc
+		}
+	}
+	return t
+}()
+
 // crcUpdateWord folds one little-endian wire word into a running CRC.
 // This is the standard byte-at-a-time reflected CRC-32 — bit-identical
 // to crc32.Update over the word's four bytes — open-coded because
@@ -292,14 +310,28 @@ func crcOfWords(words []uint32) uint32 {
 // wireCRC computes the checksum over the words the CRC trailer covers —
 // headers and payload — incrementally, without materializing the wire
 // image.  Seal runs at every injection and checkCRC at every router
-// stage, so this is the fabric's hottest per-packet path.
+// stage, so this is the fabric's hottest per-packet path: the running
+// CRC stays in its internal (inverted) form across the whole packet,
+// and each little-endian wire word folds in via one slicing-by-4 step
+// instead of four dependent table lookups.
 func (p *Packet) wireCRC() uint32 {
-	crc := crcUpdateWord(0, p.header0())
-	crc = crcUpdateWord(crc, p.header1())
+	crc := ^uint32(0)
+	crc = crcFoldWord(crc, p.header0())
+	crc = crcFoldWord(crc, p.header1())
 	for _, w := range p.Payload {
-		crc = crcUpdateWord(crc, w)
+		crc = crcFoldWord(crc, w)
 	}
-	return crc
+	return ^crc
+}
+
+// crcFoldWord advances an internal-form (pre-inverted) CRC by one
+// little-endian wire word using the slicing-by-4 tables.
+func crcFoldWord(crc, w uint32) uint32 {
+	crc ^= w
+	return crcSlice4[3][byte(crc)] ^
+		crcSlice4[2][byte(crc>>8)] ^
+		crcSlice4[1][byte(crc>>16)] ^
+		crcSlice4[0][byte(crc>>24)]
 }
 
 // Seal computes and stores the CRC over the packet's current wire

@@ -151,3 +151,29 @@ func TestDigitHelpers(t *testing.T) {
 		t.Fatalf("replaceDigit = %b", replaceDigit(0b110110, 1, 0b10))
 	}
 }
+
+// TestWireCRCMatchesByteAtATime pins the slicing-by-4 fold in wireCRC
+// to the byte-at-a-time reference (crcUpdateWord, still used by the
+// Encode/Decode path): the two must agree on every packet, or sealed
+// packets would fail verification at the first router stage.
+func TestWireCRCMatchesByteAtATime(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		p := &Packet{
+			Src:     trial,
+			Dst:     trial * 3 % 16,
+			Tag:     uint16(trial * 7),
+			Payload: make([]uint32, MinPayloadWords+trial%8),
+		}
+		for i := range p.Payload {
+			p.Payload[i] = uint32(trial*31+i) * 2654435761
+		}
+		ref := crcUpdateWord(0, p.header0())
+		ref = crcUpdateWord(ref, p.header1())
+		for _, w := range p.Payload {
+			ref = crcUpdateWord(ref, w)
+		}
+		if got := p.wireCRC(); got != ref {
+			t.Fatalf("trial %d: wireCRC %08x != byte-at-a-time %08x", trial, got, ref)
+		}
+	}
+}

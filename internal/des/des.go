@@ -75,8 +75,31 @@ type Engine struct {
 
 	// watchdog bounds any single blocking wait; see SetWatchdog.
 	watchdog units.Time
+	// limit is the active RunUntil bound, consulted by the Delay
+	// fast path (a process may only advance the clock inline up to
+	// the point where the run loop itself would have stopped).
+	limit units.Time
 	// failed stops the run loop with a recorded cause; see Fail.
 	failed error
+	// Direct-handoff baton state.  xfer is the process the event that
+	// just executed woke: the dispatcher completes the handoff after
+	// the event fn returns (every wake is the last effect of its
+	// event, so no engine work is reordered).  mainCh parks the
+	// Run/RunUntil caller while a process goroutine is dispatching.
+	// engPanic carries a panic raised by an event that executed on a
+	// process dispatcher back to the run loop's caller, preserving
+	// the contract that watchdog and scheduling panics unwind Run —
+	// never a baton goroutine.  single makes dispatch loops stop
+	// after the current event (Engine.Step).
+	xfer     *Proc
+	mainCh   chan struct{}
+	engPanic interface{}
+	single   bool
+	// disp is the process currently acting as dispatcher (nil when the
+	// Run/RunUntil caller is dispatching).  finishKill consults it: a
+	// process dispatching the very event that kills it cannot hand
+	// itself the unwind baton and must unwind after the event returns.
+	disp *Proc
 	// procFailure carries a panic out of a process goroutine so wake
 	// can re-raise it in engine context, where Run's caller can
 	// recover it (a raw panic in the baton goroutine would kill the
@@ -95,7 +118,7 @@ func NewEngine() *Engine {
 // strict (at, seq) order, so a simulation's digest is identical under
 // either — the determinism suite asserts exactly that.
 func NewEngineWithScheduler(kind SchedulerKind) *Engine {
-	e := &Engine{}
+	e := &Engine{mainCh: make(chan struct{})}
 	switch kind {
 	case SchedHeap:
 		e.sched = &heapSched{}
@@ -200,6 +223,9 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= limit.
 func (e *Engine) RunUntil(limit units.Time) {
+	prev := e.limit
+	e.limit = limit
+	defer func() { e.limit = prev }()
 	for !e.stopped && e.failed == nil {
 		ev := e.peekNext()
 		if ev == nil || ev.at > limit {
@@ -211,6 +237,31 @@ func (e *Engine) RunUntil(limit units.Time) {
 		}
 		ev.fn()
 		e.recycle(ev)
+		if q := e.xfer; q != nil {
+			// The event woke a process: hand it the baton directly and
+			// park until the dispatch chain returns it (the woken
+			// process, and every process it transitively hands to,
+			// keeps draining the queue in the same (at, seq) order
+			// this loop would).
+			e.xfer = nil
+			q.resume <- true
+			<-e.mainCh
+			e.reraise()
+		}
+	}
+}
+
+// reraise surfaces a failure carried back with the baton: a panic from
+// an event that executed on a process dispatcher, or a process body
+// panic, re-thrown in the run loop caller's context.
+func (e *Engine) reraise() {
+	if r := e.engPanic; r != nil {
+		e.engPanic = nil
+		panic(r)
+	}
+	if f := e.procFailure; f != nil {
+		e.procFailure = nil
+		panic(f)
 	}
 }
 
@@ -358,6 +409,16 @@ func (e *Engine) Step() bool {
 	}
 	ev.fn()
 	e.recycle(ev)
+	if q := e.xfer; q != nil {
+		// single keeps the woken process from dispatching further
+		// events: it runs to its next block, then returns the baton.
+		e.xfer = nil
+		e.single = true
+		q.resume <- true
+		<-e.mainCh
+		e.single = false
+		e.reraise()
+	}
 	return true
 }
 
@@ -470,6 +531,18 @@ type Proc struct {
 	parkFac     waiterList
 	inExec      bool
 	killPending bool
+	// selfKill marks a process killed by an event it was itself
+	// dispatching; the dispatch loop unwinds it at the next event
+	// boundary and the dying goroutine keeps dispatching on its way
+	// out (see finishKill).
+	selfKill bool
+
+	// Exec offload state, created lazily on the first pooled Exec and
+	// reused for every later one: a Proc has at most one outstanding
+	// offloaded phase, so one buffered completion channel and one bound
+	// continuation cover them all without per-call allocation.
+	execDone   chan struct{}
+	execContFn func()
 }
 
 // Spawn creates a process running fn and schedules its first activation
@@ -494,6 +567,14 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(stopSignal); ok {
+					if p.selfKill {
+						// Killed by an event this process was itself
+						// dispatching: no killer is waiting for the
+						// yield handshake, so keep dispatching on the
+						// way out instead.
+						e.exitDispatch()
+						return
+					}
 					// Killed by Engine.Close or Proc.Kill.  Hand the baton
 					// back so the killer can proceed synchronously.
 					p.yield <- struct{}{}
@@ -507,7 +588,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 				p.dead = true
 				e.dropProc(p)
 				e.procFailure = &ProcPanic{Proc: p.name, Value: r, Stack: debug.Stack()}
-				p.yield <- struct{}{}
+				e.mainCh <- struct{}{}
 			}
 		}()
 		if !<-p.resume {
@@ -516,14 +597,18 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 		p.dead = true
 		e.dropProc(p)
-		p.yield <- struct{}{}
+		e.exitDispatch()
 	}()
 	p.blocked = true
 	e.Schedule(0, p.wakeFn)
 	return p
 }
 
-// wake transfers the baton to p and waits for it to block or finish.
+// wake marks p runnable.  The baton itself moves when the current
+// event fn returns: the dispatcher sees e.xfer set and completes the
+// handoff (or, when p is the dispatcher, simply returns from block).
+// Every caller invokes wake as the last effect of its event, so
+// deferring the transfer to the event boundary reorders nothing.
 // Must only be called from engine context (inside an event).
 func (p *Proc) wake() {
 	if p.dead {
@@ -538,12 +623,7 @@ func (p *Proc) wake() {
 		return
 	}
 	p.blocked = false
-	p.resume <- true
-	<-p.yield
-	if f := p.eng.procFailure; f != nil {
-		p.eng.procFailure = nil
-		panic(f)
-	}
+	p.eng.xfer = p
 }
 
 // kill unwinds a blocked process.  Called from Engine.Close only.
@@ -586,6 +666,15 @@ func (p *Proc) finishKill() {
 	p.wdFacility = nil
 	p.dead = true
 	p.eng.dropProc(p)
+	if p.eng.disp == p {
+		// The process is dispatching the very event that kills it (a
+		// node crash reaches the node's own ranks this way whenever
+		// one of them holds the baton): it cannot complete a
+		// synchronous unwind handshake with itself.  Flag the suicide;
+		// the dispatch loop unwinds after the event completes.
+		p.selfKill = true
+		return
+	}
 	p.resume <- false
 	<-p.yield
 }
@@ -624,14 +713,105 @@ func (p *Proc) maybeInterrupt() {
 	panic(&Interrupt{Proc: p.name, Cause: cause})
 }
 
-// block yields the baton back to the kernel and waits to be woken.
+// block parks the process until its wake event fires.  There is no
+// central engine goroutine to yield to: the blocking process itself
+// becomes the dispatcher, draining the event queue in the same
+// strict (at, seq) order the run loop uses — the virtual schedule is
+// bit-identical by construction.  Waking itself costs no goroutine
+// switch at all (the dominant case: a Delay with only timer events in
+// between); waking another process is one direct channel handoff.
+// When the run bound is reached, the engine stops or fails, or an
+// event panics, the baton is returned to the Run/RunUntil caller.
 // Must only be called from process context.
 func (p *Proc) block() {
 	p.blocked = true
-	p.yield <- struct{}{}
+	e := p.eng
+	e.disp = p
+	for !e.single && !e.stopped && e.failed == nil {
+		ev := e.peekNext()
+		if ev == nil || ev.at > e.limit {
+			break
+		}
+		e.sched.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if !e.runEvent(ev) {
+			break
+		}
+		if p.selfKill {
+			// The event killed its own dispatcher: unwind here, outside
+			// runEvent's recover, so the stop signal reaches the spawn
+			// wrapper (which keeps dispatching on the way out — any
+			// handoff the fatal event also requested is still pending
+			// in e.xfer and is completed there).
+			e.disp = nil
+			panic(stopSignal{})
+		}
+		if q := e.xfer; q != nil {
+			e.xfer = nil
+			e.disp = nil
+			if q == p {
+				return // self-wake: the baton never moves
+			}
+			q.resume <- true
+			if !<-p.resume {
+				panic(stopSignal{})
+			}
+			return
+		}
+	}
+	// Bound reached, engine stopped/failed, or an event panicked:
+	// return the baton to the run loop's caller and park.
+	e.disp = nil
+	e.mainCh <- struct{}{}
 	if !<-p.resume {
 		panic(stopSignal{})
 	}
+}
+
+// runEvent executes one event on a process dispatcher, converting a
+// panic into engine-failure state so the run loop's caller — not the
+// baton goroutine — re-raises it (watchdog and scheduling panics must
+// unwind Run, where tests and drivers recover them).
+func (e *Engine) runEvent(ev *event) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.engPanic = r
+		}
+	}()
+	ev.fn()
+	e.recycle(ev)
+	return true
+}
+
+// exitDispatch hands the baton onward when a process body returns:
+// the finished goroutine keeps dispatching (it is as good an engine
+// context as any) until an event wakes a live process or the run
+// bound is reached, then disappears.
+func (e *Engine) exitDispatch() {
+	for {
+		if q := e.xfer; q != nil {
+			e.xfer = nil
+			q.resume <- true
+			return
+		}
+		if e.single || e.stopped || e.failed != nil {
+			break
+		}
+		ev := e.peekNext()
+		if ev == nil || ev.at > e.limit {
+			break
+		}
+		e.sched.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if !e.runEvent(ev) {
+			break
+		}
+	}
+	e.mainCh <- struct{}{}
 }
 
 // armWd schedules the process's expiry event at now+d; disarmWd removes
@@ -726,7 +906,26 @@ func (p *Proc) Now() units.Time { return p.eng.now }
 // yields the baton without advancing the clock (other simultaneous
 // events run first).
 func (p *Proc) Delay(d units.Time) {
-	p.eng.Schedule(d, p.wakeFn)
+	e := p.eng
+	if d < 0 {
+		d = 0
+	}
+	at := e.now + d
+	// Fast path: when nothing else is scheduled before this delay would
+	// expire (and the run loop's limit covers it), yielding the baton
+	// would only bounce it straight back here.  Advance the clock inline
+	// instead.  The sequence number is consumed exactly as if the wake
+	// event had been queued and fired, so clock, event order and event
+	// count are bit-identical to the slow path.
+	if !e.stopped && e.failed == nil && at <= e.limit {
+		if nxt := e.peekNext(); nxt == nil || nxt.at > at {
+			e.seq++
+			e.now = at
+			p.maybeInterrupt()
+			return
+		}
+	}
+	e.Schedule(d, p.wakeFn)
 	p.block()
 	p.maybeInterrupt()
 }

@@ -67,7 +67,7 @@ func NewPool(n int) *Pool {
 			defer p.wg.Done()
 			for t := range p.tasks {
 				t.fn()
-				close(t.done)
+				t.done <- struct{}{}
 			}
 		}()
 	}
@@ -77,12 +77,9 @@ func NewPool(n int) *Pool {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
-// submit hands fn to a worker and returns the channel closed on
-// completion.
-func (p *Pool) submit(fn func()) chan struct{} {
-	done := make(chan struct{})
+// submit hands fn to a worker; done receives one value on completion.
+func (p *Pool) submit(fn func(), done chan struct{}) {
 	p.tasks <- poolTask{fn: fn, done: done}
-	return done
 }
 
 // Close stops the workers after the in-flight tasks finish.  Idempotent.
@@ -117,15 +114,23 @@ func (p *Proc) Exec(d units.Time, fn func()) {
 		p.Delay(d)
 		return
 	}
+	// One completion channel and one bound continuation per Proc,
+	// created on first use and reused: Exec blocks until the phase
+	// completes, so at most one offload is ever in flight per Proc and
+	// the buffered slot can never carry a stale signal.
+	if p.execDone == nil {
+		p.execDone = make(chan struct{}, 1)
+		p.execContFn = func() {
+			<-p.execDone
+			p.wake()
+		}
+	}
 	// inExec defers Kill/Interrupt to the completion wake: the worker
 	// may be touching this rank's arrays on another OS thread, so the
-	// <-done synchronization must happen before any unwind.
+	// <-execDone synchronization must happen before any unwind.
 	p.inExec = true
-	done := pool.submit(fn)
-	p.eng.Schedule(d, func() {
-		<-done
-		p.wake()
-	})
+	pool.submit(fn, p.execDone)
+	p.eng.Schedule(d, p.execContFn)
 	p.block()
 	p.inExec = false
 	p.maybeInterrupt()

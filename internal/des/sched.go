@@ -249,8 +249,23 @@ func (l *ladderQueue) push(ev *event) {
 // engine clamps timestamps to the present, so the insertion point is
 // never before cursor; ev carries the newest seq, so among equal
 // timestamps it sorts last — FIFO preserved.
+//
+// The drained prefix bottom[:cursor] is dead weight: in steady state
+// every pop of a wake event triggers a push of the next one into
+// bottom, so the region never fully drains and a plain append would
+// grow the backing array without bound (the dominant allocation of the
+// whole simulator before compaction).  Sliding the live tail back to
+// the front once the prefix outweighs it keeps the array at O(pending)
+// while preserving order, so the fix is invisible to the event
+// sequence.
 func (l *ladderQueue) insertBottom(ev *event) {
 	ev.rng = rngBottom
+	if c := l.cursor; c >= 32 && c >= len(l.bottom)-c {
+		n := copy(l.bottom, l.bottom[c:])
+		clear(l.bottom[n:])
+		l.bottom = l.bottom[:n]
+		l.cursor = 0
+	}
 	lo, hi := l.cursor, len(l.bottom)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)

@@ -1,6 +1,7 @@
 package gcm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -116,6 +117,12 @@ type Coupled struct {
 	oceanF *CoupledOceanForcing // ocean side
 	phys   *physics.Physics     // atmosphere side
 	steps  int
+
+	// Per-coupling scratch: sst receives the surface level on the ocean
+	// side; xspare recycles the received cross-component payload as the
+	// next send buffer (same ownership argument as tile.Halo).
+	sst    *field.F2
+	xspare []byte
 }
 
 // NewCoupled builds the component model for the calling worker.  The
@@ -178,6 +185,12 @@ type offsetEndpoint struct {
 	comm.Endpoint
 	base int
 	n    int
+
+	// spare recycles the 8-byte payload received by the previous
+	// pairwise exchange as the next send buffer; a received payload is
+	// exclusively ours, and the comm layer's sequence-number dup-drop
+	// makes rewriting a retransmit-retained buffer safe.
+	spare []byte
 }
 
 func (o *offsetEndpoint) Rank() int { return o.Endpoint.Rank() - o.base }
@@ -187,36 +200,55 @@ func (o *offsetEndpoint) Exchange(peer int, send []byte, layout comm.Block) []by
 	return o.Endpoint.Exchange(peer+o.base, send, layout)
 }
 
+// encF64 serializes v little-endian into the recycled spare buffer (or
+// a fresh one on the first call), transferring its ownership to the
+// returned slice.
+func (o *offsetEndpoint) encF64(v float64) []byte {
+	b := o.spare
+	o.spare = nil
+	if cap(b) < 8 {
+		b = make([]byte, 8)
+	} else {
+		b = b[:8]
+	}
+	bits := math.Float64bits(v)
+	for i := range b {
+		b[i] = byte(bits >> (8 * i))
+	}
+	return b
+}
+
+// decF64 deserializes a little-endian float64.
+func decF64(b []byte) float64 {
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(bits)
+}
+
+// gsumExchange is Exchange plus payload recycling: the received 8-byte
+// buffer becomes the next encF64 target.
+func (o *offsetEndpoint) gsumExchange(peer int, v float64, layout comm.Block) []byte {
+	got := o.Exchange(peer, o.encF64(v), layout)
+	o.spare = got
+	return got
+}
+
 // GlobalSum reduces over the component's worker group only, using a
 // binomial tree of pairwise exchanges (8-byte payloads).
 func (o *offsetEndpoint) GlobalSum(x float64) float64 {
 	me := o.Rank()
 	layout := comm.Block{Rows: 1, RowBytes: 8, Cached: true}
-	enc := func(v float64) []byte {
-		var b [8]byte
-		bits := math.Float64bits(v)
-		for i := range b {
-			b[i] = byte(bits >> (8 * i))
-		}
-		return b[:]
-	}
-	dec := func(b []byte) float64 {
-		var bits uint64
-		for i := 0; i < 8; i++ {
-			bits |= uint64(b[i]) << (8 * i)
-		}
-		return math.Float64frombits(bits)
-	}
 	sum := x
 	// Reduce to group rank 0.
 	for mask := 1; mask < o.n; mask <<= 1 {
 		if me&mask != 0 {
-			o.Exchange(me&^mask, enc(sum), layout)
+			o.gsumExchange(me&^mask, sum, layout)
 			break
 		}
 		if me|mask < o.n {
-			got := o.Exchange(me|mask, enc(sum), layout)
-			sum += dec(got)
+			sum += decF64(o.gsumExchange(me|mask, sum, layout))
 		}
 	}
 	// Broadcast back down the same tree.
@@ -227,13 +259,12 @@ func (o *offsetEndpoint) GlobalSum(x float64) float64 {
 	start := highest
 	if me != 0 {
 		low := me & -me
-		got := o.Exchange(me&^low, enc(0), layout)
-		sum = dec(got)
+		sum = decF64(o.gsumExchange(me&^low, 0, layout))
 		start = low
 	}
 	for mask := start >> 1; mask >= 1; mask >>= 1 {
 		if me|mask < o.n && me&mask == 0 {
-			o.Exchange(me|mask, enc(sum), layout)
+			o.gsumExchange(me|mask, sum, layout)
 		}
 	}
 	return sum
@@ -248,11 +279,15 @@ func (c *Coupled) couple() {
 	layout := comm.Block{Rows: 1, RowBytes: nx * ny * 8, Cached: false}
 	if c.IsOcean {
 		// Send SST (surface theta, level 0), receive (tauX, tauY, Q).
-		sst := c.M.S.Theta.Level(0)
-		got := c.ep.Exchange(c.PeerRank, packF2(sst, nx, ny), layout)
+		if c.sst == nil {
+			c.sst = field.NewF2(nx, ny, kernel.Halo)
+		}
+		c.M.S.Theta.LevelInto(0, c.sst)
+		got := c.ep.Exchange(c.PeerRank, packF2Into(c.sst, nx, c.takeSpare()), layout)
 		unpackInto(c.oceanF.TauX, got[:nx*ny*8], nx, ny)
 		unpackInto(c.oceanF.TauY, got[nx*ny*8:2*nx*ny*8], nx, ny)
 		unpackInto(c.oceanF.Q, got[2*nx*ny*8:], nx, ny)
+		c.xspare = got
 		c.M.Halo.Update2(c.oceanF.TauX, 2)
 		c.M.Halo.Update2(c.oceanF.TauY, 2)
 		c.M.Halo.Update2(c.oceanF.Q, 2)
@@ -264,27 +299,29 @@ func (c *Coupled) couple() {
 	g, s := c.M.G, c.M.S
 	k := g.NZ - 1
 	p := c.phys.P
-	buf := make([]byte, 0, 3*nx*ny*8)
-	flux := field.NewF2(nx, ny, 0)
+	buf := c.takeSpare()
+	if cap(buf) < 3*nx*ny*8 {
+		buf = make([]byte, 0, 3*nx*ny*8)
+	} else {
+		buf = buf[:0]
+	}
 	// tauX at centres.
 	for j := 0; j < ny; j++ {
 		for i := 0; i < nx; i++ {
 			u := 0.5 * (s.U.At(i, j, k) + s.U.At(i+1, j, k))
 			v := 0.5 * (s.V.At(i, j, k) + s.V.At(i, j+1, k))
 			speed := math.Hypot(u, v)
-			flux.Set(i, j, p.CDrag*speed*u*1e-3) // air/water density ratio
+			buf = appendF64(buf, p.CDrag*speed*u*1e-3) // air/water density ratio
 		}
 	}
-	buf = append(buf, packF2(flux, nx, ny)...)
 	for j := 0; j < ny; j++ {
 		for i := 0; i < nx; i++ {
 			u := 0.5 * (s.U.At(i, j, k) + s.U.At(i+1, j, k))
 			v := 0.5 * (s.V.At(i, j, k) + s.V.At(i, j+1, k))
 			speed := math.Hypot(u, v)
-			flux.Set(i, j, p.CDrag*speed*v*1e-3)
+			buf = appendF64(buf, p.CDrag*speed*v*1e-3)
 		}
 	}
-	buf = append(buf, packF2(flux, nx, ny)...)
 	for j := 0; j < ny; j++ {
 		for i := 0; i < nx; i++ {
 			sst := 15.0
@@ -294,20 +331,31 @@ func (c *Coupled) couple() {
 			airT := s.Theta.At(i, j, k) - 273.15
 			// Ocean surface heating (K/s): drives the SST towards the
 			// overlying air temperature.
-			flux.Set(i, j, p.CHeat*(airT-sst)*10)
+			buf = appendF64(buf, p.CHeat*(airT-sst)*10)
 		}
 	}
-	buf = append(buf, packF2(flux, nx, ny)...)
 	got := c.ep.Exchange(c.PeerRank, buf, layout)
 	if c.phys.SST == nil {
 		c.phys.SST = field.NewF2(nx, ny, 2)
 	}
 	unpackInto(c.phys.SST, got, nx, ny)
+	c.xspare = got
 	c.M.Halo.Update2(c.phys.SST, 2)
 }
 
-func packF2(f *field.F2, nx, ny int) []byte {
-	return f.PackSlab(field.Slab{Side: field.West, Width: nx})
+// takeSpare transfers ownership of the recycled coupling payload.
+func (c *Coupled) takeSpare() []byte {
+	b := c.xspare
+	c.xspare = nil
+	return b
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func packF2Into(f *field.F2, nx int, buf []byte) []byte {
+	return f.PackSlabInto(field.Slab{Side: field.West, Width: nx}, buf)
 }
 
 func unpackInto(dst *field.F2, buf []byte, nx, ny int) {

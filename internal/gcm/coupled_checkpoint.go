@@ -1,0 +1,98 @@
+package gcm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hyades/internal/gcm/field"
+)
+
+// Coupled checkpointing: the tile checkpoint (Model.Checkpoint) plus
+// the cross-component coupling state, so a coupled run restarts
+// bit-for-bit from ANY step, not just coupling boundaries.  The extra
+// state is exactly what the next couple() or AddTendencies reads
+// before the coupler refreshes it: the atmosphere's current SST
+// estimate (flux formulas read it before receiving the update), and
+// the ocean's wind-stress/heating fields (applied every step between
+// exchanges).
+
+// coupledFlagHasField marks an optional field section as present.
+const coupledFlagHasField = 1
+
+// coupledFlagActive marks the ocean forcing as switched over from the
+// climatological base to coupler-supplied fields.
+const coupledFlagActive = 2
+
+// Checkpoint writes the worker's full coupled state to w.
+func (c *Coupled) Checkpoint(w io.Writer) error {
+	if err := c.M.Checkpoint(w); err != nil {
+		return err
+	}
+	var flags uint64
+	if c.IsOcean {
+		if c.oceanF.active {
+			flags |= coupledFlagActive
+		}
+		flags |= coupledFlagHasField
+		if err := binary.Write(w, binary.LittleEndian, flags); err != nil {
+			return fmt.Errorf("gcm: coupled checkpoint flags: %w", err)
+		}
+		for _, f := range []*field.F2{c.oceanF.TauX, c.oceanF.TauY, c.oceanF.Q} {
+			if err := writeF2(w, f); err != nil {
+				return fmt.Errorf("gcm: coupled checkpoint ocean forcing: %w", err)
+			}
+		}
+		return nil
+	}
+	if c.phys != nil && c.phys.SST != nil {
+		flags |= coupledFlagHasField
+	}
+	if err := binary.Write(w, binary.LittleEndian, flags); err != nil {
+		return fmt.Errorf("gcm: coupled checkpoint flags: %w", err)
+	}
+	if flags&coupledFlagHasField != 0 {
+		if err := writeF2(w, c.phys.SST); err != nil {
+			return fmt.Errorf("gcm: coupled checkpoint SST: %w", err)
+		}
+	}
+	return nil
+}
+
+// Restore loads a stream written by Checkpoint on a worker of the same
+// configuration, rank and component, replacing the coupled state in
+// place.  The coupling cadence resumes from the restored step count.
+func (c *Coupled) Restore(r io.Reader) error {
+	if err := c.M.Restore(r); err != nil {
+		return err
+	}
+	c.steps = c.M.Steps
+	var flags uint64
+	if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
+		return fmt.Errorf("gcm: coupled checkpoint flags: %w", err)
+	}
+	if c.IsOcean {
+		if flags&coupledFlagHasField == 0 {
+			return fmt.Errorf("gcm: coupled checkpoint missing ocean forcing section")
+		}
+		c.oceanF.active = flags&coupledFlagActive != 0
+		for _, f := range []*field.F2{c.oceanF.TauX, c.oceanF.TauY, c.oceanF.Q} {
+			if err := readF2(r, f); err != nil {
+				return fmt.Errorf("gcm: coupled restore ocean forcing: %w", err)
+			}
+		}
+		return nil
+	}
+	if flags&coupledFlagHasField != 0 {
+		if c.phys == nil {
+			return fmt.Errorf("gcm: coupled checkpoint has SST but worker has no physics")
+		}
+		if c.phys.SST == nil {
+			c.phys.SST = field.NewF2(c.M.G.NX, c.M.G.NY, 2)
+		}
+		if err := readF2(r, c.phys.SST); err != nil {
+			return fmt.Errorf("gcm: coupled restore SST: %w", err)
+		}
+	}
+	return nil
+}

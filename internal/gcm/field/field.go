@@ -80,6 +80,14 @@ func (f *F2) Stride() int { return f.stride }
 // Idx exposes the flat offset computation for kernel sweeps.
 func (f *F2) Idx(i, j int) int { return f.idx(i, j) }
 
+// Row returns the full backing row of j (halo included): element
+// [i+H] is cell i for i in [-H, NX+H).  The slice has exactly
+// Stride() elements so bounds checks hoist out of i-loops.
+func (f *F2) Row(j int) []float64 {
+	off := (j + f.H) * f.stride
+	return f.data[off : off+f.stride : off+f.stride]
+}
+
 // F3 is a three-dimensional field with lateral halo.
 type F3 struct {
 	NX, NY, NZ, H int
@@ -143,11 +151,28 @@ func (f *F3) Plane() int { return f.plane }
 // Idx exposes the flat offset computation for kernel sweeps.
 func (f *F3) Idx(i, j, k int) int { return f.idx(i, j, k) }
 
+// Row returns the full backing row of (j,k) (lateral halo included):
+// element [i+H] is cell (i,j,k) for i in [-H, NX+H).  The slice has
+// exactly Stride() elements so bounds checks hoist out of i-loops.
+func (f *F3) Row(j, k int) []float64 {
+	off := k*f.plane + (j+f.H)*f.stride
+	return f.data[off : off+f.stride : off+f.stride]
+}
+
 // Level returns an F2 view-copy of level k including halos.
 func (f *F3) Level(k int) *F2 {
 	g := NewF2(f.NX, f.NY, f.H)
 	copy(g.data, f.data[k*f.plane:(k+1)*f.plane])
 	return g
+}
+
+// LevelInto copies level k into an existing 2-D field (same lateral
+// shape), the allocation-free counterpart of Level.
+func (f *F3) LevelInto(k int, g *F2) {
+	if g.NX != f.NX || g.NY != f.NY || g.H != f.H {
+		panic("field: LevelInto shape mismatch")
+	}
+	copy(g.data, f.data[k*f.plane:(k+1)*f.plane])
 }
 
 // SetLevel copies a 2-D field (same lateral shape) into level k.
@@ -243,12 +268,23 @@ func (f *F3) SlabShape(s Slab) (rows, rowBytes int) {
 }
 
 // PackSlab serializes the slab's values.
-func (f *F2) PackSlab(s Slab) []byte {
+func (f *F2) PackSlab(s Slab) []byte { return f.PackSlabInto(s, nil) }
+
+// PackSlabInto serializes the slab's values into buf's backing array,
+// growing it only if the capacity is insufficient, and returns the
+// filled buffer.  Steady-state halo exchange recycles received payloads
+// through here so the pack path allocates nothing.
+func (f *F2) PackSlabInto(s Slab, buf []byte) []byte {
 	i0, i1, j0, j1 := s.bounds(f.NX, f.NY, f.H)
-	buf := make([]byte, 0, (i1-i0)*(j1-j0)*8)
+	if need := (i1 - i0) * (j1 - j0) * 8; cap(buf) < need {
+		buf = make([]byte, 0, need)
+	} else {
+		buf = buf[:0]
+	}
 	for j := j0; j < j1; j++ {
+		row := f.Row(j)
 		for i := i0; i < i1; i++ {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.At(i, j)))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(row[i+f.H]))
 		}
 	}
 	return buf
@@ -270,13 +306,22 @@ func (f *F2) UnpackSlab(s Slab, buf []byte) {
 }
 
 // PackSlab serializes the slab's values over all levels.
-func (f *F3) PackSlab(s Slab) []byte {
+func (f *F3) PackSlab(s Slab) []byte { return f.PackSlabInto(s, nil) }
+
+// PackSlabInto serializes the slab's values over all levels into buf's
+// backing array, growing it only if the capacity is insufficient.
+func (f *F3) PackSlabInto(s Slab, buf []byte) []byte {
 	i0, i1, j0, j1 := s.bounds(f.NX, f.NY, f.H)
-	buf := make([]byte, 0, (i1-i0)*(j1-j0)*f.NZ*8)
+	if need := (i1 - i0) * (j1 - j0) * f.NZ * 8; cap(buf) < need {
+		buf = make([]byte, 0, need)
+	} else {
+		buf = buf[:0]
+	}
 	for k := 0; k < f.NZ; k++ {
 		for j := j0; j < j1; j++ {
+			row := f.Row(j, k)
 			for i := i0; i < i1; i++ {
-				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.At(i, j, k)))
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(row[i+f.H]))
 			}
 		}
 	}
@@ -300,33 +345,43 @@ func (f *F3) UnpackSlab(s Slab, buf []byte) {
 	}
 }
 
+// wrapCopy copies the `from` slab of one level-shaped region into the
+// `to` slab: a direct float64 move with no byte serialization.  The
+// slabs never overlap (interior edge vs halo), so plain copy order is
+// safe.
+func wrapCopy(data []float64, stride, h, nx, ny int, from, to Slab) {
+	si0, si1, sj0, sj1 := from.bounds(nx, ny, h)
+	di0, _, dj0, _ := to.bounds(nx, ny, h)
+	w := si1 - si0
+	for j := sj0; j < sj1; j++ {
+		srow := data[(j+h)*stride:]
+		drow := data[(j-sj0+dj0+h)*stride:]
+		copy(drow[di0+h:di0+h+w], srow[si0+h:si0+h+w])
+	}
+}
+
 // LocalWrap copies the interior edge straight into the opposite halo,
 // for periodic directions collapsed onto a single tile.
 func (f *F2) LocalWrap(axisX bool, width int) {
 	if axisX {
-		src := f.PackSlab(Slab{Side: East, Width: width})
-		f.UnpackSlab(Slab{Side: West, Width: width, Halo: true}, src)
-		src = f.PackSlab(Slab{Side: West, Width: width})
-		f.UnpackSlab(Slab{Side: East, Width: width, Halo: true}, src)
+		wrapCopy(f.data, f.stride, f.H, f.NX, f.NY, Slab{Side: East, Width: width}, Slab{Side: West, Width: width, Halo: true})
+		wrapCopy(f.data, f.stride, f.H, f.NX, f.NY, Slab{Side: West, Width: width}, Slab{Side: East, Width: width, Halo: true})
 		return
 	}
-	src := f.PackSlab(Slab{Side: North, Width: width})
-	f.UnpackSlab(Slab{Side: South, Width: width, Halo: true}, src)
-	src = f.PackSlab(Slab{Side: South, Width: width})
-	f.UnpackSlab(Slab{Side: North, Width: width, Halo: true}, src)
+	wrapCopy(f.data, f.stride, f.H, f.NX, f.NY, Slab{Side: North, Width: width}, Slab{Side: South, Width: width, Halo: true})
+	wrapCopy(f.data, f.stride, f.H, f.NX, f.NY, Slab{Side: South, Width: width}, Slab{Side: North, Width: width, Halo: true})
 }
 
 // LocalWrap for 3-D fields.
 func (f *F3) LocalWrap(axisX bool, width int) {
-	if axisX {
-		src := f.PackSlab(Slab{Side: East, Width: width})
-		f.UnpackSlab(Slab{Side: West, Width: width, Halo: true}, src)
-		src = f.PackSlab(Slab{Side: West, Width: width})
-		f.UnpackSlab(Slab{Side: East, Width: width, Halo: true}, src)
-		return
+	for k := 0; k < f.NZ; k++ {
+		level := f.data[k*f.plane : (k+1)*f.plane]
+		if axisX {
+			wrapCopy(level, f.stride, f.H, f.NX, f.NY, Slab{Side: East, Width: width}, Slab{Side: West, Width: width, Halo: true})
+			wrapCopy(level, f.stride, f.H, f.NX, f.NY, Slab{Side: West, Width: width}, Slab{Side: East, Width: width, Halo: true})
+			continue
+		}
+		wrapCopy(level, f.stride, f.H, f.NX, f.NY, Slab{Side: North, Width: width}, Slab{Side: South, Width: width, Halo: true})
+		wrapCopy(level, f.stride, f.H, f.NX, f.NY, Slab{Side: South, Width: width}, Slab{Side: North, Width: width, Halo: true})
 	}
-	src := f.PackSlab(Slab{Side: North, Width: width})
-	f.UnpackSlab(Slab{Side: South, Width: width, Halo: true}, src)
-	src = f.PackSlab(Slab{Side: South, Width: width})
-	f.UnpackSlab(Slab{Side: North, Width: width, Halo: true}, src)
 }

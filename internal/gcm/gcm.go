@@ -103,6 +103,12 @@ type Model struct {
 	C      kernel.Counters
 
 	Steps int
+
+	// Phase closures are bound once at construction (bindPhases) so the
+	// hot Step path allocates nothing: each captures only the receiver's
+	// long-lived components, and BuildRHS threads its result through rhs.
+	phTracers, phStepTracers, phMomentum, phBuildRHS, phCorrect func()
+	rhs                                                         *field.F2
 }
 
 // New builds the tile model for the calling worker.
@@ -130,6 +136,7 @@ func New(cfg Config, ep comm.Endpoint) (*Model, error) {
 		Halo: h,
 	}
 	m.Solver = solver.New(g, h, cfg.SolverTol, cfg.SolverMaxIter)
+	m.bindPhases()
 	if cfg.FpsMFlops > 0 {
 		rate := cfg.FpsMFlops * 1e6
 		m.C.TimePS = func(f int64) units.Time { return units.Seconds(float64(f) / rate) }
@@ -182,6 +189,35 @@ func (m *Model) exchangeState() {
 	m.Halo.Update3(m.S.Salt, kernel.Halo)
 }
 
+// bindPhases builds the Exec phase closures once.  Each kernel sweep
+// here has analytically-known cost and carries the ep.Busy charge
+// hooks on its flop counters; exec detaches those hooks
+// (SuspendCharges) before handing the phase to the pool, so the
+// statically visible AddPS/AddDS -> Busy chain is dead for the phase's
+// duration.
+func (m *Model) bindPhases() {
+	p := &m.Cfg.Kernel
+	g, s, c := m.G, m.S, &m.C
+	m.phTracers = func() {
+		kernel.ComputeGTracers(g, s, p, c)
+	}
+	m.phStepTracers = func() {
+		kernel.StepTracers(g, s, p, c)
+	}
+	m.phMomentum = func() {
+		kernel.Hydrostatic(g, s, p, c)
+		kernel.ComputeGMomentum(g, s, p, c)
+		kernel.StepMomentum(g, s, p, c)
+	}
+	m.phBuildRHS = func() {
+		m.rhs = m.Solver.BuildRHS(s, p.Dt, c)
+	}
+	m.phCorrect = func() {
+		solver.CorrectVelocities(g, s, p.Dt, c)
+		kernel.Continuity(g, s, c)
+	}
+}
+
 // exec runs phase — pure compute over this tile's own state, with the
 // modeled cost d fixed up front — through the endpoint's Exec, which
 // may fan it onto the host worker pool.  The charge hooks are
@@ -223,39 +259,30 @@ func (m *Model) dsTime(f int64) units.Time {
 func (m *Model) Step() {
 	p := &m.Cfg.Kernel
 	g, s, c := m.G, m.S, &m.C
-	// The phases below call kernel sweeps whose flop counters carry the
-	// ep.Busy charge hooks; exec detaches those hooks (SuspendCharges)
-	// before handing the phase to the pool, so the statically visible
-	// AddPS/AddDS -> Busy chain is dead for the phase's duration.
+	// The pre-bound phases (bindPhases) call kernel sweeps whose flop
+	// counters carry the ep.Busy charge hooks; exec suspends those hooks
+	// around each one.
 	// ---- PS: prognostic step ----
-	m.exec(m.psTime(kernel.ComputeGTracersOps(g)), func() { //lint:allow execpure charge hooks are suspended around Exec
-		kernel.ComputeGTracers(g, s, p, c)
-	})
+	//lint:allow execpure charge hooks are suspended around Exec (SuspendCharges)
+	m.exec(m.psTime(kernel.ComputeGTracersOps(g)), m.phTracers)
 	if m.Cfg.Forcing != nil {
 		m.Cfg.Forcing.AddTendencies(g, s, p, c)
 	}
-	m.exec(m.psTime(kernel.StepTracersOps(g)), func() { //lint:allow execpure charge hooks are suspended around Exec
-		kernel.StepTracers(g, s, p, c)
-	})
+	//lint:allow execpure charge hooks are suspended around Exec (SuspendCharges)
+	m.exec(m.psTime(kernel.StepTracersOps(g)), m.phStepTracers)
 	kernel.ConvectiveAdjust(g, s, p, c)
 	m.exec(m.psTime(kernel.HydrostaticOps(g, p))+
 		m.psTime(kernel.ComputeGMomentumOps(g))+
-		m.psTime(kernel.StepMomentumOps(g)), func() { //lint:allow execpure charge hooks are suspended around Exec
-		kernel.Hydrostatic(g, s, p, c)
-		kernel.ComputeGMomentum(g, s, p, c)
-		kernel.StepMomentum(g, s, p, c)
-	})
+		//lint:allow execpure charge hooks are suspended around Exec (SuspendCharges)
+		m.psTime(kernel.StepMomentumOps(g)), m.phMomentum)
 	// ---- DS: diagnostic step (surface pressure) ----
-	var rhs *field.F2
-	m.exec(m.dsTime(solver.BuildRHSOps(g)), func() { //lint:allow execpure charge hooks are suspended around Exec
-		rhs = m.Solver.BuildRHS(s, p.Dt, c)
-	})
-	m.Solver.Solve(s.Ps, rhs, c)
+	//lint:allow execpure charge hooks are suspended around Exec (SuspendCharges)
+	m.exec(m.dsTime(solver.BuildRHSOps(g)), m.phBuildRHS)
+	m.Solver.Solve(s.Ps, m.rhs, c)
 	m.exec(m.dsTime(solver.CorrectVelocitiesOps(g))+
-		m.psTime(kernel.ContinuityOps(g)), func() { //lint:allow execpure charge hooks are suspended around Exec
-		solver.CorrectVelocities(g, s, p.Dt, c)
-		kernel.Continuity(g, s, c)
-	})
+		//lint:allow execpure charge hooks are suspended around Exec (SuspendCharges)
+		m.psTime(kernel.ContinuityOps(g)), m.phCorrect)
+	m.rhs = nil
 	m.S.Rotate()
 	m.Steps++
 	// The step's single halo-exchange point: state for the next step.

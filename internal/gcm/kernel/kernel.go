@@ -46,6 +46,11 @@ type State struct {
 	gu, gv, gth, gs [2]*field.F3
 	cur             int
 	firstStep       bool
+
+	// accRow is per-column accumulator scratch for the flat-row
+	// Hydrostatic and Continuity sweeps (k-outer loop order).  Not
+	// state: never checkpointed.
+	accRow []float64
 }
 
 // NewState allocates the state for a tile of the given interior size.
@@ -55,6 +60,7 @@ func NewState(nx, ny, nz int) *State {
 		U: f3(), V: f3(), W: f3(), Theta: f3(), Salt: f3(), Phy: f3(),
 		Ps:        field.NewF2(nx, ny, 1),
 		firstStep: true,
+		accRow:    make([]float64, nx+2*Halo),
 	}
 	for lv := 0; lv < 2; lv++ {
 		s.gu[lv], s.gv[lv], s.gth[lv], s.gs[lv] = f3(), f3(), f3(), f3()
@@ -245,86 +251,136 @@ func (s *State) abCoeffs(eps float64) (aNow, aPrev float64) {
 
 // ComputeGTracers evaluates advective and diffusive tendencies for
 // theta and salt on the overcomputation margin [-2, n+2).
+//
+// The sweep is written flat-row style: every field row the 3x3x3
+// stencil touches is hoisted out of the i-loop as a plain []float64
+// (index i+Halo), and the four side faces are straight-line code.  The
+// arithmetic — each term's expression tree and the accumulation order
+// west, east, south, north, top, bottom — is exactly the seed
+// kernel's, so results are bit-identical (pinned by golden_test.go).
 func ComputeGTracers(g *grid.Local, s *State, p *Params, c *Counters) {
+	const h = Halo
 	m := Halo - 1 // stencil reaches one further; halo is 3
 	gth, gs := s.gth[s.cur], s.gs[s.cur]
 	nz := g.NZ
+	kh, kv := p.KhTracer, p.KvTracer
 	for k := 0; k < nz; k++ {
 		dz := g.DZ[k]
+		var dzFUp, dzFDn float64
+		if k > 0 {
+			dzFUp = 0.5 * (g.DZ[k-1] + g.DZ[k])
+		}
+		if k < nz-1 {
+			dzFDn = 0.5 * (g.DZ[k] + g.DZ[k+1])
+		}
 		for j := -m; j < g.NY+m; j++ {
 			dx, dy := g.DXC(j), g.DYC(j)
+			area := dx * dy
+			dxsS, dxsN := g.DXS(j), g.DXS(j+1)
+			hcr := g.HFacC.Row(j, k)
+			hwr := g.HFacW.Row(j, k)
+			hsr := g.HFacS.Row(j, k)
+			hsrN := g.HFacS.Row(j+1, k)
+			ur := s.U.Row(j, k)
+			vr := s.V.Row(j, k)
+			vrN := s.V.Row(j+1, k)
+			thr := s.Theta.Row(j, k)
+			thrS := s.Theta.Row(j-1, k)
+			thrN := s.Theta.Row(j+1, k)
+			sar := s.Salt.Row(j, k)
+			sarS := s.Salt.Row(j-1, k)
+			sarN := s.Salt.Row(j+1, k)
+			gthr := gth.Row(j, k)
+			gsr := gs.Row(j, k)
+			var hcrUp, thrUp, sarUp, wr []float64
+			if k > 0 {
+				hcrUp = g.HFacC.Row(j, k-1)
+				thrUp = s.Theta.Row(j, k-1)
+				sarUp = s.Salt.Row(j, k-1)
+				wr = s.W.Row(j, k)
+			}
+			var hcrDn, thrDn, sarDn, wrDn []float64
+			if k < nz-1 {
+				hcrDn = g.HFacC.Row(j, k+1)
+				thrDn = s.Theta.Row(j, k+1)
+				sarDn = s.Salt.Row(j, k+1)
+				wrDn = s.W.Row(j, k+1)
+			}
 			for i := -m; i < g.NX+m; i++ {
-				hc := g.HFacC.At(i, j, k)
+				n := i + h
+				hc := hcr[n]
 				if hc == 0 {
-					gth.Set(i, j, k, 0)
-					gs.Set(i, j, k, 0)
+					gthr[n] = 0
+					gsr[n] = 0
 					continue
 				}
-				vol := dx * dy * dz * hc
+				vol := area * dz * hc
 				// Horizontal advective + diffusive fluxes on the four
 				// side faces (flux form: conservative).
 				conv := 0.0
 				convS := 0.0
-				// West face of cell i and of cell i+1 (east face).
-				for _, f := range [2]struct {
-					ii, jj int
-					sign   float64
-					u      float64
-					area   float64
-					length float64
-				}{
-					{i, j, 1, s.U.At(i, j, k), dy * dz * g.HFacW.At(i, j, k), dx},
-					{i + 1, j, -1, s.U.At(i+1, j, k), dy * dz * g.HFacW.At(i+1, j, k), dx},
-				} {
-					thFace := 0.5 * (s.Theta.At(f.ii-1, j, k) + s.Theta.At(f.ii, j, k))
-					sFace := 0.5 * (s.Salt.At(f.ii-1, j, k) + s.Salt.At(f.ii, j, k))
-					dTh := (s.Theta.At(f.ii, j, k) - s.Theta.At(f.ii-1, j, k)) / f.length
-					dS := (s.Salt.At(f.ii, j, k) - s.Salt.At(f.ii-1, j, k)) / f.length
-					conv += f.sign * f.area * (f.u*thFace - p.KhTracer*dTh)
-					convS += f.sign * f.area * (f.u*sFace - p.KhTracer*dS)
+				{ // west face
+					u := ur[n]
+					fa := dy * dz * hwr[n]
+					thFace := 0.5 * (thr[n-1] + thr[n])
+					sFace := 0.5 * (sar[n-1] + sar[n])
+					dTh := (thr[n] - thr[n-1]) / dx
+					dS := (sar[n] - sar[n-1]) / dx
+					conv += fa * (u*thFace - kh*dTh)
+					convS += fa * (u*sFace - kh*dS)
 				}
-				for _, f := range [2]struct {
-					jj     int
-					sign   float64
-					v      float64
-					area   float64
-					length float64
-				}{
-					{j, 1, s.V.At(i, j, k), g.DXS(j) * dz * g.HFacS.At(i, j, k), dy},
-					{j + 1, -1, s.V.At(i, j+1, k), g.DXS(j+1) * dz * g.HFacS.At(i, j+1, k), dy},
-				} {
-					thFace := 0.5 * (s.Theta.At(i, f.jj-1, k) + s.Theta.At(i, f.jj, k))
-					sFace := 0.5 * (s.Salt.At(i, f.jj-1, k) + s.Salt.At(i, f.jj, k))
-					dTh := (s.Theta.At(i, f.jj, k) - s.Theta.At(i, f.jj-1, k)) / f.length
-					dS := (s.Salt.At(i, f.jj, k) - s.Salt.At(i, f.jj-1, k)) / f.length
-					conv += f.sign * f.area * (f.v*thFace - p.KhTracer*dTh)
-					convS += f.sign * f.area * (f.v*sFace - p.KhTracer*dS)
+				{ // east face
+					u := ur[n+1]
+					fa := dy * dz * hwr[n+1]
+					thFace := 0.5 * (thr[n] + thr[n+1])
+					sFace := 0.5 * (sar[n] + sar[n+1])
+					dTh := (thr[n+1] - thr[n]) / dx
+					dS := (sar[n+1] - sar[n]) / dx
+					conv -= fa * (u*thFace - kh*dTh)
+					convS -= fa * (u*sFace - kh*dS)
+				}
+				{ // south face
+					v := vr[n]
+					fa := dxsS * dz * hsr[n]
+					thFace := 0.5 * (thrS[n] + thr[n])
+					sFace := 0.5 * (sarS[n] + sar[n])
+					dTh := (thr[n] - thrS[n]) / dy
+					dS := (sar[n] - sarS[n]) / dy
+					conv += fa * (v*thFace - kh*dTh)
+					convS += fa * (v*sFace - kh*dS)
+				}
+				{ // north face
+					v := vrN[n]
+					fa := dxsN * dz * hsrN[n]
+					thFace := 0.5 * (thr[n] + thrN[n])
+					sFace := 0.5 * (sar[n] + sarN[n])
+					dTh := (thrN[n] - thr[n]) / dy
+					dS := (sarN[n] - sar[n]) / dy
+					conv -= fa * (v*thFace - kh*dTh)
+					convS -= fa * (v*sFace - kh*dS)
 				}
 				// Vertical advection + diffusion across the top and
 				// bottom faces; w lives on top faces, w(k=0) = 0.
-				area := dx * dy
-				if k > 0 && g.HFacC.At(i, j, k-1) > 0 {
-					w := s.W.At(i, j, k)
-					thF := 0.5 * (s.Theta.At(i, j, k-1) + s.Theta.At(i, j, k))
-					sF := 0.5 * (s.Salt.At(i, j, k-1) + s.Salt.At(i, j, k))
-					dzF := 0.5 * (g.DZ[k-1] + g.DZ[k])
-					dTh := (s.Theta.At(i, j, k) - s.Theta.At(i, j, k-1)) / dzF
-					dS := (s.Salt.At(i, j, k) - s.Salt.At(i, j, k-1)) / dzF
-					conv += area * (w*thF - p.KvTracer*dTh)
-					convS += area * (w*sF - p.KvTracer*dS)
+				if k > 0 && hcrUp[n] > 0 {
+					w := wr[n]
+					thF := 0.5 * (thrUp[n] + thr[n])
+					sF := 0.5 * (sarUp[n] + sar[n])
+					dTh := (thr[n] - thrUp[n]) / dzFUp
+					dS := (sar[n] - sarUp[n]) / dzFUp
+					conv += area * (w*thF - kv*dTh)
+					convS += area * (w*sF - kv*dS)
 				}
-				if k < nz-1 && g.HFacC.At(i, j, k+1) > 0 {
-					w := s.W.At(i, j, k+1)
-					thF := 0.5 * (s.Theta.At(i, j, k) + s.Theta.At(i, j, k+1))
-					sF := 0.5 * (s.Salt.At(i, j, k) + s.Salt.At(i, j, k+1))
-					dzF := 0.5 * (g.DZ[k] + g.DZ[k+1])
-					dTh := (s.Theta.At(i, j, k+1) - s.Theta.At(i, j, k)) / dzF
-					dS := (s.Salt.At(i, j, k+1) - s.Salt.At(i, j, k)) / dzF
-					conv -= area * (w*thF - p.KvTracer*dTh)
-					convS -= area * (w*sF - p.KvTracer*dS)
+				if k < nz-1 && hcrDn[n] > 0 {
+					w := wrDn[n]
+					thF := 0.5 * (thr[n] + thrDn[n])
+					sF := 0.5 * (sar[n] + sarDn[n])
+					dTh := (thrDn[n] - thr[n]) / dzFDn
+					dS := (sarDn[n] - sar[n]) / dzFDn
+					conv -= area * (w*thF - kv*dTh)
+					convS -= area * (w*sF - kv*dS)
 				}
-				gth.Set(i, j, k, conv/vol)
-				gs.Set(i, j, k, convS/vol)
+				gthr[n] = conv / vol
+				gsr[n] = convS / vol
 			}
 		}
 	}
@@ -334,17 +390,27 @@ func ComputeGTracers(g *grid.Local, s *State, p *Params, c *Counters) {
 // StepTracers applies AB2 extrapolation and advances theta and salt on
 // the margin [-2, n+2).
 func StepTracers(g *grid.Local, s *State, p *Params, c *Counters) {
+	const h = Halo
 	m := Halo - 1
 	aNow, aPrev := s.abCoeffs(p.ABEps)
 	now, prev := s.cur, 1-s.cur
+	dt := p.Dt
 	for k := 0; k < g.NZ; k++ {
 		for j := -m; j < g.NY+m; j++ {
+			hcr := g.HFacC.Row(j, k)
+			thr := s.Theta.Row(j, k)
+			sar := s.Salt.Row(j, k)
+			gthN := s.gth[now].Row(j, k)
+			gthP := s.gth[prev].Row(j, k)
+			gsN := s.gs[now].Row(j, k)
+			gsP := s.gs[prev].Row(j, k)
 			for i := -m; i < g.NX+m; i++ {
-				if g.HFacC.At(i, j, k) == 0 {
+				n := i + h
+				if hcr[n] == 0 {
 					continue
 				}
-				s.Theta.Add(i, j, k, p.Dt*(aNow*s.gth[now].At(i, j, k)+aPrev*s.gth[prev].At(i, j, k)))
-				s.Salt.Add(i, j, k, p.Dt*(aNow*s.gs[now].At(i, j, k)+aPrev*s.gs[prev].At(i, j, k)))
+				thr[n] += dt * (aNow*gthN[n] + aPrev*gthP[n])
+				sar[n] += dt * (aNow*gsN[n] + aPrev*gsP[n])
 			}
 		}
 	}
@@ -355,20 +421,35 @@ func StepTracers(g *grid.Local, s *State, p *Params, c *Counters) {
 // pressure potential phy (paper eq. 3 context): phy(k) is the pressure
 // anomaly at the centre of level k per unit reference density.
 func Hydrostatic(g *grid.Local, s *State, p *Params, c *Counters) {
+	const h = Halo
 	m := Halo - 1
+	acc := s.accRow
 	for j := -m; j < g.NY+m; j++ {
-		for i := -m; i < g.NX+m; i++ {
-			acc := 0.0
-			for k := 0; k < g.NZ; k++ {
-				if g.HFacC.At(i, j, k) == 0 {
-					s.Phy.Set(i, j, k, acc)
+		for n := range acc {
+			acc[n] = 0
+		}
+		// The downward integral runs k-outer over per-column
+		// accumulators: each column still applies its half-level
+		// increments in ascending-k order, bit-identical to the
+		// column-inner loop.
+		for k := 0; k < g.NZ; k++ {
+			halfDz := 0.5 * g.DZ[k]
+			hcr := g.HFacC.Row(j, k)
+			thr := s.Theta.Row(j, k)
+			sar := s.Salt.Row(j, k)
+			phr := s.Phy.Row(j, k)
+			for i := -m; i < g.NX+m; i++ {
+				n := i + h
+				a := acc[n]
+				if hcr[n] == 0 {
+					phr[n] = a
 					continue
 				}
-				b := p.EOS.Buoyancy(s.Theta.At(i, j, k), s.Salt.At(i, j, k), k)
-				half := 0.5 * g.DZ[k] * b
-				acc -= half // buoyant fluid lowers pressure below it
-				s.Phy.Set(i, j, k, acc)
-				acc -= half
+				b := p.EOS.Buoyancy(thr[n], sar[n], k)
+				half := halfDz * b
+				a -= half // buoyant fluid lowers pressure below it
+				phr[n] = a
+				acc[n] = a - half
 			}
 		}
 	}
@@ -379,117 +460,162 @@ func Hydrostatic(g *grid.Local, s *State, p *Params, c *Counters) {
 // [-1, n+1): advection, Coriolis, lateral and vertical friction and
 // bottom drag.  The pressure gradients are applied in StepMomentum, as
 // in eq. (1) of the paper where grad(p) stands apart from G.
+// Flat-row ComputeGMomentum: the per-cell k-switch of the seed kernel
+// is kept, but every row it can touch is hoisted per (k,j) and the
+// level-dependent spacings are precomputed per k.  Terms and their
+// evaluation order are unchanged, so the output is bit-identical.
 func ComputeGMomentum(g *grid.Local, s *State, p *Params, c *Counters) {
+	const h = Halo
 	m := 1
 	gu, gv := s.gu[s.cur], s.gv[s.cur]
 	nz := g.NZ
+	ah, av, botDrag := p.AhMom, p.AvMom, p.BotDrag
 	for k := 0; k < nz; k++ {
+		dzK := g.DZ[k]
+		var dzFUp, dzFDn, dzMid float64
+		if k > 0 {
+			dzFUp = 0.5 * (g.DZ[k-1] + g.DZ[k])
+		}
+		if k < nz-1 {
+			dzFDn = 0.5 * (g.DZ[k] + g.DZ[k+1])
+		}
+		if k > 0 && k < nz-1 {
+			dzMid = g.DZ[k] + 0.5*(g.DZ[maxInt(k-1, 0)]+g.DZ[minInt(k+1, nz-1)])
+		}
 		for j := -m; j < g.NY+m; j++ {
 			dx, dy := g.DXC(j), g.DYC(j)
+			dx2, dy2 := 2*dx, 2*dy
+			dxdx, dydy := dx*dx, dy*dy
 			f := g.F(j)
+			hw := g.HFacW.Row(j, k)
+			hs := g.HFacS.Row(j, k)
+			hcr := g.HFacC.Row(j, k)
+			ur := s.U.Row(j, k)
+			urS := s.U.Row(j-1, k)
+			urN := s.U.Row(j+1, k)
+			vr := s.V.Row(j, k)
+			vrS := s.V.Row(j-1, k)
+			vrN := s.V.Row(j+1, k)
+			wJ := s.W.Row(j, k)
+			wJS := s.W.Row(j-1, k)
+			gur := gu.Row(j, k)
+			gvr := gv.Row(j, k)
+			var hcrDn, uUp, uDn, vUp, vDn, wJDn, wJSDn []float64
+			if k > 0 {
+				uUp = s.U.Row(j, k-1)
+				vUp = s.V.Row(j, k-1)
+			}
+			if k < nz-1 {
+				hcrDn = g.HFacC.Row(j, k+1)
+				uDn = s.U.Row(j, k+1)
+				vDn = s.V.Row(j, k+1)
+				wJDn = s.W.Row(j, k+1)
+				wJSDn = s.W.Row(j-1, k+1)
+			}
 			for i := -m; i < g.NX+m+1; i++ { // faces up to nx+m
+				n := i + h
 				// ---- u tendency at the west face (i,j,k) ----
-				if g.HFacW.At(i, j, k) == 0 {
-					gu.Set(i, j, k, 0)
+				if hw[n] == 0 {
+					gur[n] = 0
 				} else {
-					u := s.U.At(i, j, k)
-					vBar := 0.25 * (s.V.At(i-1, j, k) + s.V.At(i, j, k) + s.V.At(i-1, j+1, k) + s.V.At(i, j+1, k))
-					dudx := (s.U.At(i+1, j, k) - s.U.At(i-1, j, k)) / (2 * dx)
-					dudy := (s.U.At(i, j+1, k) - s.U.At(i, j-1, k)) / (2 * dy)
+					u := ur[n]
+					vBar := 0.25 * (vr[n-1] + vr[n] + vrN[n-1] + vrN[n])
+					dudx := (ur[n+1] - ur[n-1]) / dx2
+					dudy := (urN[n] - urS[n]) / dy2
 					adv := u*dudx + vBar*dudy
 					if nz > 1 {
 						wBar := 0.0
 						var dudz float64
 						switch {
 						case k == 0:
-							wBar = 0.5 * (s.W.At(i-1, j, 1) + s.W.At(i, j, 1))
-							dudz = (s.U.At(i, j, 1) - u) / (0.5 * (g.DZ[0] + g.DZ[1]))
+							wBar = 0.5 * (wJDn[n-1] + wJDn[n])
+							dudz = (uDn[n] - u) / dzFDn
 						case k == nz-1:
-							wBar = 0.5 * (s.W.At(i-1, j, k) + s.W.At(i, j, k))
-							dudz = (u - s.U.At(i, j, k-1)) / (0.5 * (g.DZ[k-1] + g.DZ[k]))
+							wBar = 0.5 * (wJ[n-1] + wJ[n])
+							dudz = (u - uUp[n]) / dzFUp
 						default:
-							wBar = 0.25 * (s.W.At(i-1, j, k) + s.W.At(i, j, k) + s.W.At(i-1, j, k+1) + s.W.At(i, j, k+1))
-							dudz = (s.U.At(i, j, k+1) - s.U.At(i, j, k-1)) / (g.DZ[k] + 0.5*(g.DZ[maxInt(k-1, 0)]+g.DZ[minInt(k+1, nz-1)]))
+							wBar = 0.25 * (wJ[n-1] + wJ[n] + wJDn[n-1] + wJDn[n])
+							dudz = (uDn[n] - uUp[n]) / dzMid
 						}
 						adv += wBar * dudz
 					}
-					visc := p.AhMom * ((s.U.At(i+1, j, k)-2*u+s.U.At(i-1, j, k))/(dx*dx) +
-						(s.U.At(i, j+1, k)-2*u+s.U.At(i, j-1, k))/(dy*dy))
+					visc := ah * ((ur[n+1]-2*u+ur[n-1])/dxdx +
+						(urN[n]-2*u+urS[n])/dydy)
 					if nz > 1 {
-						visc += vertLap(s.U, g, i, j, k, p.AvMom)
+						visc += vertLapRow(av, uUp, ur, uDn, n, k, nz, dzFUp, dzFDn, dzK)
 					}
 					tend := -adv + f*vBar + visc
-					if p.BotDrag > 0 && isBottom(g, i, j, k) {
-						tend -= p.BotDrag * u
+					if botDrag > 0 && bottomAt(hcr, hcrDn, n, k, nz) {
+						tend -= botDrag * u
 					}
-					gu.Set(i, j, k, tend)
+					gur[n] = tend
 				}
 				// ---- v tendency at the south face (i,j,k) ----
-				if g.HFacS.At(i, j, k) == 0 {
-					gv.Set(i, j, k, 0)
+				if hs[n] == 0 {
+					gvr[n] = 0
 					continue
 				}
-				v := s.V.At(i, j, k)
-				uBar := 0.25 * (s.U.At(i, j-1, k) + s.U.At(i+1, j-1, k) + s.U.At(i, j, k) + s.U.At(i+1, j, k))
-				dvdx := (s.V.At(i+1, j, k) - s.V.At(i-1, j, k)) / (2 * dx)
-				dvdy := (s.V.At(i, j+1, k) - s.V.At(i, j-1, k)) / (2 * dy)
+				v := vr[n]
+				uBar := 0.25 * (urS[n] + urS[n+1] + ur[n] + ur[n+1])
+				dvdx := (vr[n+1] - vr[n-1]) / dx2
+				dvdy := (vrN[n] - vrS[n]) / dy2
 				adv := uBar*dvdx + v*dvdy
 				if nz > 1 {
 					wBar := 0.0
 					var dvdz float64
 					switch {
 					case k == 0:
-						wBar = 0.5 * (s.W.At(i, j-1, 1) + s.W.At(i, j, 1))
-						dvdz = (s.V.At(i, j, 1) - v) / (0.5 * (g.DZ[0] + g.DZ[1]))
+						wBar = 0.5 * (wJSDn[n] + wJDn[n])
+						dvdz = (vDn[n] - v) / dzFDn
 					case k == nz-1:
-						wBar = 0.5 * (s.W.At(i, j-1, k) + s.W.At(i, j, k))
-						dvdz = (v - s.V.At(i, j, k-1)) / (0.5 * (g.DZ[k-1] + g.DZ[k]))
+						wBar = 0.5 * (wJS[n] + wJ[n])
+						dvdz = (v - vUp[n]) / dzFUp
 					default:
-						wBar = 0.25 * (s.W.At(i, j-1, k) + s.W.At(i, j, k) + s.W.At(i, j-1, k+1) + s.W.At(i, j, k+1))
-						dvdz = (s.V.At(i, j, k+1) - s.V.At(i, j, k-1)) / (g.DZ[k] + 0.5*(g.DZ[maxInt(k-1, 0)]+g.DZ[minInt(k+1, nz-1)]))
+						wBar = 0.25 * (wJS[n] + wJ[n] + wJSDn[n] + wJDn[n])
+						dvdz = (vDn[n] - vUp[n]) / dzMid
 					}
 					adv += wBar * dvdz
 				}
-				visc := p.AhMom * ((s.V.At(i+1, j, k)-2*v+s.V.At(i-1, j, k))/(dx*dx) +
-					(s.V.At(i, j+1, k)-2*v+s.V.At(i, j-1, k))/(dy*dy))
+				visc := ah * ((vr[n+1]-2*v+vr[n-1])/dxdx +
+					(vrN[n]-2*v+vrS[n])/dydy)
 				if nz > 1 {
-					visc += vertLap(s.V, g, i, j, k, p.AvMom)
+					visc += vertLapRow(av, vUp, vr, vDn, n, k, nz, dzFUp, dzFDn, dzK)
 				}
 				tend := -adv - f*uBar + visc
-				if p.BotDrag > 0 && isBottom(g, i, j, k) {
-					tend -= p.BotDrag * v
+				if botDrag > 0 && bottomAt(hcr, hcrDn, n, k, nz) {
+					tend -= botDrag * v
 				}
-				gv.Set(i, j, k, tend)
+				gvr[n] = tend
 			}
 		}
 	}
 	c.AddPS(ComputeGMomentumOps(g))
 }
 
-// vertLap is the vertical friction term with free-slip at the top and
-// bottom boundaries.
-func vertLap(f *field.F3, g *grid.Local, i, j, k int, av float64) float64 {
+// vertLapRow is the vertical friction term with free-slip at the top
+// and bottom boundaries, over hoisted level rows (upR/dnR may be nil
+// at the boundaries, where the matching guard skips them).
+func vertLapRow(av float64, upR, curR, dnR []float64, n, k, nz int, dzFUp, dzFDn, dzK float64) float64 {
 	if av == 0 {
 		return 0
 	}
-	nz := g.NZ
 	up, dn := 0.0, 0.0
 	if k > 0 {
-		up = (f.At(i, j, k-1) - f.At(i, j, k)) / (0.5 * (g.DZ[k-1] + g.DZ[k]))
+		up = (upR[n] - curR[n]) / dzFUp
 	}
 	if k < nz-1 {
-		dn = (f.At(i, j, k) - f.At(i, j, k+1)) / (0.5 * (g.DZ[k] + g.DZ[k+1]))
+		dn = (curR[n] - dnR[n]) / dzFDn
 	}
-	return av * (up - dn) / g.DZ[k]
+	return av * (up - dn) / dzK
 }
 
-// isBottom reports whether (i,j,k) is the deepest wet cell of its
-// column.
-func isBottom(g *grid.Local, i, j, k int) bool {
-	if g.HFacC.At(i, j, k) == 0 {
+// bottomAt reports whether column cell n of the hoisted HFacC rows is
+// the deepest wet cell of its column.
+func bottomAt(hcr, hcrDn []float64, n, k, nz int) bool {
+	if hcr[n] == 0 {
 		return false
 	}
-	return k == g.NZ-1 || g.HFacC.At(i, j, k+1) == 0
+	return k == nz-1 || hcrDn[n] == 0
 }
 
 // StepMomentum applies AB2 to the momentum tendencies and adds the
@@ -497,26 +623,39 @@ func isBottom(g *grid.Local, i, j, k int) bool {
 // u*, v* (in place) that the DS phase projects.  Faces up to index n
 // inclusive are updated so tile-edge divergences are complete.
 func StepMomentum(g *grid.Local, s *State, p *Params, c *Counters) {
+	const h = Halo
 	m := 1
 	aNow, aPrev := s.abCoeffs(p.ABEps)
 	now, prev := s.cur, 1-s.cur
+	dt := p.Dt
 	for k := 0; k < g.NZ; k++ {
 		for j := -m; j < g.NY+m; j++ {
 			dx, dy := g.DXC(j), g.DYC(j)
+			hw := g.HFacW.Row(j, k)
+			hs := g.HFacS.Row(j, k)
+			ur := s.U.Row(j, k)
+			vr := s.V.Row(j, k)
+			guN := s.gu[now].Row(j, k)
+			guP := s.gu[prev].Row(j, k)
+			gvN := s.gv[now].Row(j, k)
+			gvP := s.gv[prev].Row(j, k)
+			phr := s.Phy.Row(j, k)
+			phrS := s.Phy.Row(j-1, k)
 			for i := -m; i < g.NX+m+1; i++ {
-				if g.HFacW.At(i, j, k) > 0 {
-					gStar := aNow*s.gu[now].At(i, j, k) + aPrev*s.gu[prev].At(i, j, k)
-					dpdx := (s.Phy.At(i, j, k) - s.Phy.At(i-1, j, k)) / dx
-					s.U.Add(i, j, k, p.Dt*(gStar-dpdx))
+				n := i + h
+				if hw[n] > 0 {
+					gStar := aNow*guN[n] + aPrev*guP[n]
+					dpdx := (phr[n] - phr[n-1]) / dx
+					ur[n] += dt * (gStar - dpdx)
 				} else {
-					s.U.Set(i, j, k, 0)
+					ur[n] = 0
 				}
-				if g.HFacS.At(i, j, k) > 0 {
-					gStar := aNow*s.gv[now].At(i, j, k) + aPrev*s.gv[prev].At(i, j, k)
-					dpdy := (s.Phy.At(i, j, k) - s.Phy.At(i, j-1, k)) / dy
-					s.V.Add(i, j, k, p.Dt*(gStar-dpdy))
+				if hs[n] > 0 {
+					gStar := aNow*gvN[n] + aPrev*gvP[n]
+					dpdy := (phr[n] - phrS[n]) / dy
+					vr[n] += dt * (gStar - dpdy)
 				} else {
-					s.V.Set(i, j, k, 0)
+					vr[n] = 0
 				}
 			}
 		}
@@ -528,20 +667,41 @@ func StepMomentum(g *grid.Local, s *State, p *Params, c *Counters) {
 // eq. 2), integrating the horizontal divergence downward from the
 // rigid lid (w = 0 at k = 0).
 func Continuity(g *grid.Local, s *State, c *Counters) {
+	const h = Halo
+	acc := s.accRow
 	for j := 0; j < g.NY; j++ {
 		dx, dy := g.DXC(j), g.DYC(j)
 		area := dx * dy
+		dxsS, dxsN := g.DXS(j), g.DXS(j+1)
+		w0 := s.W.Row(j, 0)
 		for i := 0; i < g.NX; i++ {
-			wFace := 0.0
-			s.W.Set(i, j, 0, 0)
-			for k := 0; k < g.NZ; k++ {
-				div := dy*g.DZ[k]*(s.U.At(i+1, j, k)*g.HFacW.At(i+1, j, k)-s.U.At(i, j, k)*g.HFacW.At(i, j, k)) +
-					g.DZ[k]*(g.DXS(j+1)*s.V.At(i, j+1, k)*g.HFacS.At(i, j+1, k)-g.DXS(j)*s.V.At(i, j, k)*g.HFacS.At(i, j, k))
+			w0[i+h] = 0
+			acc[i] = 0
+		}
+		// k-outer with a per-column accumulator row: each cell still sees
+		// its column's divergences in ascending-k order, so the downward
+		// integral accumulates in the seed order and stays bit-identical.
+		for k := 0; k < g.NZ; k++ {
+			dzk := g.DZ[k]
+			ur := s.U.Row(j, k)
+			hw := g.HFacW.Row(j, k)
+			vr := s.V.Row(j, k)
+			vrN := s.V.Row(j+1, k)
+			hsr := g.HFacS.Row(j, k)
+			hsrN := g.HFacS.Row(j+1, k)
+			var wNext []float64
+			if k < g.NZ-1 {
+				wNext = s.W.Row(j, k+1)
+			}
+			for i := 0; i < g.NX; i++ {
+				n := i + h
+				div := dy*dzk*(ur[n+1]*hw[n+1]-ur[n]*hw[n]) +
+					dzk*(dxsN*vrN[n]*hsrN[n]-dxsS*vr[n]*hsr[n])
 				// With k increasing downward and w positive in +k, the
 				// cell's mass balance is w(k+1) = w(k) - outflux/area.
-				wFace -= div / area
+				acc[i] -= div / area
 				if k < g.NZ-1 {
-					s.W.Set(i, j, k+1, wFace)
+					wNext[n] = acc[i]
 				}
 			}
 		}

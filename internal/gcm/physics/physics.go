@@ -114,28 +114,45 @@ func (ph *Physics) AddTendencies(g *grid.Local, s *kernel.State, kp *kernel.Para
 			kv = p.KFric * (sigma - p.SigmaB) / (1 - p.SigmaB)
 		}
 		surface := k == nz-1
+		// Radiation relaxes faster in the boundary layer.
+		tau := tauRad
+		if surface {
+			tau = tauSurf
+		}
 		for j := -m; j < g.NY+m; j++ {
 			lat := g.Lat(j)
+			hcr := g.HFacC.Row(j, k)
+			thr := s.Theta.Row(j, k)
+			qr := s.Salt.Row(j, k)
+			gthr := gth.Row(j, k)
+			gqr := gq.Row(j, k)
+			var sstRow []float64
+			if surface && ph.SST != nil {
+				sstRow = ph.SST.Row(j)
+				if hs := ph.SST.H; hs != kernel.Halo {
+					// Generic path for an SST halo narrower than the
+					// kernel's; the coupler allocates kernel.Halo, so this
+					// is defensive only.
+					sstRow = nil
+				}
+			}
 			for i := -m; i < g.NX+m; i++ {
-				if g.HFacC.At(i, j, k) == 0 {
+				n := i + kernel.Halo
+				if hcr[n] == 0 {
 					continue
 				}
-				th := s.Theta.At(i, j, k)
-				q := s.Salt.At(i, j, k)
+				th := thr[n]
+				q := qr[n]
 				// Radiation: relax towards equilibrium.
-				tau := tauRad
-				if surface {
-					tau = tauSurf
-				}
 				teq := ph.thetaEq(lat, height)
-				gth.Add(i, j, k, (teq-th)/tau)
+				gthr[n] += (teq - th) / tau
 				ops += 10
 				// Moisture: condensation wherever q exceeds saturation.
 				qsat := p.QSat0 * math.Exp(p.QSatTheta*(th-p.ThetaTropic)) * (0.05 + 0.95*sigma)
 				if q > qsat {
 					cond := (q - qsat) / p.TauCond
-					gq.Add(i, j, k, -cond)
-					gth.Add(i, j, k, p.LatentK*cond)
+					gqr[n] += -cond
+					gthr[n] += p.LatentK * cond
 					ops += 6
 				}
 				if surface {
@@ -143,15 +160,25 @@ func (ph *Physics) AddTendencies(g *grid.Local, s *kernel.State, kp *kernel.Para
 					// saturation; stronger over warm SST when coupled.
 					qsrc := qsat
 					if ph.SST != nil {
-						sst := ph.SST.At(i, j)
+						sst := 0.0
+						if sstRow != nil {
+							sst = sstRow[n]
+						} else {
+							sst = ph.SST.At(i, j)
+						}
 						qsrc = p.QSat0 * math.Exp(p.QSatTheta*(sst+273.15-p.ThetaTropic))
 					}
-					gq.Add(i, j, k, (qsrc-q)/p.TauEvap)
+					gqr[n] += (qsrc - q) / p.TauEvap
 					ops += 4
 					// Sensible heat flux from the SST when coupled.
 					if ph.SST != nil {
-						sst := ph.SST.At(i, j) + 273.15
-						gth.Add(i, j, k, p.CHeat*(sst-th))
+						sst := 0.0
+						if sstRow != nil {
+							sst = sstRow[n] + 273.15
+						} else {
+							sst = ph.SST.At(i, j) + 273.15
+						}
+						gthr[n] += p.CHeat * (sst - th)
 						ops += 3
 					}
 				}
@@ -160,12 +187,19 @@ func (ph *Physics) AddTendencies(g *grid.Local, s *kernel.State, kp *kernel.Para
 		// Friction acts on the momentum points of the same levels.
 		if kv > 0 {
 			for j := -m; j < g.NY+m; j++ {
+				hw := g.HFacW.Row(j, k)
+				hs := g.HFacS.Row(j, k)
+				ur := s.U.Row(j, k)
+				vr := s.V.Row(j, k)
+				gur := gu.Row(j, k)
+				gvr := gv.Row(j, k)
 				for i := -m; i < g.NX+m+1; i++ {
-					if g.HFacW.At(i, j, k) > 0 {
-						gu.Add(i, j, k, -kv*s.U.At(i, j, k))
+					n := i + kernel.Halo
+					if hw[n] > 0 {
+						gur[n] += -kv * ur[n]
 					}
-					if g.HFacS.At(i, j, k) > 0 {
-						gv.Add(i, j, k, -kv*s.V.At(i, j, k))
+					if hs[n] > 0 {
+						gvr[n] += -kv * vr[n]
 					}
 				}
 			}

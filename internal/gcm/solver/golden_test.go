@@ -1,0 +1,196 @@
+package solver
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"hyades/internal/comm"
+	"hyades/internal/gcm/field"
+	"hyades/internal/gcm/grid"
+	"hyades/internal/gcm/kernel"
+	"hyades/internal/gcm/tile"
+)
+
+// Golden-checksum regression suite for the DS solver: fixtures recorded
+// from the pre-flat-row sweeps pin BuildRHS, the operator, both
+// preconditioners, full CG solves and the velocity correction
+// bit-for-bit.  Regenerate (only for a deliberate numerics change) with:
+//
+//	go test ./internal/gcm/solver -run TestGoldenChecksums -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current solver")
+
+func hashField(f interface{ Raw() []float64 }) string {
+	h := sha256.New()
+	var w [8]byte
+	for _, v := range f.Raw() {
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+		h.Write(w[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// goldenRig builds a serial solver over a 12x10 tile with topography:
+// a coastal shelf, an island and shaved cells.
+func goldenRig(t *testing.T) (*Solver, *grid.Local) {
+	t.Helper()
+	cfg := grid.Config{
+		NX: 12, NY: 10, NZ: 3, DX: 1.1e4, DY: 1.4e4, Lat0: 38,
+		DZ: []float64{120, 260, 520},
+		DepthFrac: func(x, y float64) float64 {
+			if x > 0.5 && x < 0.7 && y > 0.4 && y < 0.6 {
+				return 0
+			}
+			return 0.3 + 0.7*x*(1-0.25*y)
+		},
+	}
+	g, err := grid.NewLocal(cfg, 0, 0, 12, 10, kernel.Halo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tile.NewHalo(&comm.Serial{}, tile.Decomp{NXg: 12, NYg: 10, Px: 1, Py: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g, h, 1e-9, 500), g
+}
+
+// goldenRHS is a deterministic, roughly zero-mean right-hand side.
+func goldenRHS(g *grid.Local) *field.F2 {
+	b := field.NewF2(g.NX, g.NY, 1)
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			if g.Depth.At(i, j) == 0 {
+				continue
+			}
+			b.Set(i, j, math.Sin(0.9*float64(i))*math.Cos(0.7*float64(j)))
+		}
+	}
+	return b
+}
+
+func TestGoldenChecksums(t *testing.T) {
+	got := map[string]string{}
+
+	// BuildRHS from a deterministic provisional velocity state.
+	{
+		sv, g := goldenRig(t)
+		s := kernel.NewState(g.NX, g.NY, g.NZ)
+		for k := 0; k < g.NZ; k++ {
+			for j := -kernel.Halo; j < g.NY+kernel.Halo; j++ {
+				for i := -kernel.Halo; i < g.NX+kernel.Halo; i++ {
+					s.U.Set(i, j, k, 0.03*math.Sin(0.5*float64(i)+0.3*float64(j)+0.2*float64(k)))
+					s.V.Set(i, j, k, 0.02*math.Cos(0.4*float64(i)-0.6*float64(j)+0.1*float64(k)))
+				}
+			}
+		}
+		var c kernel.Counters
+		rhs := sv.BuildRHS(s, 600, &c)
+		got["buildrhs"] = hashField(rhs)
+	}
+
+	// The operator and both preconditioners on a deterministic input.
+	{
+		sv, g := goldenRig(t)
+		p := goldenRHS(g)
+		sv.H.Update2(p, 1)
+		q := field.NewF2(g.NX, g.NY, 1)
+		var c kernel.Counters
+		sv.Apply(p, q, &c)
+		got["apply"] = hashField(q)
+
+		z := field.NewF2(g.NX, g.NY, 1)
+		sv.Pre = PrecondSSOR
+		sv.precondition(p, z, &c)
+		got["precond/ssor"] = hashField(z)
+		sv.Pre = PrecondJacobi
+		sv.precondition(p, z, &c)
+		got["precond/jacobi"] = hashField(z)
+	}
+
+	// Full CG solves under both preconditioners, then a warm-started
+	// second solve (the production pattern: x carries the previous
+	// step's pressure).
+	for _, pre := range []struct {
+		name string
+		kind Precond
+	}{{"ssor", PrecondSSOR}, {"jacobi", PrecondJacobi}} {
+		sv, g := goldenRig(t)
+		sv.Pre = pre.kind
+		b := goldenRHS(g)
+		x := field.NewF2(g.NX, g.NY, 1)
+		var c kernel.Counters
+		it1 := sv.Solve(x, b, &c)
+		it2 := sv.Solve(x, b, &c) // warm start
+		got["solve/"+pre.name] = hashField(x)
+		got["solve/"+pre.name+"/iters"] = strconv.Itoa(it1) + "," + strconv.Itoa(it2)
+	}
+
+	// CorrectVelocities from a solved pressure.
+	{
+		sv, g := goldenRig(t)
+		s := kernel.NewState(g.NX, g.NY, g.NZ)
+		for k := 0; k < g.NZ; k++ {
+			for j := -kernel.Halo; j < g.NY+kernel.Halo; j++ {
+				for i := -kernel.Halo; i < g.NX+kernel.Halo; i++ {
+					s.U.Set(i, j, k, 0.05*math.Sin(0.8*float64(i)+0.2*float64(j)))
+					s.V.Set(i, j, k, 0.04*math.Cos(0.3*float64(i)+0.9*float64(j)))
+				}
+			}
+		}
+		b := goldenRHS(g)
+		var c kernel.Counters
+		sv.Solve(s.Ps, b, &c)
+		CorrectVelocities(g, s, 600, &c)
+		got["correct/u"] = hashField(s.U)
+		got["correct/v"] = hashField(s.V)
+		got["correct/ps"] = hashField(s.Ps)
+	}
+
+	checkGolden(t, filepath.Join("testdata", "golden.json"), got, *updateGolden)
+}
+
+func checkGolden(t *testing.T, path string, got map[string]string, update bool) {
+	t.Helper()
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", path, len(got))
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to record): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok {
+			t.Errorf("%s: fixture entry %q not produced by the test", path, k)
+		} else if g != w {
+			t.Errorf("%s: %q = %s, want %s (bit-exact regression)", path, k, g, w)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: new entry %q not in fixture (run -update after a deliberate change)", path, k)
+		}
+	}
+}

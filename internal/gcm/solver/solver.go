@@ -63,6 +63,21 @@ type Solver struct {
 	// TotalIters accumulates across solves (mean Ni diagnostics).
 	TotalIters int64
 	Solves     int64
+
+	// Pre-bound phase closures for the CG loop, created once so the
+	// steady-state Solve path allocates nothing.  Their free variables
+	// (the solve target, right-hand side, counters and the scalar CG
+	// coefficients) are threaded through the fields below.
+	sx, sb      *field.F2
+	sc          *kernel.Counters
+	alpha, beta float64
+	fnInit      func()
+	fnApplyP    func()
+	fnAxpy      func()
+	fnPUpd      func()
+
+	// Per-row column-integral accumulators for BuildRHS.
+	uw, ue, vs, vn []float64
 }
 
 // New builds the solver for a tile.
@@ -91,7 +106,67 @@ func New(g *grid.Local, h *tile.Halo, tol float64, maxIter int) *Solver {
 			sv.diag.Set(i, j, d)
 		}
 	}
+	sv.uw = make([]float64, nx)
+	sv.ue = make([]float64, nx)
+	sv.vs = make([]float64, nx)
+	sv.vn = make([]float64, nx)
+	sv.bindPhases()
 	return sv
+}
+
+// bindPhases builds the CG loop's Exec closures once.  Each captures
+// only sv; the per-solve operands arrive through the sx/sb/sc/alpha/
+// beta fields.
+func (sv *Solver) bindPhases() {
+	sv.fnInit = func() {
+		g, x, b, c := sv.G, sv.sx, sv.sb, sv.sc
+		sv.Apply(x, sv.q, c)
+		hb := b.H
+		for j := 0; j < g.NY; j++ {
+			dr := sv.diag.Row(j)
+			rr := sv.r.Row(j)
+			br := b.Row(j)
+			qr := sv.q.Row(j)
+			for i := 0; i < g.NX; i++ {
+				if dr[i+1] == 0 {
+					rr[i+1] = 0
+					continue
+				}
+				rr[i+1] = br[i+hb] - qr[i+1]
+			}
+		}
+		c.AddDS(int64(g.NX * g.NY))
+		sv.precondition(sv.r, sv.z, c)
+		sv.p.CopyFrom(sv.z)
+	}
+	sv.fnApplyP = func() { sv.Apply(sv.p, sv.q, sv.sc) }
+	sv.fnAxpy = func() {
+		g, x, c, alpha := sv.G, sv.sx, sv.sc, sv.alpha
+		hx := x.H
+		for j := 0; j < g.NY; j++ {
+			xr := x.Row(j)
+			pr := sv.p.Row(j)
+			rr := sv.r.Row(j)
+			qr := sv.q.Row(j)
+			for i := 0; i < g.NX; i++ {
+				xr[i+hx] += alpha * pr[i+1]
+				rr[i+1] += -alpha * qr[i+1]
+			}
+		}
+		c.AddDS(int64(g.NX*g.NY) * 4)
+		sv.precondition(sv.r, sv.z, c)
+	}
+	sv.fnPUpd = func() {
+		g, c, beta := sv.G, sv.sc, sv.beta
+		for j := 0; j < g.NY; j++ {
+			pr := sv.p.Row(j)
+			zr := sv.z.Row(j)
+			for i := 0; i < g.NX; i++ {
+				pr[i+1] = zr[i+1] + beta*pr[i+1]
+			}
+		}
+		c.AddDS(int64(g.NX*g.NY) * 2)
+	}
 }
 
 // The *Ops helpers mirror each local routine's exact flop accounting;
@@ -143,21 +218,41 @@ func (sv *Solver) BuildRHS(s *kernel.State, dt float64, c *kernel.Counters) *fie
 	g := sv.G
 	b := sv.rhs
 	b.Fill(0)
+	hu := s.U.H
 	for j := 0; j < g.NY; j++ {
 		dy := g.DYC(j)
+		uw, ue, vs, vn := sv.uw, sv.ue, sv.vs, sv.vn
 		for i := 0; i < g.NX; i++ {
-			if g.Depth.At(i, j) == 0 {
+			uw[i], ue[i], vs[i], vn[i] = 0, 0, 0, 0
+		}
+		// Column integrals with the k-loop hoisted outward: each cell
+		// still accumulates its terms in ascending-k order, so the sums
+		// are bit-identical to the per-cell loop.  Dry columns are
+		// overcomputed and discarded below.
+		for k := 0; k < g.NZ; k++ {
+			dz := g.DZ[k]
+			ur := s.U.Row(j, k)
+			hw := g.HFacW.Row(j, k)
+			vr := s.V.Row(j, k)
+			vrN := s.V.Row(j+1, k)
+			hs := g.HFacS.Row(j, k)
+			hsN := g.HFacS.Row(j+1, k)
+			for i := 0; i < g.NX; i++ {
+				uw[i] += ur[i+hu] * hw[i+hu] * dz
+				ue[i] += ur[i+1+hu] * hw[i+1+hu] * dz
+				vs[i] += vr[i+hu] * hs[i+hu] * dz
+				vn[i] += vrN[i+hu] * hsN[i+hu] * dz
+			}
+		}
+		br := b.Row(j)
+		dp := sv.G.Depth.Row(j)
+		hd := sv.G.Depth.H
+		dxsN, dxs := g.DXS(j+1), g.DXS(j)
+		for i := 0; i < g.NX; i++ {
+			if dp[i+hd] == 0 {
 				continue
 			}
-			var uw, ue, vs, vn float64
-			for k := 0; k < g.NZ; k++ {
-				dz := g.DZ[k]
-				uw += s.U.At(i, j, k) * g.HFacW.At(i, j, k) * dz
-				ue += s.U.At(i+1, j, k) * g.HFacW.At(i+1, j, k) * dz
-				vs += s.V.At(i, j, k) * g.HFacS.At(i, j, k) * dz
-				vn += s.V.At(i, j+1, k) * g.HFacS.At(i, j+1, k) * dz
-			}
-			b.Set(i, j, (dy*(ue-uw)+g.DXS(j+1)*vn-g.DXS(j)*vs)/dt)
+			br[i+1] = (dy*(ue[i]-uw[i]) + dxsN*vn[i] - dxs*vs[i]) / dt
 		}
 	}
 	c.AddDS(int64(g.NX*g.NY) * int64(12*g.NZ+6))
@@ -168,13 +263,22 @@ func (sv *Solver) BuildRHS(s *kernel.State, dt float64, c *kernel.Counters) *fie
 // Exposed for verification against manufactured solutions.
 func (sv *Solver) Apply(p, q *field.F2, c *kernel.Counters) {
 	g := sv.G
+	hp, hq := p.H, q.H
 	for j := 0; j < g.NY; j++ {
+		tw := sv.tW.Row(j)
+		ts := sv.tS.Row(j)
+		tsN := sv.tS.Row(j + 1)
+		pS := p.Row(j - 1)
+		pr := p.Row(j)
+		pN := p.Row(j + 1)
+		qr := q.Row(j)
 		for i := 0; i < g.NX; i++ {
-			v := sv.tW.At(i, j)*(p.At(i-1, j)-p.At(i, j)) +
-				sv.tW.At(i+1, j)*(p.At(i+1, j)-p.At(i, j)) +
-				sv.tS.At(i, j)*(p.At(i, j-1)-p.At(i, j)) +
-				sv.tS.At(i, j+1)*(p.At(i, j+1)-p.At(i, j))
-			q.Set(i, j, v)
+			pc := pr[i+hp]
+			v := tw[i+1]*(pr[i-1+hp]-pc) +
+				tw[i+2]*(pr[i+1+hp]-pc) +
+				ts[i+1]*(pS[i+hp]-pc) +
+				tsN[i+1]*(pN[i+hp]-pc)
+			qr[i+hq] = v
 		}
 	}
 	c.AddDS(int64(g.NX*g.NY) * 12)
@@ -193,23 +297,10 @@ func (sv *Solver) dot(a, b *field.F2, c *kernel.Counters) float64 {
 // x with a current halo.  It returns the iteration count.
 func (sv *Solver) Solve(x, b *field.F2, c *kernel.Counters) int {
 	g := sv.G
+	sv.sx, sv.sb, sv.sc = x, b, c
 	// r = b - A(x)
 	sv.H.Update2(x, 1)
-	sv.exec(c, ApplyOps(g)+int64(g.NX*g.NY)+sv.precondOps(), func() {
-		sv.Apply(x, sv.q, c)
-		for j := 0; j < g.NY; j++ {
-			for i := 0; i < g.NX; i++ {
-				if sv.diag.At(i, j) == 0 {
-					sv.r.Set(i, j, 0)
-					continue
-				}
-				sv.r.Set(i, j, b.At(i, j)-sv.q.At(i, j))
-			}
-		}
-		c.AddDS(int64(g.NX * g.NY))
-		sv.precondition(sv.r, sv.z, c)
-		sv.p.CopyFrom(sv.z)
-	})
+	sv.exec(c, ApplyOps(g)+int64(g.NX*g.NY)+sv.precondOps(), sv.fnInit)
 	rz := sv.dot(sv.r, sv.z, c)
 	rz0 := rz
 	iters := 0
@@ -223,37 +314,20 @@ func (sv *Solver) Solve(x, b *field.F2, c *kernel.Counters) int {
 		// preconditioner slot.
 		sv.H.Update2(sv.p, 1)
 		sv.H.Update2(sv.r, 1)
-		sv.exec(c, ApplyOps(g), func() {
-			sv.Apply(sv.p, sv.q, c)
-		})
+		sv.exec(c, ApplyOps(g), sv.fnApplyP)
 		pq := sv.dot(sv.p, sv.q, c) // global sum 1
 		if pq == 0 {
 			break
 		}
-		alpha := rz / pq
-		sv.exec(c, int64(g.NX*g.NY)*4+sv.precondOps(), func() {
-			for j := 0; j < g.NY; j++ {
-				for i := 0; i < g.NX; i++ {
-					x.Add(i, j, alpha*sv.p.At(i, j))
-					sv.r.Add(i, j, -alpha*sv.q.At(i, j))
-				}
-			}
-			c.AddDS(int64(g.NX*g.NY) * 4)
-			sv.precondition(sv.r, sv.z, c)
-		})
+		sv.alpha = rz / pq
+		sv.exec(c, int64(g.NX*g.NY)*4+sv.precondOps(), sv.fnAxpy)
 		rzNew := sv.dot(sv.r, sv.z, c) // global sum 2
-		beta := rzNew / rz
+		sv.beta = rzNew / rz
 		rz = rzNew
-		sv.exec(c, int64(g.NX*g.NY)*2, func() {
-			for j := 0; j < g.NY; j++ {
-				for i := 0; i < g.NX; i++ {
-					sv.p.Set(i, j, sv.z.At(i, j)+beta*sv.p.At(i, j))
-				}
-			}
-			c.AddDS(int64(g.NX*g.NY) * 2)
-		})
+		sv.exec(c, int64(g.NX*g.NY)*2, sv.fnPUpd)
 	}
 	sv.H.Update2(x, 1)
+	sv.sx, sv.sb, sv.sc = nil, nil, nil
 	sv.LastIters = iters
 	sv.LastResidual = math.Sqrt(math.Abs(rz))
 	sv.TotalIters += int64(iters)
@@ -264,15 +338,19 @@ func (sv *Solver) Solve(x, b *field.F2, c *kernel.Counters) int {
 // precondition applies the selected preconditioner z = M^-1 r.
 func (sv *Solver) precondition(r, z *field.F2, c *kernel.Counters) {
 	g := sv.G
+	hr, hz := r.H, z.H
 	if sv.Pre == PrecondJacobi {
 		for j := 0; j < g.NY; j++ {
+			dr := sv.diag.Row(j)
+			rr := r.Row(j)
+			zr := z.Row(j)
 			for i := 0; i < g.NX; i++ {
-				d := sv.diag.At(i, j)
+				d := dr[i+1]
 				if d == 0 {
-					z.Set(i, j, 0)
+					zr[i+hz] = 0
 					continue
 				}
-				z.Set(i, j, r.At(i, j)/d)
+				zr[i+hz] = rr[i+hr] / d
 			}
 		}
 		c.AddDS(int64(g.NX * g.NY))
@@ -283,36 +361,53 @@ func (sv *Solver) precondition(r, z *field.F2, c *kernel.Counters) {
 	// M = (D-L) D^-1 (D-U).  Forward solve, diagonal scale, backward
 	// solve; z stays zero on land (d == 0).
 	for j := 0; j < g.NY; j++ {
+		dr := sv.diag.Row(j)
+		tw := sv.tW.Row(j)
+		ts := sv.tS.Row(j)
+		rr := r.Row(j)
+		zr := z.Row(j)
+		var zS []float64
+		if j > 0 {
+			zS = z.Row(j - 1)
+		}
 		for i := 0; i < g.NX; i++ {
-			d := sv.diag.At(i, j)
+			d := dr[i+1]
 			if d == 0 {
-				z.Set(i, j, 0)
+				zr[i+hz] = 0
 				continue
 			}
-			v := r.At(i, j)
+			v := rr[i+hr]
 			if i > 0 {
-				v += sv.tW.At(i, j) * z.At(i-1, j)
+				v += tw[i+1] * zr[i-1+hz]
 			}
 			if j > 0 {
-				v += sv.tS.At(i, j) * z.At(i, j-1)
+				v += ts[i+1] * zS[i+hz]
 			}
-			z.Set(i, j, v/d)
+			zr[i+hz] = v / d
 		}
 	}
 	for j := g.NY - 1; j >= 0; j-- {
+		dr := sv.diag.Row(j)
+		tw := sv.tW.Row(j)
+		tsN := sv.tS.Row(j + 1)
+		zr := z.Row(j)
+		var zN []float64
+		if j < g.NY-1 {
+			zN = z.Row(j + 1)
+		}
 		for i := g.NX - 1; i >= 0; i-- {
-			d := sv.diag.At(i, j)
+			d := dr[i+1]
 			if d == 0 {
 				continue
 			}
 			v := 0.0
 			if i < g.NX-1 {
-				v += sv.tW.At(i+1, j) * z.At(i+1, j)
+				v += tw[i+2] * zr[i+1+hz]
 			}
 			if j < g.NY-1 {
-				v += sv.tS.At(i, j+1) * z.At(i, j+1)
+				v += tsN[i+1] * zN[i+hz]
 			}
-			z.Add(i, j, v/d)
+			zr[i+hz] += v / d
 		}
 	}
 	c.AddDS(int64(g.NX*g.NY) * 10)
@@ -323,15 +418,23 @@ func (sv *Solver) precondition(r, z *field.F2, c *kernel.Counters) {
 // projection (paper eq. 1's grad ps term).  ps must have a current
 // halo (Solve leaves it so).
 func CorrectVelocities(g *grid.Local, s *kernel.State, dt float64, c *kernel.Counters) {
+	h := s.U.H
+	hp := s.Ps.H
 	for k := 0; k < g.NZ; k++ {
 		for j := 0; j <= g.NY; j++ {
 			dx, dy := g.DXC(j), g.DYC(j)
+			hw := g.HFacW.Row(j, k)
+			hs := g.HFacS.Row(j, k)
+			ur := s.U.Row(j, k)
+			vr := s.V.Row(j, k)
+			ps := s.Ps.Row(j)
+			psS := s.Ps.Row(j - 1)
 			for i := 0; i <= g.NX; i++ {
-				if g.HFacW.At(i, j, k) > 0 {
-					s.U.Add(i, j, k, -dt*(s.Ps.At(i, j)-s.Ps.At(i-1, j))/dx)
+				if hw[i+h] > 0 {
+					ur[i+h] += -dt * (ps[i+hp] - ps[i-1+hp]) / dx
 				}
-				if g.HFacS.At(i, j, k) > 0 {
-					s.V.Add(i, j, k, -dt*(s.Ps.At(i, j)-s.Ps.At(i, j-1))/dy)
+				if hs[i+h] > 0 {
+					vr[i+h] += -dt * (ps[i+hp] - psS[i+hp]) / dy
 				}
 			}
 		}

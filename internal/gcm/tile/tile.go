@@ -67,6 +67,37 @@ type Halo struct {
 	EP     comm.Endpoint
 	D      Decomp
 	tx, ty int
+
+	// scratch recycles received exchange payloads as future pack
+	// targets.  Send-buffer ownership transfers to the comm layer
+	// (reliable-mode retransmission may retain it), but a received
+	// payload is exclusively ours once Exchange returns, and the comm
+	// layer's sequence-number dup-drop makes rewriting a retained
+	// retransmit payload safe — so steady-state halo traffic packs
+	// into recycled buffers and allocates nothing.
+	scratch [][]byte
+}
+
+// grab pops a recycled buffer with capacity ≥ need, or returns nil.
+func (h *Halo) grab(need int) []byte {
+	for i, b := range h.scratch {
+		if cap(b) >= need {
+			last := len(h.scratch) - 1
+			h.scratch[i] = h.scratch[last]
+			h.scratch[last] = nil
+			h.scratch = h.scratch[:last]
+			return b
+		}
+	}
+	return nil
+}
+
+// keep retains a consumed receive payload for later packing.  The list
+// stays small: steady state circulates one buffer per slab size class.
+func (h *Halo) keep(b []byte) {
+	if len(h.scratch) < 8 {
+		h.scratch = append(h.scratch, b)
+	}
 }
 
 // NewHalo builds the halo updater for the endpoint's rank.
@@ -113,7 +144,7 @@ func (h *Halo) neighbour(s field.Side) int {
 // exchanger abstracts F2/F3 slab packing so one update routine serves
 // both field ranks.
 type exchanger interface {
-	PackSlab(s field.Slab) []byte
+	PackSlabInto(s field.Slab, buf []byte) []byte
 	UnpackSlab(s field.Slab, buf []byte)
 	SlabShape(s field.Slab) (rows, rowBytes int)
 	LocalWrap(axisX bool, width int)
@@ -169,8 +200,9 @@ func (h *Halo) axis(f exchanger, width int, cached, xAxis bool) {
 		// onto itself has no peer waiting, so skipping it cannot strand
 		// another rank.
 		//lint:allow commlock self-neighbour wrap has no remote partner
-		got := h.EP.Exchange(peer, f.PackSlab(edge), layout)
+		got := h.EP.Exchange(peer, f.PackSlabInto(edge, h.grab(rows*rowBytes)), layout)
 		f.UnpackSlab(halo, got)
+		h.keep(got)
 	}
 }
 

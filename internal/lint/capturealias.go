@@ -70,7 +70,14 @@ func phaseLits(m *Module, n *callgraph.Node, arg ast.Expr) []*callgraph.Node {
 	}
 	roots, ok := pointsRoots(m, arg)
 	if !ok {
-		return nil
+		// Same fallback as execpure: phases pre-bound into unexported
+		// struct fields resolve through the package's field stores.
+		if sel, isSel := arg.(*ast.SelectorExpr); isSel {
+			roots, ok = fieldAssignRoots(m, n.Pkg.Info, sel)
+		}
+		if !ok {
+			return nil
+		}
 	}
 	var lits []*callgraph.Node
 	for _, r := range roots {

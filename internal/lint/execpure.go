@@ -2,10 +2,12 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"hyades/internal/lint/analysis"
 	"hyades/internal/lint/callgraph"
+	"hyades/internal/lint/load"
 	"hyades/internal/lint/pointsto"
 	"hyades/internal/lint/summary"
 )
@@ -118,6 +120,12 @@ func checkExecArg(pass *analysis.Pass, m *Module, n *callgraph.Node, arg ast.Exp
 				}
 				return
 			}
+			if roots, ok := fieldAssignRoots(m, info, arg); ok {
+				for _, r := range roots {
+					reportImpure(pass, s, arg, r)
+				}
+				return
+			}
 			pass.Reportf(arg.Pos(),
 				"cannot statically resolve the function offloaded to Exec (func value from field/selector); pass a literal or named function so engine-purity is checkable")
 			return
@@ -159,6 +167,136 @@ func pointsRoots(m *Module, arg ast.Expr) ([]*callgraph.Node, bool) {
 		roots = append(roots, o.Fn)
 	}
 	return roots, true
+}
+
+// fieldAssignRoots resolves an offloaded func value read from an
+// unexported struct field by enumerating every assignment to that
+// field across its declaring package.  Unexported fields can only be
+// assigned inside their own package, so when every store is a function
+// literal or a named in-module function (the bind-once phase pattern:
+// closures pre-bound into fields of a model struct at construction,
+// reused each step without allocating), the collected bodies are the
+// complete phase set and each is checked like a named function.
+//
+// This covers exactly the case points-to cannot vouch for: the
+// receiver of an exported method is tainted Unknown (callers outside
+// the closure), so loads through it mix with Unknown even though the
+// field itself is package-private.  The fallback declines — returns
+// !ok, leaving the unresolvable diagnostic in place — whenever any
+// store is not a resolvable function, a multi-value assignment or
+// unkeyed composite literal initializes the field, or the field's
+// address is taken (an indirect store could then publish an unseen
+// phase).  Reflection and unsafe writes are outside the posture, as
+// everywhere in this module.
+func fieldAssignRoots(m *Module, info *types.Info, sel *ast.SelectorExpr) ([]*callgraph.Node, bool) {
+	fv, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !fv.IsField() || fv.Exported() || fv.Pkg() == nil {
+		return nil, false
+	}
+	if _, ok := fv.Type().Underlying().(*types.Signature); !ok {
+		return nil, false
+	}
+	g := m.Summaries.Graph
+	var roots []*callgraph.Node
+	complete, found := true, false
+	addStore := func(p *load.Package, e ast.Expr) {
+		found = true
+		switch e := unparen(e).(type) {
+		case *ast.FuncLit:
+			if n := g.LitNode(e); n != nil {
+				roots = append(roots, n)
+				return
+			}
+		case *ast.Ident:
+			switch obj := p.Info.Uses[e].(type) {
+			case *types.Func:
+				if n := g.FuncNode(obj.Origin()); n != nil {
+					roots = append(roots, n)
+					return
+				}
+			case *types.Nil:
+				return
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := p.Info.Uses[e.Sel].(*types.Func); ok {
+				if n := g.FuncNode(fn.Origin()); n != nil {
+					roots = append(roots, n)
+					return
+				}
+			}
+		}
+		complete = false
+	}
+	for _, p := range m.Graph.Packages {
+		if p.Types != fv.Pkg() {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range x.Lhs {
+						ls, ok := unparen(lhs).(*ast.SelectorExpr)
+						if !ok || p.Info.Uses[ls.Sel] != fv {
+							continue
+						}
+						if len(x.Rhs) != len(x.Lhs) {
+							found, complete = true, false // multi-value: unresolvable
+							continue
+						}
+						addStore(p, x.Rhs[i])
+					}
+				case *ast.CompositeLit:
+					if !literalOfOwner(p, x, fv) {
+						return true
+					}
+					for _, el := range x.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							// Unkeyed struct literal: positional init could
+							// reach the field without naming it.
+							found, complete = true, false
+							continue
+						}
+						if k, ok := kv.Key.(*ast.Ident); ok && p.Info.Uses[k] == fv {
+							addStore(p, kv.Value)
+						}
+					}
+				case *ast.UnaryExpr:
+					// &x.field: the address escaping admits indirect stores.
+					if x.Op == token.AND {
+						if ls, ok := unparen(x.X).(*ast.SelectorExpr); ok && p.Info.Uses[ls.Sel] == fv {
+							found, complete = true, false
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !found || !complete || len(roots) == 0 {
+		return nil, false
+	}
+	return roots, true
+}
+
+// literalOfOwner reports whether composite literal x constructs the
+// struct type that declares field fv.
+func literalOfOwner(p *load.Package, x *ast.CompositeLit, fv *types.Var) bool {
+	tv, ok := p.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == fv {
+			return true
+		}
+	}
+	return false
 }
 
 // reportImpure flags every forbidden effect of one resolved phase

@@ -126,6 +126,11 @@ var hotallocPackages = []string{
 	"hyades/internal/arctic",
 	"hyades/internal/startx",
 	"hyades/internal/comm",
+	// The GCM kernels joined the ratchet when the flat-row rewrite
+	// took their coupled step to zero steady-state allocations: every
+	// sweep, the solver and the physics package now run out of
+	// buffers bound at construction, and the budget keeps them there.
+	"hyades/internal/gcm",
 }
 
 // shareheapPackages hold rank-spawning launchers and the rank bodies

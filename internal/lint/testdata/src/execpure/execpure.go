@@ -46,7 +46,23 @@ func Unresolvable(p *des.Proc, fns []func()) {
 
 type holder struct{ f func() }
 
+// FromField's receiver-taints defeat points-to (h arrives from an
+// exported entry), but the field-store fallback enumerates every
+// in-package assignment to the unexported field f — only bump, via
+// resolvedField's literal below — so the phase set is complete and
+// the global write is reported with its chain.
 func FromField(p *des.Proc, h holder) {
+	p.Exec(0, h.f) // want `offloaded Exec phase is not engine-pure: it reaches a package-level state write`
+}
+
+type leaky struct{ f func() }
+
+// FromLeakyField: taking the field's address admits indirect stores
+// the enumeration cannot see, so the fallback declines and the
+// unresolvable diagnostic stands.
+func FromLeakyField(p *des.Proc, h *leaky) {
+	q := &h.f
+	_ = q
 	p.Exec(0, h.f) // want `cannot statically resolve the function offloaded to Exec \(func value from field/selector\)`
 }
 
